@@ -1,0 +1,232 @@
+// CLI integration tests: build the commands once and drive them end to end
+// against the testdata programs, asserting verdict exit codes and output
+// shape. These cover the full parse → analyse → report pipeline as a user
+// sees it.
+package airct_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binary builds (once) and returns the path of the named command.
+func binary(t *testing.T, name string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "airct-cli")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"termcheck", "chase", "benchgen", "experiments"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(buildDir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = &buildFailure{cmd: cmd, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, name)
+}
+
+type buildFailure struct {
+	cmd string
+	out string
+	err error
+}
+
+func (b *buildFailure) Error() string {
+	return "building " + b.cmd + ": " + b.err.Error() + "\n" + b.out
+}
+
+// run executes the binary and returns stdout+stderr and the exit code.
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", bin, err)
+	}
+	return buf.String(), code
+}
+
+func TestTermcheckVerdictExitCodes(t *testing.T) {
+	bin := binary(t, "termcheck")
+	tests := []struct {
+		file     string
+		wantCode int
+		wantWord string
+	}{
+		{"testdata/intro.chase", 0, "terminates"},
+		{"testdata/example32.chase", 0, "terminates"},
+		{"testdata/ladder.chase", 1, "diverges"},
+		{"testdata/example56.chase", 1, "diverges"},
+	}
+	for _, tc := range tests {
+		t.Run(filepath.Base(tc.file), func(t *testing.T) {
+			out, code := run(t, bin, tc.file)
+			if code != tc.wantCode {
+				t.Errorf("exit = %d, want %d\n%s", code, tc.wantCode, out)
+			}
+			if !strings.Contains(out, "verdict: "+tc.wantWord) {
+				t.Errorf("output lacks verdict %q:\n%s", tc.wantWord, out)
+			}
+		})
+	}
+}
+
+func TestTermcheckMultiHeadIsUnknown(t *testing.T) {
+	bin := binary(t, "termcheck")
+	out, code := run(t, bin, "testdata/exampleB1.chase")
+	// Example B.1 is multi-head: outside G and S, not WA — honest Unknown.
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (unknown)\n%s", code, out)
+	}
+	if !strings.Contains(out, "undecidable") {
+		t.Errorf("unknown verdict must cite undecidability:\n%s", out)
+	}
+}
+
+func TestTermcheckRejectsBadInput(t *testing.T) {
+	bin := binary(t, "termcheck")
+	bad := filepath.Join(t.TempDir(), "bad.chase")
+	if err := os.WriteFile(bad, []byte("R(a, Y) -> S(Y)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, bin, bad)
+	if code != 3 {
+		t.Errorf("exit = %d, want 3\n%s", code, out)
+	}
+}
+
+func TestChaseCommandVariants(t *testing.T) {
+	bin := binary(t, "chase")
+	// Restricted on the intro example: fixpoint, 1 atom, exit 0.
+	out, code := run(t, bin, "-variant", "restricted", "testdata/intro.chase")
+	if code != 0 {
+		t.Fatalf("restricted exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "R(a,b).") {
+		t.Errorf("instance dump missing R(a,b):\n%s", out)
+	}
+	if !strings.Contains(out, "reason=fixpoint") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+	// Oblivious with a budget: exit 1.
+	out, code = run(t, bin, "-variant", "oblivious", "-max-steps", "50", "-quiet", "testdata/intro.chase")
+	if code != 1 {
+		t.Fatalf("oblivious exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "reason=step-budget") {
+		t.Errorf("budget reason missing:\n%s", out)
+	}
+	// Unknown variant: exit 3.
+	if _, code = run(t, bin, "-variant", "nope", "testdata/intro.chase"); code != 3 {
+		t.Errorf("bad variant exit = %d", code)
+	}
+}
+
+func TestChaseExample32MatchesPaper(t *testing.T) {
+	bin := binary(t, "chase")
+	out, code := run(t, bin, "testdata/example32.chase")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"P(a,b).", "R(a,b).", "S(a)."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("restricted result must contain %s:\n%s", want, out)
+		}
+	}
+	// The oblivious extra atom R(a, null) must NOT be in the FIFO
+	// restricted result.
+	if strings.Contains(out, "R(a,_:") {
+		t.Errorf("unexpected invented R atom in restricted result:\n%s", out)
+	}
+}
+
+func TestChaseCoreFlag(t *testing.T) {
+	bin := binary(t, "chase")
+	// LIFO on Example 3.2 keeps a dominated invented atom; -core drops it.
+	out, code := run(t, bin, "-strategy", "lifo", "-core", "testdata/example32.chase")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "core: 3 atoms (from 4") {
+		t.Errorf("core minimisation missing:\n%s", out)
+	}
+	if strings.Contains(out, "R(a,_:") {
+		t.Errorf("dominated atom must be gone:\n%s", out)
+	}
+	// -core on a diverging budgeted run errors.
+	_, code = run(t, bin, "-core", "-max-steps", "20", "testdata/ladder.chase")
+	if code != 3 {
+		t.Errorf("-core on unfinished run: exit = %d, want 3", code)
+	}
+}
+
+func TestBenchgenRoundTripsThroughTermcheck(t *testing.T) {
+	gen := binary(t, "benchgen")
+	check := binary(t, "termcheck")
+	for _, tc := range []struct {
+		family   string
+		wantCode int
+	}{
+		{"existential-chain", 0},
+		{"swap-intro", 0},
+		{"linear-cycle", 1},
+		{"sticky-relay", 1},
+	} {
+		out, code := run(t, gen, "-family", tc.family, "-n", "3")
+		if code != 0 {
+			t.Fatalf("benchgen %s exit = %d\n%s", tc.family, code, out)
+		}
+		file := filepath.Join(t.TempDir(), tc.family+".chase")
+		if err := os.WriteFile(file, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		vOut, vCode := run(t, check, file)
+		if vCode != tc.wantCode {
+			t.Errorf("%s: termcheck exit = %d, want %d\n%s", tc.family, vCode, tc.wantCode, vOut)
+		}
+	}
+	if _, code := run(t, gen, "-family", "nope"); code != 3 {
+		t.Error("unknown family must exit 3")
+	}
+}
+
+func TestExperimentsSelectedSubset(t *testing.T) {
+	bin := binary(t, "experiments")
+	out, code := run(t, bin, "-only", "E4,E5", "-quick")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "## E4") || !strings.Contains(out, "## E5") {
+		t.Errorf("selected experiments missing:\n%s", out)
+	}
+	if strings.Contains(out, "## E1") {
+		t.Errorf("unselected experiment ran:\n%s", out)
+	}
+	// E5's verdict line is the Example 5.6 reproduction.
+	if !strings.Contains(out, "treeified D_ac") || !strings.Contains(out, "diverges") {
+		t.Errorf("E5 table incomplete:\n%s", out)
+	}
+}

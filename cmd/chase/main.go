@@ -1,0 +1,109 @@
+// Command chase materialises a chase over a program (facts + TGDs):
+//
+//	chase [-variant restricted|oblivious|semi-oblivious]
+//	      [-strategy fifo|lifo|random] [-seed N]
+//	      [-max-steps N] [-max-atoms N] [-quiet] [file]
+//
+// It prints the resulting instance (unless -quiet) and run statistics.
+// Exit status 0 on fixpoint, 1 when a budget stopped the run, 3 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"airct/internal/chase"
+	"airct/internal/logic"
+	"airct/internal/minimize"
+	"airct/internal/parser"
+)
+
+func main() {
+	variant := flag.String("variant", "restricted", "chase variant: restricted, oblivious, semi-oblivious")
+	strategy := flag.String("strategy", "fifo", "trigger strategy: fifo, lifo, random")
+	seed := flag.Int64("seed", 0, "seed for the random strategy")
+	maxSteps := flag.Int("max-steps", 100000, "step budget (0 = unlimited)")
+	maxAtoms := flag.Int("max-atoms", 0, "atom budget (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "suppress the instance dump")
+	coreFlag := flag.Bool("core", false, "minimise the result to its core (minimal universal model)")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	opts := chase.Options{
+		MaxSteps:  *maxSteps,
+		MaxAtoms:  *maxAtoms,
+		Seed:      *seed,
+		DropSteps: true,
+	}
+	switch *variant {
+	case "restricted":
+		opts.Variant = chase.Restricted
+	case "oblivious":
+		opts.Variant = chase.Oblivious
+	case "semi-oblivious":
+		opts.Variant = chase.SemiOblivious
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+	switch *strategy {
+	case "fifo":
+		opts.Strategy = chase.FIFO
+	case "lifo":
+		opts.Strategy = chase.LIFO
+	case "random":
+		opts.Strategy = chase.Random
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	start := time.Now()
+	run := chase.RunChase(prog.Database, prog.TGDs, opts)
+	elapsed := time.Since(start)
+
+	final := run.Final
+	if *coreFlag {
+		if !run.Terminated() {
+			fail(fmt.Errorf("-core requires a terminated chase (reason: %v)", run.Reason))
+		}
+		var rounds int
+		final, rounds = minimize.Core(final)
+		fmt.Fprintf(os.Stderr, "core: %d atoms (from %d, %d retraction rounds)\n",
+			final.Len(), run.Final.Len(), rounds)
+	}
+	if !*quiet {
+		atoms := final.Atoms()
+		logic.SortAtoms(atoms)
+		for _, a := range atoms {
+			fmt.Printf("%v.\n", a)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "variant=%s strategy=%s steps=%d atoms=%d nulls=%d reason=%s elapsed=%s\n",
+		opts.Variant, opts.Strategy, run.StepsTaken, run.Final.Len(), run.Final.NullCount(), run.Reason, elapsed.Round(time.Microsecond))
+	if !run.Terminated() {
+		os.Exit(1)
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chase:", err)
+	os.Exit(3)
+}

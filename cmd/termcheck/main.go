@@ -1,0 +1,73 @@
+// Command termcheck decides all-instances restricted chase termination
+// (CT^res_∀∀ membership) for a TGD program:
+//
+//	termcheck [-guarded-budget N] [-sticky-states N] [file]
+//
+// The program is read from the file argument or stdin. Facts in the input
+// are ignored for the decision (the question is all-instances) but are
+// reported. Exit status: 0 terminating, 1 diverging, 2 unknown, 3 error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"airct/internal/core"
+	"airct/internal/guarded"
+	"airct/internal/parser"
+	"airct/internal/sticky"
+)
+
+func main() {
+	guardedBudget := flag.Int("guarded-budget", 2000, "per-seed chase step budget for the guarded search")
+	stickyStates := flag.Int("sticky-states", 200000, "state bound per sticky Büchi component")
+	flag.Parse()
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	if prog.TGDs.Len() == 0 {
+		fail(fmt.Errorf("no TGDs in input"))
+	}
+	if prog.Database.Len() > 0 {
+		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
+	}
+	rep, err := core.Analyze(prog.TGDs, core.Options{
+		GuardedOptions: guarded.DecideOptions{MaxSteps: *guardedBudget},
+		StickyOptions:  sticky.DecideOptions{MaxStates: *stickyStates},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
+	fmt.Print(rep.Summary())
+	switch rep.Conclusion {
+	case core.Terminates:
+		os.Exit(0)
+	case core.Diverges:
+		os.Exit(1)
+	default:
+		os.Exit(2)
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "termcheck:", err)
+	os.Exit(3)
+}

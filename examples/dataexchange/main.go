@@ -1,0 +1,70 @@
+// Data exchange: materialise a universal solution for a source-to-target
+// schema mapping (the paper's [13] scenario) and answer a conjunctive
+// query over the target with certain-answer semantics.
+//
+//	go run ./examples/dataexchange
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"airct/internal/acyclicity"
+	"airct/internal/chase"
+	"airct/internal/logic"
+	"airct/internal/workload"
+)
+
+func main() {
+	// A generated exchange scenario: Emp(name, manager) source tuples,
+	// weakly-acyclic source-to-target TGDs inventing departments.
+	scenario := workload.Exchange(12, 42)
+	prog := scenario.Program
+	fmt.Printf("source: %d tuples, mapping: %d TGDs\n", prog.Database.Len(), prog.TGDs.Len())
+
+	// Data-exchange practice: weak acyclicity guarantees the chase
+	// terminates and yields a universal solution.
+	if !acyclicity.IsWeaklyAcyclic(prog.TGDs) {
+		log.Fatal("mapping is not weakly acyclic — not a valid exchange setting")
+	}
+	fmt.Println("mapping is weakly acyclic: universal solution exists")
+
+	run := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted})
+	if !run.Terminated() {
+		log.Fatal("chase did not terminate?!")
+	}
+	fmt.Printf("universal solution: %d atoms (%d invented values) in %d steps\n",
+		run.Final.Len(), run.Final.NullCount(), run.StepsTaken)
+
+	// Certain answers to Q(X) :- TgtEmp(X, Y, D), Dept(D): the certain
+	// answers are the constant tuples in the query's answers over the
+	// universal solution.
+	q := []logic.Atom{
+		logic.MustAtom("TgtEmp", logic.Var("X"), logic.Var("Y"), logic.Var("D")),
+		logic.MustAtom("Dept", logic.Var("D")),
+	}
+	certain := map[string]bool{}
+	logic.ForEachHomomorphism(q, nil, run.Final, func(h logic.Substitution) bool {
+		x := h.ApplyTerm(logic.Var("X"))
+		if x.IsConst() { // nulls are not certain
+			certain[x.Name] = true
+		}
+		return true
+	})
+	fmt.Printf("certain answers to 'employees placed in a department': %d employees\n", len(certain))
+
+	// The solution is universal: it maps homomorphically into the
+	// alternative solution where every employee lands in one mega
+	// department.
+	mega := run.Final.Clone()
+	for _, a := range prog.Database.Atoms() {
+		mega.Add(logic.MustAtom("TgtEmp", a.Args[0], a.Args[1], logic.Const("megadept")))
+	}
+	mega.Add(logic.MustAtom("Dept", logic.Const("megadept")))
+	mega.Add(logic.MustAtom("Head", logic.Const("megadept"), logic.Const("boss")))
+	mega.Add(logic.MustAtom("Person", logic.Const("boss")))
+	if logic.FindHomomorphism(run.Final.Atoms(), nil, mega) == nil {
+		log.Fatal("universality violated!")
+	}
+	fmt.Println("universality check passed: chase solution embeds into the mega-department solution")
+}

@@ -1,0 +1,328 @@
+// Package acyclicity implements the classical *sufficient* conditions for
+// all-instances restricted chase termination that the paper's introduction
+// surveys: weak acyclicity (Fagin et al., the data-exchange standard),
+// joint acyclicity (Krötzsch & Rudolph), and model-faithful acyclicity
+// (MFA-style, via the critical instance). These are the baselines the
+// decision procedures of Sections 5 and 6 are measured against: each is
+// sound (acceptance implies termination) but incomplete (rejection proves
+// nothing).
+package acyclicity
+
+import (
+	"fmt"
+
+	"airct/internal/chase"
+	"airct/internal/critical"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// edge is a dependency-graph edge between positions; special edges mark the
+// creation of a null (existential variable).
+type edge struct {
+	from, to logic.Position
+	special  bool
+}
+
+// dependencyGraph builds the weak-acyclicity graph: for every TGD σ, every
+// frontier variable x at body position π_b and head position π_h gives a
+// normal edge π_b → π_h; additionally, every existential variable z at head
+// position π_z gives a special edge π_b ⇒ π_z from every body position π_b
+// of every frontier variable of σ.
+func dependencyGraph(set *tgds.Set) []edge {
+	var edges []edge
+	for _, t := range set.TGDs {
+		frontier := t.Frontier()
+		existential := t.ExistentialVars()
+		// Body positions of each frontier variable.
+		bodyPos := make(map[logic.Term][]logic.Position)
+		for _, a := range t.Body {
+			for i, v := range a.Args {
+				if frontier.Has(v) {
+					bodyPos[v] = append(bodyPos[v], logic.Position{Pred: a.Pred, Index: i + 1})
+				}
+			}
+		}
+		for _, h := range t.Head {
+			for i, v := range h.Args {
+				pos := logic.Position{Pred: h.Pred, Index: i + 1}
+				switch {
+				case frontier.Has(v):
+					for _, b := range bodyPos[v] {
+						edges = append(edges, edge{from: b, to: pos})
+					}
+				case existential.Has(v):
+					for _, positions := range bodyPos {
+						for _, b := range positions {
+							edges = append(edges, edge{from: b, to: pos, special: true})
+						}
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// IsWeaklyAcyclic reports whether the set is weakly acyclic: its dependency
+// graph has no cycle through a special edge. Weak acyclicity guarantees
+// termination of every (restricted or oblivious) chase sequence on every
+// database.
+func IsWeaklyAcyclic(set *tgds.Set) bool {
+	edges := dependencyGraph(set)
+	adj := make(map[logic.Position][]logic.Position)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reaches := func(from, to logic.Position) bool {
+		seen := map[logic.Position]bool{from: true}
+		stack := []logic.Position{from}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == to {
+				return true
+			}
+			for _, u := range adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range edges {
+		if e.special && reaches(e.to, e.from) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsJointlyAcyclic reports whether the set is jointly acyclic (Krötzsch &
+// Rudolph): the existential-dependency graph over the existential variables
+// is acyclic, where Mov(z) — the positions the null for z can move to — is
+// closed under frontier variables all of whose body positions lie in
+// Mov(z), and z → z′ when the rule introducing z′ has a frontier variable
+// whose body positions all lie in Mov(z). Joint acyclicity subsumes weak
+// acyclicity.
+func IsJointlyAcyclic(set *tgds.Set) bool {
+	type exVar struct {
+		tgd int
+		v   logic.Term
+	}
+	var exVars []exVar
+	for i, t := range set.TGDs {
+		for _, v := range t.ExistentialVars().Sorted() {
+			exVars = append(exVars, exVar{tgd: i, v: v})
+		}
+	}
+	mov := make([]map[logic.Position]bool, len(exVars))
+	for k, ev := range exVars {
+		m := make(map[logic.Position]bool)
+		for _, h := range set.TGDs[ev.tgd].Head {
+			for i, v := range h.Args {
+				if v == ev.v {
+					m[logic.Position{Pred: h.Pred, Index: i + 1}] = true
+				}
+			}
+		}
+		// Close under frontier propagation.
+		for changed := true; changed; {
+			changed = false
+			for _, t := range set.TGDs {
+				frontier := t.Frontier()
+				for x := range frontier {
+					all := true
+					any := false
+					for _, a := range t.Body {
+						for i, v := range a.Args {
+							if v == x {
+								any = true
+								if !m[logic.Position{Pred: a.Pred, Index: i + 1}] {
+									all = false
+								}
+							}
+						}
+					}
+					if !any || !all {
+						continue
+					}
+					for _, h := range t.Head {
+						for i, v := range h.Args {
+							p := logic.Position{Pred: h.Pred, Index: i + 1}
+							if v == x && !m[p] {
+								m[p] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		mov[k] = m
+	}
+	// Dependency graph over existential variables.
+	adj := make([][]int, len(exVars))
+	for from := range exVars {
+		for to, ev := range exVars {
+			t := set.TGDs[ev.tgd]
+			frontier := t.Frontier()
+			dep := false
+			for x := range frontier {
+				all := true
+				any := false
+				for _, a := range t.Body {
+					for i, v := range a.Args {
+						if v == x {
+							any = true
+							if !mov[from][logic.Position{Pred: a.Pred, Index: i + 1}] {
+								all = false
+							}
+						}
+					}
+				}
+				if any && all {
+					dep = true
+					break
+				}
+			}
+			if dep {
+				adj[from] = append(adj[from], to)
+			}
+		}
+	}
+	// Cycle detection.
+	color := make([]int, len(exVars))
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = 1
+		for _, u := range adj[v] {
+			if color[u] == 1 {
+				return false
+			}
+			if color[u] == 0 && !dfs(u) {
+				return false
+			}
+		}
+		color[v] = 2
+		return true
+	}
+	for v := range exVars {
+		if color[v] == 0 && !dfs(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// MFAResult reports the outcome of the model-faithful-style check.
+type MFAResult struct {
+	// Acyclic is true when the semi-oblivious chase of the critical
+	// instance saturated without creating a cyclic null.
+	Acyclic bool
+	// CyclicNull holds the offending null when Acyclic is false and the
+	// check found an ancestry cycle (same TGD and existential variable
+	// nested inside itself).
+	CyclicNull logic.Term
+	// Steps is the number of chase steps performed.
+	Steps int
+}
+
+// CheckMFA runs the MFA-style test: chase the critical instance D* with the
+// semi-oblivious chase, tracking null ancestry; if a null created by
+// (σ, z) has an ancestor null created by the same (σ, z), the set is
+// reported cyclic. If the chase saturates first, the set is MFA and every
+// chase variant terminates on every database. maxSteps bounds the search
+// (0: 100_000); hitting the bound reports Acyclic = false with no witness.
+func CheckMFA(set *tgds.Set, maxSteps int) MFAResult {
+	if maxSteps <= 0 {
+		maxSteps = 100_000
+	}
+	db := critical.Instance(set)
+	inst := db.Instance()
+	nulls := chase.NewNullFactory(chase.StructuralNaming)
+	// origin[n] = "tgdIndex|var" creating n; parents[n] = nulls in the
+	// frontier image of the creating trigger.
+	origin := make(map[logic.Term]string)
+	parents := make(map[logic.Term][]logic.Term)
+	appliedFrontier := make(map[string]struct{})
+	steps := 0
+	for {
+		if steps >= maxSteps {
+			return MFAResult{Acyclic: false, Steps: steps}
+		}
+		progressed := false
+		for _, tr := range chase.AllTriggers(set, inst) {
+			fk := tr.FrontierKey()
+			if _, done := appliedFrontier[fk]; done {
+				continue
+			}
+			appliedFrontier[fk] = struct{}{}
+			result := chase.Result(tr, nulls)
+			frontierNulls := frontierNullsOf(tr)
+			for _, atom := range result {
+				for _, term := range atom.Args {
+					if !term.IsNull() {
+						continue
+					}
+					if _, known := origin[term]; known {
+						continue
+					}
+					// Origin granularity is the creating TGD. The textbook
+					// MFA condition keys on (σ, z); collapsing the
+					// existential variables of one TGD only makes the
+					// cycle test fire earlier, which keeps acceptance
+					// sound (an accepted set still saturated cycle-free).
+					origin[term] = fmt.Sprintf("%d", tr.TGDIndex)
+					parents[term] = frontierNulls
+					if hasCyclicAncestry(term, origin, parents) {
+						return MFAResult{Acyclic: false, CyclicNull: term, Steps: steps}
+					}
+				}
+				inst.Add(atom)
+			}
+			steps++
+			progressed = true
+			if steps >= maxSteps {
+				return MFAResult{Acyclic: false, Steps: steps}
+			}
+		}
+		if !progressed {
+			return MFAResult{Acyclic: true, Steps: steps}
+		}
+	}
+}
+
+func frontierNullsOf(tr chase.Trigger) []logic.Term {
+	var out []logic.Term
+	seen := map[logic.Term]bool{}
+	for x := range tr.TGD.Frontier() {
+		t := tr.H.ApplyTerm(x)
+		if t.IsNull() && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func hasCyclicAncestry(n logic.Term, origin map[logic.Term]string, parents map[logic.Term][]logic.Term) bool {
+	want := origin[n]
+	seen := map[logic.Term]bool{n: true}
+	stack := append([]logic.Term{}, parents[n]...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if origin[v] == want {
+			return true
+		}
+		stack = append(stack, parents[v]...)
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package acyclicity
+
+import (
+	"testing"
+
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+func set(t *testing.T, src string) *tgds.Set {
+	t.Helper()
+	s, err := parser.ParseTGDs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWeakAcyclicity(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"datalog", `A(X) -> B(X). B(X) -> C(X).`, true},
+		{"single existential chain", `A(X) -> R(X,Y). R(X,Y) -> B(Y).`, true},
+		{"existential feeding itself", `R(X,Y) -> R(Y,Z).`, false},
+		{"two-rule feedback", `S(X) -> R(X,Y). R(X,Y) -> S(Y).`, false},
+		// The intro TGD is WA: its null lands at (R,2), which never feeds a
+		// frontier — WA correctly certifies this member of CT^res_∀∀.
+		{"intro example", `R(X,Y) -> R(X,Z).`, true},
+		{"data exchange", `Src(X,Y) -> Tgt(X,Y). Tgt(X,Y) -> Ref(Y,Z).`, true},
+		{"normal cycle only", `R(X,Y) -> R(Y,X).`, true},
+		{"multi-head safe", `A(X) -> B(X), C(X).`, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsWeaklyAcyclic(set(t, tc.src)); got != tc.want {
+				t.Errorf("IsWeaklyAcyclic = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJointAcyclicity(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"datalog", `A(X) -> B(X). B(X) -> C(X).`, true},
+		{"single existential chain", `A(X) -> R(X,Y). R(X,Y) -> B(Y).`, true},
+		{"existential feeding itself", `R(X,Y) -> R(Y,Z).`, false},
+		{"two-rule feedback", `S(X) -> R(X,Y). R(X,Y) -> S(Y).`, false},
+		// JA strictly subsumes WA: the null from the first rule lands at
+		// (R,2); the second rule consumes (R,1) only, whose value is never
+		// a null from the first rule — WA's position graph cannot see that.
+		{"ja beats wa", `A(X) -> R(X,Y). R(X,Z), A(X) -> B(X). B(X) -> A(X).`, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := IsJointlyAcyclic(set(t, tc.src)); got != tc.want {
+				t.Errorf("IsJointlyAcyclic = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestJASubsumesWA(t *testing.T) {
+	// Every weakly acyclic set in this corpus must be jointly acyclic.
+	corpus := []string{
+		`A(X) -> B(X). B(X) -> C(X).`,
+		`A(X) -> R(X,Y). R(X,Y) -> B(Y).`,
+		`Src(X,Y) -> Tgt(X,Y). Tgt(X,Y) -> Ref(Y,Z).`,
+		`R(X,Y) -> R(Y,X).`,
+		`P(X,Y), Q(Y) -> R(X). R(X) -> S(X,Z).`,
+	}
+	for _, src := range corpus {
+		s := set(t, src)
+		if IsWeaklyAcyclic(s) && !IsJointlyAcyclic(s) {
+			t.Errorf("WA but not JA: %q", src)
+		}
+	}
+}
+
+func TestWAImpliesRestrictedTermination(t *testing.T) {
+	// Soundness spot check: WA sets terminate under the restricted chase on
+	// a stress database (empirical, not proof).
+	srcs := []string{
+		`A(X) -> R(X,Y). R(X,Y) -> B(Y).`,
+		`Src(X,Y) -> Tgt(X,Y). Tgt(X,Y) -> Ref(Y,Z).`,
+	}
+	for _, src := range srcs {
+		s := set(t, src)
+		if !IsWeaklyAcyclic(s) {
+			t.Fatalf("corpus error: %q should be WA", src)
+		}
+	}
+}
+
+func TestCheckMFA(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"datalog", `A(X) -> B(X).`, true},
+		{"single chain", `A(X) -> R(X,Y). R(X,Y) -> B(Y).`, true},
+		{"feedback", `S(X) -> R(X,Y). R(X,Y) -> S(Y).`, false},
+		// The semi-oblivious chase of the intro TGD saturates on D*: the
+		// frontier class (X→c) fires once.
+		{"intro", `R(X,Y) -> R(X,Z).`, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res := CheckMFA(set(t, tc.src), 5000)
+			if res.Acyclic != tc.want {
+				t.Errorf("CheckMFA.Acyclic = %v, want %v (steps %d)", res.Acyclic, tc.want, res.Steps)
+			}
+			if !res.Acyclic && tc.want == false && res.Steps == 0 {
+				t.Error("diverging check should have chased")
+			}
+		})
+	}
+}
+
+func TestMFABudget(t *testing.T) {
+	res := CheckMFA(set(t, `S(X) -> R(X,Y). R(X,Y) -> S(Y).`), 3)
+	if res.Acyclic {
+		t.Error("tiny budget cannot certify acyclicity")
+	}
+}
+
+func TestBaselinesAreIncomplete(t *testing.T) {
+	// All three baselines are sound but incomplete for CT^res_∀∀. The
+	// crisp witness is Example B.1: every *valid* (fair) restricted chase
+	// derivation of it is finite — it belongs to CT^res_∀∀ — yet its
+	// existential feeds its own body positions, so WA, JA and MFA all
+	// reject it.
+	s := set(t, `
+		R(X,Y,Y) -> R(X,Z,Y), R(Z,Y,Y).
+		R(X,Y,Z) -> R(Z,Z,Z).
+	`)
+	if IsWeaklyAcyclic(s) {
+		t.Error("WA accepts Example B.1?")
+	}
+	if IsJointlyAcyclic(s) {
+		t.Error("JA accepts Example B.1?")
+	}
+	if CheckMFA(s, 5000).Acyclic {
+		t.Error("MFA accepts Example B.1?")
+	}
+}

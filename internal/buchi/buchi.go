@@ -1,0 +1,306 @@
+// Package buchi implements deterministic Büchi automata with lazily
+// explored state spaces: states are opaque string keys produced by a
+// transition function, so automata whose state spaces are huge but whose
+// reachable parts are small — exactly the shape of the caterpillar automata
+// of Appendix D.2 — never materialise more than they must.
+//
+// Emptiness of a deterministic Büchi automaton reduces to: some accepting
+// state is reachable from the initial state and lies on a cycle. NonEmpty
+// finds such a lasso and returns it as a witness word (prefix + cycle),
+// which doubles as the pumping argument of Observation 1: the gap between
+// accepting visits along the lasso is bounded by the number of explored
+// states.
+package buchi
+
+import (
+	"fmt"
+)
+
+// Automaton is a deterministic Büchi automaton over a finite alphabet.
+// Transitions that reject (the sink) return ok = false.
+type Automaton struct {
+	// Alphabet lists the symbol keys.
+	Alphabet []string
+	// Initial is the initial state key.
+	Initial string
+	// Step is the deterministic transition function.
+	Step func(state, symbol string) (next string, ok bool)
+	// Accepting reports whether a state is accepting.
+	Accepting func(state string) bool
+}
+
+// Explored is the reachable fragment of an automaton.
+type Explored struct {
+	States   []string
+	Index    map[string]int
+	Alphabet []string
+	// Trans[s][a] is the successor index, or -1 for the reject sink.
+	Trans  [][]int
+	Accept []bool
+	// Complete is false when exploration hit the state bound.
+	Complete bool
+}
+
+// Explore builds the reachable state graph, up to maxStates states
+// (0: 100_000). Exceeding the bound yields Complete = false.
+func Explore(a *Automaton, maxStates int) *Explored {
+	if maxStates <= 0 {
+		maxStates = 100_000
+	}
+	e := &Explored{
+		Index:    make(map[string]int),
+		Alphabet: a.Alphabet,
+		Complete: true,
+	}
+	add := func(s string) int {
+		if i, ok := e.Index[s]; ok {
+			return i
+		}
+		i := len(e.States)
+		e.Index[s] = i
+		e.States = append(e.States, s)
+		e.Trans = append(e.Trans, nil)
+		e.Accept = append(e.Accept, a.Accepting(s))
+		return i
+	}
+	queue := []int{add(a.Initial)}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if e.Trans[cur] != nil {
+			continue
+		}
+		row := make([]int, len(a.Alphabet))
+		for ai, sym := range a.Alphabet {
+			next, ok := a.Step(e.States[cur], sym)
+			if !ok {
+				row[ai] = -1
+				continue
+			}
+			if _, seen := e.Index[next]; !seen && len(e.States) >= maxStates {
+				e.Complete = false
+				row[ai] = -1
+				continue
+			}
+			ni := add(next)
+			row[ai] = ni
+			if e.Trans[ni] == nil {
+				queue = append(queue, ni)
+			}
+		}
+		e.Trans[cur] = row
+	}
+	// Nodes dequeued with rows still nil (possible when the bound tripped).
+	for i := range e.Trans {
+		if e.Trans[i] == nil {
+			row := make([]int, len(a.Alphabet))
+			for j := range row {
+				row[j] = -1
+			}
+			e.Trans[i] = row
+		}
+	}
+	return e
+}
+
+// Len returns the number of explored states.
+func (e *Explored) Len() int { return len(e.States) }
+
+// Lasso is a non-emptiness witness: the word prefix·cycle^ω is accepted.
+type Lasso struct {
+	Prefix []string
+	Cycle  []string
+	// Gap is the longest run of consecutive non-accepting states along the
+	// cycle — the Observation 1 bound (at most the number of states).
+	Gap int
+}
+
+// NonEmpty decides emptiness of the explored (deterministic) automaton: it
+// returns a lasso through a reachable accepting state, or ok = false when
+// the language is empty. For incomplete explorations a negative answer is
+// only valid up to the bound.
+func (e *Explored) NonEmpty() (*Lasso, bool) {
+	// Path symbols from the initial state.
+	type crumb struct {
+		prev int
+		sym  int
+	}
+	reach := make([]crumb, len(e.States))
+	for i := range reach {
+		reach[i] = crumb{prev: -2}
+	}
+	reach[0] = crumb{prev: -1}
+	queue := []int{0}
+	order := []int{0}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for ai, next := range e.Trans[cur] {
+			if next < 0 || reach[next].prev != -2 {
+				continue
+			}
+			reach[next] = crumb{prev: cur, sym: ai}
+			queue = append(queue, next)
+			order = append(order, next)
+		}
+	}
+	for _, q := range order {
+		if !e.Accept[q] {
+			continue
+		}
+		cycle, ok := e.cycleThrough(q)
+		if !ok {
+			continue
+		}
+		var prefix []string
+		for cur := q; reach[cur].prev >= 0; cur = reach[cur].prev {
+			prefix = append([]string{e.Alphabet[reach[cur].sym]}, prefix...)
+		}
+		gap := e.cycleGap(q, cycle)
+		return &Lasso{Prefix: prefix, Cycle: cycle, Gap: gap}, true
+	}
+	return nil, false
+}
+
+// cycleThrough finds a non-empty path q → q, returning its symbols.
+func (e *Explored) cycleThrough(q int) ([]string, bool) {
+	type crumb struct {
+		prev int
+		sym  int
+	}
+	seen := make([]crumb, len(e.States))
+	for i := range seen {
+		seen[i] = crumb{prev: -2}
+	}
+	queue := []int{q}
+	seen[q] = crumb{prev: -1}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for ai, next := range e.Trans[cur] {
+			if next < 0 {
+				continue
+			}
+			if next == q {
+				// Rebuild cycle: q → … → cur → q.
+				syms := []string{e.Alphabet[ai]}
+				for c := cur; seen[c].prev >= 0; c = seen[c].prev {
+					syms = append([]string{e.Alphabet[seen[c].sym]}, syms...)
+				}
+				return syms, true
+			}
+			if seen[next].prev == -2 {
+				seen[next] = crumb{prev: cur, sym: ai}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil, false
+}
+
+// cycleGap computes the longest run of non-accepting states along the
+// cycle starting at q.
+func (e *Explored) cycleGap(q int, cycle []string) int {
+	symIndex := make(map[string]int, len(e.Alphabet))
+	for i, s := range e.Alphabet {
+		symIndex[s] = i
+	}
+	gap, run := 0, 0
+	cur := q
+	for _, s := range cycle {
+		cur = e.Trans[cur][symIndex[s]]
+		if cur < 0 {
+			return gap
+		}
+		if e.Accept[cur] {
+			run = 0
+		} else {
+			run++
+			if run > gap {
+				gap = run
+			}
+		}
+	}
+	return gap
+}
+
+// Run simulates the automaton on a finite word from the initial state,
+// returning the visited states (including the initial one); ok = false when
+// the word falls into the reject sink.
+func (a *Automaton) Run(word []string) ([]string, bool) {
+	states := []string{a.Initial}
+	cur := a.Initial
+	for _, sym := range word {
+		next, ok := a.Step(cur, sym)
+		if !ok {
+			return states, false
+		}
+		cur = next
+		states = append(states, cur)
+	}
+	return states, true
+}
+
+// AcceptsLasso reports whether the deterministic automaton accepts
+// prefix·cycle^ω: iterate the cycle until the state at the cycle boundary
+// repeats, and check that an accepting state occurs within the repeating
+// portion.
+func (a *Automaton) AcceptsLasso(prefix, cycle []string) (bool, error) {
+	if len(cycle) == 0 {
+		return false, fmt.Errorf("buchi: empty cycle")
+	}
+	cur := a.Initial
+	for _, sym := range prefix {
+		next, ok := a.Step(cur, sym)
+		if !ok {
+			return false, nil
+		}
+		cur = next
+	}
+	seen := map[string]bool{}
+	sawAccepting := map[string]bool{}
+	for !seen[cur] {
+		seen[cur] = true
+		start := cur
+		accepting := false
+		for _, sym := range cycle {
+			next, ok := a.Step(cur, sym)
+			if !ok {
+				return false, nil
+			}
+			cur = next
+			if a.Accepting(cur) {
+				accepting = true
+			}
+		}
+		sawAccepting[start] = accepting
+	}
+	// cur repeats: from here on, the same boundary states recur; accepted
+	// iff the loop from the repeated state sees an accepting state.
+	start := cur
+	for {
+		if sawAccepting[cur] {
+			return true, nil
+		}
+		for _, sym := range cycle {
+			next, _ := a.Step(cur, sym)
+			cur = next
+		}
+		if cur == start {
+			return false, nil
+		}
+	}
+}
+
+// Union decides joint emptiness of a family of deterministic automata (the
+// paper's A_T = ⋃ A_{e,Π}): the union language is non-empty iff some
+// member is. It returns the first member's witness.
+func Union(members []*Automaton, maxStates int) (int, *Lasso, bool) {
+	for i, m := range members {
+		e := Explore(m, maxStates)
+		if lasso, ok := e.NonEmpty(); ok {
+			return i, lasso, true
+		}
+	}
+	return -1, nil, false
+}

@@ -1,0 +1,184 @@
+package buchi
+
+import (
+	"strings"
+	"testing"
+)
+
+// modAutomaton accepts words over {a,b} with infinitely many a's: states
+// "a"/"b" remember the last symbol; accepting = "a".
+func modAutomaton() *Automaton {
+	return &Automaton{
+		Alphabet: []string{"a", "b"},
+		Initial:  "start",
+		Step: func(state, sym string) (string, bool) {
+			return sym, true
+		},
+		Accepting: func(state string) bool { return state == "a" },
+	}
+}
+
+// rejectAfterB rejects any word containing b (sink), accepting = seen an a.
+func rejectAfterB() *Automaton {
+	return &Automaton{
+		Alphabet: []string{"a", "b"},
+		Initial:  "start",
+		Step: func(state, sym string) (string, bool) {
+			if sym == "b" {
+				return "", false
+			}
+			return "a", true
+		},
+		Accepting: func(state string) bool { return state == "a" },
+	}
+}
+
+// emptyAutomaton has accepting states unreachable from any cycle.
+func emptyAutomaton() *Automaton {
+	return &Automaton{
+		Alphabet: []string{"a"},
+		Initial:  "q0",
+		Step: func(state, sym string) (string, bool) {
+			switch state {
+			case "q0":
+				return "q1", true // accepting but transient
+			case "q1":
+				return "q2", true
+			default:
+				return "q2", true // non-accepting self-loop
+			}
+		},
+		Accepting: func(state string) bool { return state == "q1" },
+	}
+}
+
+func TestExploreReachableStates(t *testing.T) {
+	e := Explore(modAutomaton(), 0)
+	if e.Len() != 3 { // start, a, b
+		t.Errorf("states = %d, want 3", e.Len())
+	}
+	if !e.Complete {
+		t.Error("exploration must complete")
+	}
+}
+
+func TestExploreRespectsBound(t *testing.T) {
+	// Counter automaton with unbounded state space.
+	counter := &Automaton{
+		Alphabet: []string{"a"},
+		Initial:  "",
+		Step: func(state, sym string) (string, bool) {
+			return state + "a", true
+		},
+		Accepting: func(string) bool { return false },
+	}
+	e := Explore(counter, 10)
+	if e.Complete {
+		t.Error("bounded exploration of an infinite automaton cannot complete")
+	}
+	if e.Len() != 10 {
+		t.Errorf("states = %d, want 10", e.Len())
+	}
+}
+
+func TestNonEmptyFindsLasso(t *testing.T) {
+	e := Explore(modAutomaton(), 0)
+	lasso, ok := e.NonEmpty()
+	if !ok {
+		t.Fatal("infinitely-many-a language is non-empty")
+	}
+	// The lasso must be accepted by the automaton itself.
+	acc, err := modAutomaton().AcceptsLasso(lasso.Prefix, lasso.Cycle)
+	if err != nil || !acc {
+		t.Errorf("witness %v|%v not accepted: %v", lasso.Prefix, lasso.Cycle, err)
+	}
+	// The cycle must contain an a.
+	if !strings.Contains(strings.Join(lasso.Cycle, ""), "a") {
+		t.Errorf("cycle %v has no a", lasso.Cycle)
+	}
+}
+
+func TestNonEmptyOnEmptyLanguage(t *testing.T) {
+	e := Explore(emptyAutomaton(), 0)
+	if _, ok := e.NonEmpty(); ok {
+		t.Error("transient accepting state must not yield a lasso")
+	}
+}
+
+func TestRejectSink(t *testing.T) {
+	e := Explore(rejectAfterB(), 0)
+	lasso, ok := e.NonEmpty()
+	if !ok {
+		t.Fatal("a^ω is accepted")
+	}
+	for _, s := range append(append([]string{}, lasso.Prefix...), lasso.Cycle...) {
+		if s == "b" {
+			t.Errorf("witness uses rejected symbol b: %v|%v", lasso.Prefix, lasso.Cycle)
+		}
+	}
+}
+
+func TestRunSimulation(t *testing.T) {
+	a := rejectAfterB()
+	states, ok := a.Run([]string{"a", "a"})
+	if !ok || len(states) != 3 {
+		t.Errorf("Run = %v, %v", states, ok)
+	}
+	if _, ok := a.Run([]string{"a", "b"}); ok {
+		t.Error("b must reject")
+	}
+}
+
+func TestAcceptsLasso(t *testing.T) {
+	a := modAutomaton()
+	tests := []struct {
+		prefix, cycle []string
+		want          bool
+	}{
+		{nil, []string{"a"}, true},
+		{nil, []string{"b"}, false},
+		{[]string{"b", "b"}, []string{"a", "b"}, true},
+		{[]string{"a"}, []string{"b"}, false},
+	}
+	for _, tc := range tests {
+		got, err := a.AcceptsLasso(tc.prefix, tc.cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("AcceptsLasso(%v, %v) = %v, want %v", tc.prefix, tc.cycle, got, tc.want)
+		}
+	}
+	if _, err := a.AcceptsLasso(nil, nil); err == nil {
+		t.Error("empty cycle must error")
+	}
+}
+
+func TestObservation1GapBound(t *testing.T) {
+	// Observation 1: if L(A) ≠ ∅ there is a word whose accepting visits
+	// are at most n_A apart; the lasso's gap obeys the explored-state
+	// bound.
+	for _, a := range []*Automaton{modAutomaton(), rejectAfterB()} {
+		e := Explore(a, 0)
+		lasso, ok := e.NonEmpty()
+		if !ok {
+			t.Fatal("non-empty expected")
+		}
+		if lasso.Gap > e.Len() {
+			t.Errorf("gap %d exceeds state count %d", lasso.Gap, e.Len())
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	idx, lasso, ok := Union([]*Automaton{emptyAutomaton(), modAutomaton()}, 0)
+	if !ok || idx != 1 || lasso == nil {
+		t.Errorf("Union = %d, %v, %v", idx, lasso, ok)
+	}
+	if _, _, ok := Union([]*Automaton{emptyAutomaton()}, 0); ok {
+		t.Error("union of empty languages is empty")
+	}
+	if _, _, ok := Union(nil, 0); ok {
+		t.Error("empty union is empty")
+	}
+}

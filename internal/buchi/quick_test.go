@@ -1,0 +1,129 @@
+package buchi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomAutomaton builds a random deterministic Büchi automaton with
+// nStates states over a binary alphabet, deterministically from the seed.
+func randomAutomaton(seed int64, nStates int) *Automaton {
+	rng := rand.New(rand.NewSource(seed))
+	type key struct {
+		state string
+		sym   string
+	}
+	states := make([]string, nStates)
+	for i := range states {
+		states[i] = fmt.Sprintf("q%d", i)
+	}
+	trans := make(map[key]string)
+	accepting := make(map[string]bool)
+	for _, s := range states {
+		for _, a := range []string{"0", "1"} {
+			if rng.Intn(10) == 0 {
+				continue // reject sink
+			}
+			trans[key{s, a}] = states[rng.Intn(nStates)]
+		}
+		accepting[s] = rng.Intn(4) == 0
+	}
+	return &Automaton{
+		Alphabet: []string{"0", "1"},
+		Initial:  "q0",
+		Step: func(state, sym string) (string, bool) {
+			next, ok := trans[key{state, sym}]
+			return next, ok
+		},
+		Accepting: func(state string) bool { return accepting[state] },
+	}
+}
+
+// Property: any lasso returned by NonEmpty is accepted by the automaton
+// itself (witness soundness).
+func TestQuickLassoWitnessesAreAccepted(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed%100000, 2+int(seed%7+7)%7)
+		e := Explore(a, 0)
+		lasso, ok := e.NonEmpty()
+		if !ok {
+			return true // emptiness claims are checked elsewhere
+		}
+		acc, err := a.AcceptsLasso(lasso.Prefix, lasso.Cycle)
+		return err == nil && acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when NonEmpty says empty, no random lasso probe is accepted
+// (emptiness soundness, probabilistically checked).
+func TestQuickEmptinessRejectsProbes(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed%100000, 2+int(seed%5+5)%5)
+		e := Explore(a, 0)
+		if _, ok := e.NonEmpty(); ok {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for probe := 0; probe < 10; probe++ {
+			prefix := randomWord(rng, 3)
+			cycle := randomWord(rng, 1+rng.Intn(4))
+			acc, err := a.AcceptsLasso(prefix, cycle)
+			if err != nil {
+				continue
+			}
+			if acc {
+				return false // empty automaton accepted a word
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomWord(rng *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%d", rng.Intn(2))
+	}
+	return out
+}
+
+// Property: the lasso gap never exceeds the number of explored states
+// (Observation 1).
+func TestQuickGapBound(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAutomaton(seed%100000, 3+int(seed%11+11)%11)
+		e := Explore(a, 0)
+		lasso, ok := e.NonEmpty()
+		if !ok {
+			return true
+		}
+		return lasso.Gap <= e.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exploration is deterministic — two explorations agree on state
+// count and emptiness.
+func TestQuickExploreDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		a1 := randomAutomaton(seed%100000, 4)
+		a2 := randomAutomaton(seed%100000, 4)
+		e1, e2 := Explore(a1, 0), Explore(a2, 0)
+		_, ok1 := e1.NonEmpty()
+		_, ok2 := e2.NonEmpty()
+		return e1.Len() == e2.Len() && ok1 == ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// Variant selects the chase flavour (Section 3).
+type Variant uint8
+
+const (
+	// Restricted applies only active triggers: a TGD fires only when it is
+	// violated. The paper's main object of study.
+	Restricted Variant = iota
+	// Oblivious applies every trigger once, violated or not.
+	Oblivious
+	// SemiOblivious (skolem chase) applies one trigger per frontier class:
+	// triggers agreeing on fr(σ) are identified.
+	SemiOblivious
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Restricted:
+		return "restricted"
+	case Oblivious:
+		return "oblivious"
+	case SemiOblivious:
+		return "semi-oblivious"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Strategy selects which pending trigger fires next. FIFO yields fair
+// derivations (every enqueued trigger is eventually considered); LIFO can
+// starve old triggers and is deliberately available to exhibit unfair
+// derivations; Random draws from the pending set with a seeded source.
+type Strategy uint8
+
+const (
+	FIFO Strategy = iota
+	LIFO
+	Random
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case FIFO:
+		return "fifo"
+	case LIFO:
+		return "lifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// StopReason explains why a run ended.
+type StopReason uint8
+
+const (
+	// Fixpoint: no applicable trigger remained; the run is a finite chase
+	// derivation and its result satisfies the TGD set (for Restricted).
+	Fixpoint StopReason = iota
+	// StepBudget: MaxSteps trigger applications were performed.
+	StepBudget
+	// AtomBudget: the instance grew past MaxAtoms.
+	AtomBudget
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case Fixpoint:
+		return "fixpoint"
+	case StepBudget:
+		return "step-budget"
+	case AtomBudget:
+		return "atom-budget"
+	default:
+		return fmt.Sprintf("StopReason(%d)", uint8(r))
+	}
+}
+
+// Options configures a chase run. The zero value is a restricted FIFO chase
+// with structural null naming and no budgets — suitable only for inputs
+// known to terminate; set MaxSteps or MaxAtoms otherwise.
+type Options struct {
+	Variant  Variant
+	Strategy Strategy
+	// MaxSteps bounds the number of trigger applications; 0 means no bound.
+	MaxSteps int
+	// MaxAtoms bounds the instance size; 0 means no bound.
+	MaxAtoms int
+	// Seed drives the Random strategy.
+	Seed int64
+	// Naming selects the null-naming policy.
+	Naming NullNaming
+	// DropSteps disables derivation recording (benchmarks).
+	DropSteps bool
+}
+
+// Step records one trigger application I⟨σ,h⟩J.
+type Step struct {
+	Trigger Trigger
+	// Result is result(σ,h) — every head atom, whether new or not.
+	Result []logic.Atom
+	// Added are the atoms of Result that were new to the instance.
+	Added []logic.Atom
+}
+
+// Stats counts the engine's bookkeeping work — the currency of the
+// paper's §1 trade-off discussion ("at each step, the restricted chase has
+// to check that there is no way to satisfy the right-hand side … and this
+// is costly").
+type Stats struct {
+	// ActivityChecks counts IsActive evaluations (restricted only).
+	ActivityChecks int
+	// TriggersEnqueued counts distinct triggers discovered.
+	TriggersEnqueued int
+	// TriggersSkipped counts popped triggers that were not applicable
+	// (deactivated since discovery, or duplicate frontier class).
+	TriggersSkipped int
+}
+
+// Run is the outcome of a chase: the final instance, the derivation, and
+// why the run stopped.
+type Run struct {
+	Options  Options
+	Set      *tgds.Set
+	Database *instance.Database
+	Final    *instance.Instance
+	Steps    []Step
+	Reason   StopReason
+	// StepsTaken counts trigger applications (equals len(Steps) unless
+	// DropSteps).
+	StepsTaken int
+	// Stats records the engine's bookkeeping work.
+	Stats Stats
+}
+
+// Terminated reports whether the run reached a fixpoint.
+func (r *Run) Terminated() bool { return r.Reason == Fixpoint }
+
+// InstanceAt replays the derivation and returns I_i: the instance after i
+// steps (I_0 is the database). It requires recorded steps.
+func (r *Run) InstanceAt(i int) *instance.Instance {
+	if r.Options.DropSteps {
+		panic("chase: InstanceAt requires recorded steps")
+	}
+	if i > len(r.Steps) {
+		i = len(r.Steps)
+	}
+	inst := r.Database.Instance()
+	for _, s := range r.Steps[:i] {
+		for _, a := range s.Added {
+			inst.Add(a)
+		}
+	}
+	return inst
+}
+
+// engine is the shared machinery of the three variants.
+type engine struct {
+	set   *tgds.Set
+	opts  Options
+	inst  *instance.Instance
+	nulls *NullFactory
+	queue []Trigger
+	seen  map[string]struct{} // trigger keys ever enqueued
+	// appliedFrontier dedups semi-oblivious applications by frontier class.
+	appliedFrontier map[string]struct{}
+	rng             *rand.Rand
+	run             *Run
+}
+
+// Run chases the database with the TGD set under the options.
+func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
+	e := &engine{
+		set:             set,
+		opts:            opts,
+		inst:            db.Instance(),
+		nulls:           NewNullFactory(opts.Naming),
+		seen:            make(map[string]struct{}),
+		appliedFrontier: make(map[string]struct{}),
+		run:             &Run{Options: opts, Set: set, Database: db},
+	}
+	if opts.Strategy == Random {
+		e.rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	for _, tr := range AllTriggers(set, e.inst) {
+		e.enqueue(tr)
+	}
+	e.loop()
+	e.run.Final = e.inst
+	return e.run
+}
+
+func (e *engine) enqueue(tr Trigger) {
+	key := tr.Key()
+	if _, ok := e.seen[key]; ok {
+		return
+	}
+	e.seen[key] = struct{}{}
+	e.run.Stats.TriggersEnqueued++
+	e.queue = append(e.queue, tr)
+}
+
+func (e *engine) pop() Trigger {
+	var i int
+	switch e.opts.Strategy {
+	case LIFO:
+		i = len(e.queue) - 1
+	case Random:
+		i = e.rng.Intn(len(e.queue))
+	default:
+		i = 0
+	}
+	tr := e.queue[i]
+	e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	return tr
+}
+
+// applicable decides whether a popped trigger should fire under the variant.
+func (e *engine) applicable(tr Trigger) bool {
+	switch e.opts.Variant {
+	case Restricted:
+		// Activity is antitone: once non-active, forever non-active
+		// (instances only grow), so dropping is safe.
+		e.run.Stats.ActivityChecks++
+		return IsActive(tr, e.inst)
+	case SemiOblivious:
+		if _, done := e.appliedFrontier[tr.FrontierKey()]; done {
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func (e *engine) loop() {
+	for len(e.queue) > 0 {
+		if e.opts.MaxSteps > 0 && e.run.StepsTaken >= e.opts.MaxSteps {
+			e.run.Reason = StepBudget
+			return
+		}
+		if e.opts.MaxAtoms > 0 && e.inst.Len() >= e.opts.MaxAtoms {
+			e.run.Reason = AtomBudget
+			return
+		}
+		tr := e.pop()
+		if !e.applicable(tr) {
+			e.run.Stats.TriggersSkipped++
+			continue
+		}
+		e.apply(tr)
+	}
+	e.run.Reason = Fixpoint
+}
+
+func (e *engine) apply(tr Trigger) {
+	result := Result(tr, e.nulls)
+	added := make([]logic.Atom, 0, len(result))
+	for _, a := range result {
+		if e.inst.Add(a) {
+			added = append(added, a)
+		}
+	}
+	if e.opts.Variant == SemiOblivious {
+		e.appliedFrontier[tr.FrontierKey()] = struct{}{}
+	}
+	e.run.StepsTaken++
+	if !e.opts.DropSteps {
+		e.run.Steps = append(e.run.Steps, Step{Trigger: tr, Result: result, Added: added})
+	}
+	for _, a := range added {
+		for _, nt := range TriggersInvolving(e.set, e.inst, a) {
+			e.enqueue(nt)
+		}
+	}
+}
+
+// Terminates runs the restricted chase with the given budgets and reports
+// whether it reached a fixpoint; a convenience wrapper used by examples and
+// sufficient-condition baselines.
+func Terminates(db *instance.Database, set *tgds.Set, maxSteps int) (bool, *Run) {
+	run := RunChase(db, set, Options{Variant: Restricted, MaxSteps: maxSteps, DropSteps: true})
+	return run.Terminated(), run
+}
+
+// UniversalModel runs the restricted chase to fixpoint (no budgets) and
+// returns the resulting instance, which is a universal model of the
+// database and the TGDs. Callers must know the input terminates.
+func UniversalModel(db *instance.Database, set *tgds.Set) *instance.Instance {
+	run := RunChase(db, set, Options{Variant: Restricted, DropSteps: true})
+	return run.Final
+}

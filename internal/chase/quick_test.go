@@ -1,0 +1,180 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"airct/internal/instance"
+	"airct/internal/parser"
+)
+
+// randomDatalog generates a random datalog program (no existentials, so
+// every chase terminates) with a random database, deterministically from
+// the seed.
+func randomDatalog(seed int64) *parser.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nPreds := 3 + rng.Intn(3)
+	arity := func(p int) int { return 1 + (p % 2) }
+	var b strings.Builder
+	vars := []string{"X", "Y", "Z"}
+	atom := func(p int, pool []string) string {
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		return fmt.Sprintf("P%d(%s)", p, strings.Join(args, ","))
+	}
+	nRules := 2 + rng.Intn(4)
+	for r := 0; r < nRules; r++ {
+		nBody := 1 + rng.Intn(2)
+		pool := vars[:1+rng.Intn(len(vars))]
+		var body []string
+		used := map[string]bool{}
+		for i := 0; i < nBody; i++ {
+			a := atom(rng.Intn(nPreds), pool)
+			body = append(body, a)
+			for _, v := range pool {
+				if strings.Contains(a, v) {
+					used[v] = true
+				}
+			}
+		}
+		// Head variables drawn from the variables the body actually uses:
+		// genuinely no existentials.
+		var usedPool []string
+		for _, v := range pool {
+			if used[v] {
+				usedPool = append(usedPool, v)
+			}
+		}
+		fmt.Fprintf(&b, "%s -> %s.\n", strings.Join(body, ", "), atom(rng.Intn(nPreds), usedPool))
+	}
+	nFacts := 1 + rng.Intn(5)
+	consts := []string{"a", "b", "cc"}
+	for f := 0; f < nFacts; f++ {
+		p := rng.Intn(nPreds)
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = consts[rng.Intn(len(consts))]
+		}
+		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
+	}
+	prog, err := parser.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Property: on datalog programs, restricted and oblivious chases compute
+// the same closure (no nulls, so activity only skips duplicates), and the
+// fixpoint satisfies the set.
+func TestQuickDatalogClosureAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		res := RunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, MaxSteps: 5000, DropSteps: true})
+		obl := RunChase(prog.Database, prog.TGDs, Options{Variant: Oblivious, MaxSteps: 5000, DropSteps: true})
+		if !res.Terminated() || !obl.Terminated() {
+			return false
+		}
+		return res.Final.Equal(obl.Final) && prog.TGDs.SatisfiedBy(res.Final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with structural naming the restricted result is contained in
+// the oblivious result (same trigger → same null), on programs with
+// existentials, whenever both terminate.
+func TestQuickRestrictedSubsetOfOblivious(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		// Append one existential rule to spice things up; weak acyclicity
+		// of the combined set is not guaranteed, so budget and tolerate
+		// non-termination (skip those draws).
+		src := parser.Print(prog) + "\nP0(X) -> Fresh(X, W).\n"
+		p2, err := parser.Parse(src)
+		if err != nil {
+			return false
+		}
+		res := RunChase(p2.Database, p2.TGDs, Options{Variant: Restricted, MaxSteps: 2000, DropSteps: true})
+		obl := RunChase(p2.Database, p2.TGDs, Options{Variant: Oblivious, MaxSteps: 2000, DropSteps: true})
+		if !res.Terminated() || !obl.Terminated() {
+			return true // skip diverging draws
+		}
+		return obl.Final.ContainsAll(res.Final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every strategy reaches a fixpoint satisfying the set on
+// datalog programs, and the closures agree across strategies.
+func TestQuickStrategiesAgreeOnDatalog(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		var final *instance.Instance
+		for _, s := range []Strategy{FIFO, LIFO, Random} {
+			run := RunChase(prog.Database, prog.TGDs, Options{
+				Variant: Restricted, Strategy: s, Seed: seed, MaxSteps: 5000, DropSteps: true,
+			})
+			if !run.Terminated() {
+				return false
+			}
+			if final == nil {
+				final = run.Final
+			} else if !final.Equal(run.Final) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: InstanceAt is monotone and ends at Final.
+func TestQuickDerivationMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		run := RunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, MaxSteps: 5000})
+		if !run.Terminated() {
+			return false
+		}
+		prev := run.InstanceAt(0)
+		if !prev.Equal(prog.Database.Instance()) {
+			return false
+		}
+		for i := 1; i <= len(run.Steps); i++ {
+			cur := run.InstanceAt(i)
+			if !cur.ContainsAll(prev) || cur.Len() < prev.Len() {
+				return false
+			}
+			prev = cur
+		}
+		return prev.Equal(run.Final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chase result embeds into itself under identity and the
+// run is reproducible (same options → same instance).
+func TestQuickRunReproducible(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		a := RunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, Strategy: Random, Seed: 9, MaxSteps: 5000, DropSteps: true})
+		b := RunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, Strategy: Random, Seed: 9, MaxSteps: 5000, DropSteps: true})
+		return a.Final.Equal(b.Final) && a.StepsTaken == b.StepsTaken
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

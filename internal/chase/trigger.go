@@ -1,0 +1,263 @@
+// Package chase implements the chase procedure of Section 3: triggers and
+// active triggers (Definition 3.1), and three chase variants — oblivious,
+// semi-oblivious, and restricted (a.k.a. standard) — with pluggable trigger
+// strategies, budgets, and full derivation recording. Engines accept
+// multi-head TGDs; the paper's classes are single-head, but the
+// Fairness-Theorem counterexample (Example B.1) requires multi-head support.
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// Trigger is a pair (σ, h): a TGD of the set together with a homomorphism
+// from its body into an instance (Definition 3.1). TGDIndex identifies σ
+// within its Set; H binds exactly the body variables.
+type Trigger struct {
+	TGDIndex int
+	TGD      tgds.TGD
+	H        logic.Substitution
+}
+
+// Key returns a canonical identity for the trigger: the TGD index plus the
+// body-variable bindings. Two applications of the same TGD with the same
+// homomorphism are the same trigger.
+func (tr Trigger) Key() string {
+	return fmt.Sprintf("%d|%s", tr.TGDIndex, tr.H.Restrict(tr.TGD.BodyVars()).Key())
+}
+
+// FrontierKey identifies the trigger up to its frontier bindings: the
+// semi-oblivious (skolem) chase applies one trigger per frontier class.
+func (tr Trigger) FrontierKey() string {
+	return fmt.Sprintf("%d|%s", tr.TGDIndex, tr.H.Restrict(tr.TGD.Frontier()).Key())
+}
+
+// String renders the trigger as (σ, h).
+func (tr Trigger) String() string {
+	return fmt.Sprintf("(%s, %s)", tr.TGD.Label, tr.H.Restrict(tr.TGD.BodyVars()))
+}
+
+// NullNaming selects how result(σ,h) names the fresh nulls it invents for
+// existentially quantified variables.
+type NullNaming uint8
+
+const (
+	// StructuralNaming names each null after the trigger and variable that
+	// invent it, the paper's c^{σ,h}_x (Definition 3.1): the same trigger
+	// always yields the same null, no matter when or in which derivation it
+	// is applied. Names are interned to short identifiers.
+	StructuralNaming NullNaming = iota
+	// CounterNaming hands out nulls from a counter: cheaper, but the null
+	// produced by a trigger depends on application order.
+	CounterNaming
+)
+
+// NullFactory creates the nulls for trigger results under a naming policy.
+// It is owned by a single engine run and is not safe for concurrent use.
+type NullFactory struct {
+	naming NullNaming
+	namer  *logic.FreshNamer
+	intern map[string]logic.Term
+}
+
+// NewNullFactory returns a factory with the given policy.
+func NewNullFactory(naming NullNaming) *NullFactory {
+	return &NullFactory{
+		naming: naming,
+		namer:  logic.NewFreshNamer("n"),
+		intern: make(map[string]logic.Term),
+	}
+}
+
+// NullFor returns the null c^{σ,h}_x for the trigger and existential
+// variable. Under StructuralNaming repeated calls with the same arguments
+// return the same null.
+func (f *NullFactory) NullFor(tr Trigger, x logic.Term) logic.Term {
+	if f.naming == CounterNaming {
+		return f.namer.NextNull()
+	}
+	key := tr.Key() + "|" + x.Name
+	if n, ok := f.intern[key]; ok {
+		return n
+	}
+	n := f.namer.NextNull()
+	f.intern[key] = n
+	return n
+}
+
+// Result computes result(σ,h): the head atoms instantiated with h on the
+// frontier and fresh nulls on the existential variables (Definition 3.1,
+// extended pointwise to multi-head TGDs — all head atoms share the same
+// null assignment).
+func Result(tr Trigger, nulls *NullFactory) []logic.Atom {
+	v := logic.NewSubstitution()
+	frontier := tr.TGD.Frontier()
+	for x := range tr.TGD.HeadVars() {
+		if frontier.Has(x) {
+			v.Bind(x, tr.H.ApplyTerm(x))
+		} else {
+			v.Bind(x, nulls.NullFor(tr, x))
+		}
+	}
+	return v.ApplyAtoms(tr.TGD.Head)
+}
+
+// FrontierTerms returns fr(result(σ,h)) for a single-head trigger: the
+// terms of the result atom sitting at positions of ⋃_{x∈fr(σ)}
+// pos(head(σ), x) — the propagated (not invented) terms.
+func FrontierTerms(tr Trigger) logic.TermSet {
+	out := make(logic.TermSet)
+	if !tr.TGD.IsSingleHead() {
+		for x := range tr.TGD.Frontier() {
+			out[tr.H.ApplyTerm(x)] = struct{}{}
+		}
+		return out
+	}
+	head := tr.TGD.HeadAtom()
+	frontier := tr.TGD.Frontier()
+	for _, t := range head.Args {
+		if t.IsVar() && frontier.Has(t) {
+			out[tr.H.ApplyTerm(t)] = struct{}{}
+		}
+	}
+	return out
+}
+
+// IsActive reports whether the trigger is active on the source: there is no
+// extension h′ of h|fr(σ) with h′(head(σ)) ⊆ I (Definition 3.1).
+func IsActive(tr Trigger, src logic.AtomSource) bool {
+	base := tr.H.Restrict(tr.TGD.Frontier())
+	return logic.FindHomomorphism(tr.TGD.Head, base, src) == nil
+}
+
+// Stops reports whether the atom α stops the produced atom β = result(σ,h)
+// of the trigger (the ≺s relation of Section 3.1): there is a homomorphism
+// h′ with h′(β) = α that fixes every frontier term of β. frontier is
+// fr(result(σ,h)) as computed by FrontierTerms.
+func Stops(alpha, beta logic.Atom, frontier logic.TermSet) bool {
+	if alpha.Pred != beta.Pred {
+		return false
+	}
+	h := make(map[logic.Term]logic.Term, len(beta.Args))
+	for i, from := range beta.Args {
+		to := alpha.Args[i]
+		if from.IsConst() || frontier.Has(from) {
+			if from != to {
+				return false
+			}
+			continue
+		}
+		if prev, ok := h[from]; ok {
+			if prev != to {
+				return false
+			}
+			continue
+		}
+		h[from] = to
+	}
+	return true
+}
+
+// NewTrigger builds a trigger from a TGD (with its index in the set) and a
+// body homomorphism. The substitution is restricted to the body variables.
+func NewTrigger(idx int, t tgds.TGD, h logic.Substitution) Trigger {
+	return Trigger{TGDIndex: idx, TGD: t, H: h.Restrict(t.BodyVars())}
+}
+
+// AllTriggers enumerates every trigger for the set on the source, in a
+// deterministic order (by TGD index, then by substitution key).
+func AllTriggers(set *tgds.Set, src logic.AtomSource) []Trigger {
+	var out []Trigger
+	for i, t := range set.TGDs {
+		homs := logic.AllHomomorphisms(t.Body, nil, src)
+		logic.SortSubstitutions(homs)
+		for _, h := range homs {
+			out = append(out, NewTrigger(i, t, h))
+		}
+	}
+	return out
+}
+
+// ActiveTriggers enumerates the active triggers for the set on the source.
+func ActiveTriggers(set *tgds.Set, src logic.AtomSource) []Trigger {
+	all := AllTriggers(set, src)
+	out := all[:0]
+	for _, tr := range all {
+		if IsActive(tr, src) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// TriggersInvolving enumerates the triggers whose body uses the given atom
+// at some body-atom position — the semi-naive delta used by the engines
+// when a new atom arrives.
+func TriggersInvolving(set *tgds.Set, src logic.AtomSource, atom logic.Atom) []Trigger {
+	var out []Trigger
+	seen := make(map[string]struct{})
+	for i, t := range set.TGDs {
+		for j, bodyAtom := range t.Body {
+			if bodyAtom.Pred != atom.Pred {
+				continue
+			}
+			base := logic.NewSubstitution()
+			okBind := true
+			for k, v := range bodyAtom.Args {
+				if bound, ok := base.Lookup(v); ok {
+					if bound != atom.Args[k] {
+						okBind = false
+						break
+					}
+					continue
+				}
+				base.Bind(v, atom.Args[k])
+			}
+			if !okBind {
+				continue
+			}
+			rest := make([]logic.Atom, 0, len(t.Body)-1)
+			rest = append(rest, t.Body[:j]...)
+			rest = append(rest, t.Body[j+1:]...)
+			homs := logic.AllHomomorphisms(rest, base, src)
+			logic.SortSubstitutions(homs)
+			for _, h := range homs {
+				tr := NewTrigger(i, t, h)
+				key := tr.Key()
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}
+
+// Violations returns the active triggers grouped per TGD label; a
+// convenience for error messages and fairness reports.
+func Violations(set *tgds.Set, inst *instance.Instance) map[string]int {
+	out := make(map[string]int)
+	for _, tr := range ActiveTriggers(set, inst) {
+		out[tr.TGD.Label]++
+	}
+	return out
+}
+
+// FormatTriggers renders triggers one per line, sorted by key; for tests
+// and debug output.
+func FormatTriggers(trs []Trigger) string {
+	lines := make([]string, len(trs))
+	for i, tr := range trs {
+		lines[i] = tr.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

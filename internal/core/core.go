@@ -1,0 +1,196 @@
+// Package core is the library's façade: it analyses a set of TGDs for
+// all-instances restricted chase termination (the paper's CT^res_∀∀
+// membership problem), combining class detection, the sufficient-condition
+// baselines, and the two decision procedures of the paper — the abstract-
+// join-tree search for guarded sets (Section 5) and the caterpillar Büchi
+// automaton for sticky sets (Section 6).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"airct/internal/acyclicity"
+	"airct/internal/guarded"
+	"airct/internal/sticky"
+	"airct/internal/tgds"
+)
+
+// Conclusion is the aggregate termination verdict.
+type Conclusion uint8
+
+const (
+	// Unknown: no decision procedure applied (outside G and S, and no
+	// sufficient condition fired). CT^res_∀∀ is undecidable in general
+	// (Theorem 3.6), so Unknown is an honest possible answer.
+	Unknown Conclusion = iota
+	// Terminates: every valid restricted chase derivation of every
+	// database is finite.
+	Terminates
+	// Diverges: some database admits an infinite fair restricted chase
+	// derivation.
+	Diverges
+)
+
+func (c Conclusion) String() string {
+	switch c {
+	case Terminates:
+		return "terminates"
+	case Diverges:
+		return "diverges"
+	default:
+		return "unknown"
+	}
+}
+
+// Report collects everything the analyzer derived about a set.
+type Report struct {
+	// Class flags.
+	SingleHead      bool
+	Guarded         bool
+	Linear          bool
+	Sticky          bool
+	Full            bool
+	FrontierGuarded bool
+	WeaklyAcyclic   bool
+	JointlyAcyclic  bool
+
+	// GuardedVerdict is set when the guarded procedure ran.
+	GuardedVerdict *guarded.Verdict
+	// StickyVerdict is set when the sticky (Büchi) procedure ran.
+	StickyVerdict *sticky.Verdict
+
+	// Conclusion aggregates the verdicts; Reasons explains each input to
+	// the aggregation, in order of application.
+	Conclusion Conclusion
+	Reasons    []string
+}
+
+// Options configures the analyzer.
+type Options struct {
+	// GuardedOptions tunes the guarded seed search.
+	GuardedOptions guarded.DecideOptions
+	// StickyOptions tunes the Büchi exploration.
+	StickyOptions sticky.DecideOptions
+	// SkipBaselines disables the WA/JA checks (used by experiments that
+	// time the decision procedures in isolation).
+	SkipBaselines bool
+}
+
+// Analyze inspects the set and decides CT^res_∀∀ membership where the
+// paper's results make that possible.
+func Analyze(set *tgds.Set, opts Options) (*Report, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("core: empty TGD set")
+	}
+	r := &Report{
+		SingleHead:      set.IsSingleHead(),
+		Guarded:         set.IsGuarded(),
+		Linear:          set.IsLinear(),
+		Sticky:          set.IsSticky(),
+		Full:            set.IsFull(),
+		FrontierGuarded: set.IsFrontierGuarded(),
+	}
+	if r.Full {
+		// Full (existential-free) sets never invent nulls: every chase is
+		// bounded by the closure of the active domain.
+		r.conclude(Terminates, "full (existential-free) set: the chase cannot invent values")
+	}
+	if !opts.SkipBaselines {
+		r.WeaklyAcyclic = acyclicity.IsWeaklyAcyclic(set)
+		r.JointlyAcyclic = acyclicity.IsJointlyAcyclic(set)
+		if r.WeaklyAcyclic {
+			r.conclude(Terminates, "weak acyclicity (sufficient condition)")
+		}
+		if r.JointlyAcyclic {
+			r.conclude(Terminates, "joint acyclicity (sufficient condition)")
+		}
+	}
+	if r.Sticky {
+		v, err := sticky.Decide(set, opts.StickyOptions)
+		if err != nil {
+			return nil, err
+		}
+		r.StickyVerdict = v
+		if v.Terminates {
+			if v.Complete {
+				r.conclude(Terminates, "sticky Büchi automaton A_T is empty (Theorem 6.1)")
+			} else {
+				r.reason("sticky Büchi exploration incomplete (state bound); no witness found")
+			}
+		} else {
+			r.conclude(Diverges, fmt.Sprintf(
+				"sticky Büchi witness: caterpillar lasso of length %d+%d (Theorem 6.1)",
+				len(v.Lasso.Prefix), len(v.Lasso.Cycle)))
+		}
+	}
+	if r.Guarded {
+		v, err := guarded.Decide(set, opts.GuardedOptions)
+		if err != nil {
+			return nil, err
+		}
+		r.GuardedVerdict = v
+		switch {
+		case v.Terminates && v.Method == "weak-acyclicity":
+			r.conclude(Terminates, "guarded: weak acyclicity")
+		case v.Terminates:
+			r.conclude(Terminates, fmt.Sprintf("guarded: %d seeds exhausted at budget %d (Theorem 5.1, bounded search)", v.SeedsTried, v.Budget))
+		case v.Method == "divergence-witness":
+			r.conclude(Diverges, fmt.Sprintf("guarded: diverging witness database (%s)", v.Evidence))
+		default:
+			r.reason(fmt.Sprintf("guarded: budget exhausted without certificate (%s)", v.Evidence))
+		}
+	}
+	if r.Conclusion == Unknown && len(r.Reasons) == 0 {
+		r.reason("outside the guarded and sticky classes; no sufficient condition fired (CT^res_∀∀ is undecidable in general, Theorem 3.6)")
+	}
+	return r, nil
+}
+
+// conclude records a verdict with its justification, surfacing
+// contradictions between procedures loudly instead of masking them.
+func (r *Report) conclude(c Conclusion, why string) {
+	if r.Conclusion != Unknown && r.Conclusion != c {
+		r.Reasons = append(r.Reasons, fmt.Sprintf("CONTRADICTION: %s says %v but prior verdict was %v", why, c, r.Conclusion))
+		return
+	}
+	r.Conclusion = c
+	r.Reasons = append(r.Reasons, why)
+}
+
+func (r *Report) reason(why string) {
+	r.Reasons = append(r.Reasons, why)
+}
+
+// Summary renders the report for terminals.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	flag := func(name string, v bool) {
+		mark := " "
+		if v {
+			mark = "x"
+		}
+		fmt.Fprintf(&b, "  [%s] %s\n", mark, name)
+	}
+	fmt.Fprintf(&b, "classes:\n")
+	flag("single-head", r.SingleHead)
+	flag("linear", r.Linear)
+	flag("guarded (G)", r.Guarded)
+	flag("frontier-guarded", r.FrontierGuarded)
+	flag("sticky (S)", r.Sticky)
+	flag("full (datalog)", r.Full)
+	flag("weakly acyclic", r.WeaklyAcyclic)
+	flag("jointly acyclic", r.JointlyAcyclic)
+	fmt.Fprintf(&b, "verdict: %s\n", r.Conclusion)
+	for _, why := range r.Reasons {
+		fmt.Fprintf(&b, "  - %s\n", why)
+	}
+	if r.StickyVerdict != nil && !r.StickyVerdict.Terminates {
+		fmt.Fprintf(&b, "witness (sticky): seed %v, lasso prefix %v cycle %v\n",
+			r.StickyVerdict.Seed.EType, r.StickyVerdict.Lasso.Prefix, r.StickyVerdict.Lasso.Cycle)
+	}
+	if r.GuardedVerdict != nil && !r.GuardedVerdict.Terminates && r.GuardedVerdict.Witness != nil {
+		fmt.Fprintf(&b, "witness (guarded): database %v\n", r.GuardedVerdict.Witness)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"airct/internal/parser"
+	"airct/internal/workload"
+)
+
+func TestAnalyzeCorpusMatchesGroundTruth(t *testing.T) {
+	// The whole point of the reproduction: on the labeled corpus, the
+	// analyzer's verdicts agree with the ground truth everywhere a verdict
+	// is reached, and a verdict is reached for every guarded or sticky
+	// member.
+	for _, l := range workload.Corpus() {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			rep, err := Analyze(l.Set, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := Diverges
+			if l.Terminates {
+				want = Terminates
+			}
+			if l.Guarded || l.Sticky {
+				if rep.Conclusion == Unknown {
+					t.Fatalf("guarded/sticky member must get a verdict: %s", rep.Summary())
+				}
+			}
+			if rep.Conclusion != Unknown && rep.Conclusion != want {
+				t.Errorf("verdict %v, ground truth %v\n%s", rep.Conclusion, want, rep.Summary())
+			}
+			for _, why := range rep.Reasons {
+				if strings.Contains(why, "CONTRADICTION") {
+					t.Errorf("contradicting verdicts: %s", why)
+				}
+			}
+		})
+	}
+}
+
+func TestAnalyzeRejectsEmptySet(t *testing.T) {
+	set, err := parser.ParseTGDs(``)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(set, Options{}); err == nil {
+		t.Error("empty set must error")
+	}
+}
+
+func TestAnalyzeUnknownOutsideClasses(t *testing.T) {
+	// Unguarded, non-sticky, not WA: honest Unknown.
+	set, err := parser.ParseTGDs(`
+		R(X,Y), S(Y,X) -> T(X,Y).
+		T(X,Y) -> R(Y,Z).
+		R(X,Y), T(X,Y) -> S(X,Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Guarded || rep.Sticky {
+		t.Skip("corpus assumption failed")
+	}
+	if rep.WeaklyAcyclic || rep.JointlyAcyclic {
+		t.Skip("baseline fired; pick a harder program")
+	}
+	if rep.Conclusion != Unknown {
+		t.Errorf("expected Unknown:\n%s", rep.Summary())
+	}
+	if len(rep.Reasons) == 0 || !strings.Contains(rep.Reasons[len(rep.Reasons)-1], "undecidable") {
+		t.Errorf("Unknown must cite undecidability: %v", rep.Reasons)
+	}
+}
+
+func TestSummaryRendersWitness(t *testing.T) {
+	set, err := parser.ParseTGDs(`S(X) -> R(X,Y). R(X,Y) -> S(Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conclusion != Diverges {
+		t.Fatalf("ladder diverges:\n%s", rep.Summary())
+	}
+	s := rep.Summary()
+	if !strings.Contains(s, "diverges") || !strings.Contains(s, "witness") {
+		t.Errorf("summary lacks verdict/witness:\n%s", s)
+	}
+}
+
+func TestSkipBaselines(t *testing.T) {
+	set, err := parser.ParseTGDs(`A(X) -> B(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(set, Options{SkipBaselines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WeaklyAcyclic || rep.JointlyAcyclic {
+		t.Error("baselines must be skipped")
+	}
+	// The sticky/guarded procedures still settle it.
+	if rep.Conclusion != Terminates {
+		t.Errorf("verdict = %v", rep.Conclusion)
+	}
+}
+
+func TestConclusionString(t *testing.T) {
+	if Unknown.String() != "unknown" || Terminates.String() != "terminates" || Diverges.String() != "diverges" {
+		t.Error("Conclusion.String mismatch")
+	}
+}

@@ -1,0 +1,81 @@
+// Package critical implements the critical database D* of Marnette: the
+// database {R(c,…,c) : R ∈ sch(T)} over a single fresh constant. For the
+// *oblivious* chase, D* is a universal witness — some database yields an
+// infinite oblivious chase iff D* does — and the known decision procedures
+// for oblivious all-instances termination rest on it. Section 1.2 of the
+// paper observes that D* is *not* critical for the restricted chase; this
+// package also ships the standard counterexample demonstrating that, which
+// the experiment suite replays.
+package critical
+
+import (
+	"airct/internal/chase"
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+// TheConstant is the single constant c populating the critical database.
+var TheConstant = logic.Const("crit")
+
+// Instance returns the critical database D* of the set: one all-c fact per
+// predicate of sch(T).
+func Instance(set *tgds.Set) *instance.Database {
+	db := instance.NewDatabase()
+	for _, p := range set.Schema().Predicates() {
+		args := make([]logic.Term, p.Arity)
+		for i := range args {
+			args[i] = TheConstant
+		}
+		// Add cannot fail: all-constant atom.
+		if err := db.Add(logic.NewAtom(p, args...)); err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// ObliviousTerminatesOnCritical runs the oblivious chase on D* with the
+// given step budget and reports whether it saturates. For the oblivious
+// chase this decides all-instances termination whenever the budget is large
+// enough (termination on D* implies termination everywhere; divergence on
+// D* is divergence somewhere).
+func ObliviousTerminatesOnCritical(set *tgds.Set, maxSteps int) (bool, *chase.Run) {
+	run := chase.RunChase(Instance(set), set, chase.Options{
+		Variant:   chase.Oblivious,
+		MaxSteps:  maxSteps,
+		DropSteps: true,
+	})
+	return run.Terminated(), run
+}
+
+// RestrictedTerminatesOnCritical runs the restricted chase on D* with the
+// given budget. The paper's point: this does NOT decide all-instances
+// restricted termination — see NotCriticalWitness.
+func RestrictedTerminatesOnCritical(set *tgds.Set, maxSteps int) (bool, *chase.Run) {
+	run := chase.RunChase(Instance(set), set, chase.Options{
+		Variant:   chase.Restricted,
+		MaxSteps:  maxSteps,
+		DropSteps: true,
+	})
+	return run.Terminated(), run
+}
+
+// NotCriticalWitness returns a (set, database) pair witnessing that D* is
+// not critical for the restricted chase: the restricted chase of D* w.r.t.
+// the set terminates immediately (every head is already satisfied by the
+// all-c facts), while the returned database admits an infinite restricted
+// chase derivation.
+//
+// The set is {S(x) → ∃y R(x,y), R(x,y) → S(y)} and the database {S(a)}:
+// on D* = {S(c), R(c,c)} both TGDs are satisfied, but on {S(a)} the chase
+// builds R(a,n0), S(n0), R(n0,n1), … forever.
+func NotCriticalWitness() (*tgds.Set, *instance.Database) {
+	prog := parser.MustParse(`
+		S(a).
+		grow: S(X) -> R(X,Y).
+		next: R(X,Y) -> S(Y).
+	`)
+	return prog.TGDs, prog.Database
+}

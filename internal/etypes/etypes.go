@@ -1,0 +1,303 @@
+// Package etypes implements equality types and T-equality types over a
+// schema (Appendix A of the paper). The equality type of an atom
+// R(t1,…,tn) records which argument positions carry equal terms; a
+// T-equality type additionally labels some equivalence classes with
+// distinguished terms from a finite set T. Equality types are the finite
+// abstraction driving Lemma 4.4 (finiteness of the deactivation set A) and
+// the states of the sticky Büchi automata (Appendix D.2).
+package etypes
+
+import (
+	"fmt"
+	"strings"
+
+	"airct/internal/logic"
+)
+
+// EType is an equality type (R, E): a predicate together with a partition of
+// its argument positions. The partition is encoded canonically as a
+// restricted-growth string: rep[i] is the 0-based index of the first
+// position whose term equals position i's term.
+type EType struct {
+	Pred logic.Predicate
+	rep  []int
+}
+
+// Of returns the equality type of the atom: positions i and j share a class
+// iff the atom carries the same term at i and j.
+func Of(a logic.Atom) EType {
+	rep := make([]int, len(a.Args))
+	for i, t := range a.Args {
+		rep[i] = i
+		for j := 0; j < i; j++ {
+			if a.Args[j] == t {
+				rep[i] = j
+				break
+			}
+		}
+	}
+	return EType{Pred: a.Pred, rep: rep}
+}
+
+// FromPartition builds an equality type from an explicit representative
+// vector (rep[i] = index of the first position in i's class). It
+// canonicalises and validates the vector.
+func FromPartition(p logic.Predicate, rep []int) (EType, error) {
+	if len(rep) != p.Arity {
+		return EType{}, fmt.Errorf("etypes: partition length %d for %s", len(rep), p)
+	}
+	out := make([]int, len(rep))
+	for i, r := range rep {
+		if r < 0 || r > i {
+			return EType{}, fmt.Errorf("etypes: rep[%d] = %d out of range", i, r)
+		}
+		if r == i {
+			out[i] = i
+			continue
+		}
+		if rep[r] != r {
+			return EType{}, fmt.Errorf("etypes: rep[%d] = %d is not a class representative", i, r)
+		}
+		out[i] = r
+	}
+	return EType{Pred: p, rep: out}, nil
+}
+
+// SameClass reports whether 1-based positions i and j carry equal terms.
+func (e EType) SameClass(i, j int) bool { return e.rep[i-1] == e.rep[j-1] }
+
+// ClassOf returns the 1-based representative position of 1-based position i.
+func (e EType) ClassOf(i int) int { return e.rep[i-1] + 1 }
+
+// Classes returns the 1-based representative positions, in order.
+func (e EType) Classes() []int {
+	var out []int
+	for i, r := range e.rep {
+		if r == i {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical encoding usable as a map key.
+func (e EType) Key() string {
+	var b strings.Builder
+	b.WriteString(e.Pred.Name)
+	fmt.Fprintf(&b, "/%d:", e.Pred.Arity)
+	for i, r := range e.rep {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	return b.String()
+}
+
+// Equal reports equality of types.
+func (e EType) Equal(other EType) bool { return e.Key() == other.Key() }
+
+// String renders the type with its canonical atom, e.g. "R(*1,*1,*3)".
+func (e EType) String() string {
+	parts := make([]string, len(e.rep))
+	for i, r := range e.rep {
+		parts[i] = fmt.Sprintf("*%d", r+1)
+	}
+	return e.Pred.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// CanonicalAtom returns the canonical atom of the type: one distinct fresh
+// null per equivalence class, placed at the class's positions.
+func (e EType) CanonicalAtom(namer *logic.FreshNamer) logic.Atom {
+	byClass := make(map[int]logic.Term)
+	args := make([]logic.Term, len(e.rep))
+	for i, r := range e.rep {
+		t, ok := byClass[r]
+		if !ok {
+			t = namer.NextNull()
+			byClass[r] = t
+		}
+		args[i] = t
+	}
+	return logic.NewAtom(e.Pred, args...)
+}
+
+// CanonicalAtomFunc returns the canonical atom with the term of each class
+// chosen by the caller; class identifies the class's 1-based representative
+// position.
+func (e EType) CanonicalAtomFunc(term func(class int) logic.Term) logic.Atom {
+	byClass := make(map[int]logic.Term)
+	args := make([]logic.Term, len(e.rep))
+	for i, r := range e.rep {
+		t, ok := byClass[r]
+		if !ok {
+			t = term(r + 1)
+			byClass[r] = t
+		}
+		args[i] = t
+	}
+	return logic.NewAtom(e.Pred, args...)
+}
+
+// Matches reports whether the atom has exactly this equality type.
+func (e EType) Matches(a logic.Atom) bool {
+	return a.Pred == e.Pred && Of(a).Equal(e)
+}
+
+// AllForPredicate enumerates every equality type over the predicate (every
+// partition of its positions, i.e. Bell(ar(R)) many), in a deterministic
+// order.
+func AllForPredicate(p logic.Predicate) []EType {
+	var out []EType
+	rep := make([]int, p.Arity)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == p.Arity {
+			cp := make([]int, len(rep))
+			copy(cp, rep)
+			out = append(out, EType{Pred: p, rep: cp})
+			return
+		}
+		// Position i joins an existing class (a representative j < i) or
+		// starts its own.
+		for j := 0; j < i; j++ {
+			if rep[j] == j {
+				rep[i] = j
+				rec(i + 1)
+			}
+		}
+		rep[i] = i
+		rec(i + 1)
+	}
+	if p.Arity == 0 {
+		return []EType{{Pred: p}}
+	}
+	rec(0)
+	return out
+}
+
+// AllForSchema enumerates etypes(S): every equality type over every
+// predicate of the schema.
+func AllForSchema(s *logic.Schema) []EType {
+	var out []EType
+	for _, p := range s.Predicates() {
+		out = append(out, AllForPredicate(p)...)
+	}
+	return out
+}
+
+// Count returns |etypes(S)| without materialising the types.
+func Count(s *logic.Schema) int {
+	n := 0
+	for _, p := range s.Predicates() {
+		n += bell(p.Arity)
+	}
+	return n
+}
+
+// bell returns the Bell number B(n): the number of partitions of an n-set.
+func bell(n int) int {
+	if n == 0 {
+		return 1
+	}
+	// Bell triangle.
+	prev := []int{1}
+	for i := 1; i <= n; i++ {
+		row := make([]int, i+1)
+		row[0] = prev[len(prev)-1]
+		for j := 1; j <= i; j++ {
+			row[j] = row[j-1] + prev[j-1]
+		}
+		prev = row
+	}
+	return prev[0]
+}
+
+// TEType is a T-equality type (R, E, λ): an equality type whose classes may
+// additionally be labeled with distinct tracked terms (Appendix A). Labels
+// are stored per class representative (0-based); unlabeled classes map to
+// the zero Term.
+type TEType struct {
+	etype  EType
+	labels map[int]logic.Term
+}
+
+// OfT returns the T-equality type of the atom w.r.t. the tracked term set:
+// classes whose term belongs to tracked are labeled with that term.
+func OfT(a logic.Atom, tracked logic.TermSet) TEType {
+	e := Of(a)
+	labels := make(map[int]logic.Term)
+	for i, r := range e.rep {
+		if i == r && tracked.Has(a.Args[i]) {
+			labels[r] = a.Args[i]
+		}
+	}
+	return TEType{etype: e, labels: labels}
+}
+
+// EType returns the underlying equality type.
+func (te TEType) EType() EType { return te.etype }
+
+// Label returns the label of the class of 1-based position i, if any.
+func (te TEType) Label(i int) (logic.Term, bool) {
+	t, ok := te.labels[te.etype.rep[i-1]]
+	return t, ok
+}
+
+// Key returns a canonical encoding usable as a map key.
+func (te TEType) Key() string {
+	var b strings.Builder
+	b.WriteString(te.etype.Key())
+	b.WriteByte('|')
+	for i, r := range te.etype.rep {
+		if i != r {
+			continue
+		}
+		if t, ok := te.labels[r]; ok {
+			fmt.Fprintf(&b, "%d=%s;", r, t.String())
+		}
+	}
+	return b.String()
+}
+
+// Equal reports equality of T-equality types.
+func (te TEType) Equal(other TEType) bool { return te.Key() == other.Key() }
+
+// CanonicalAtom returns can(e): labeled classes carry their label, unlabeled
+// classes carry distinct fresh nulls.
+func (te TEType) CanonicalAtom(namer *logic.FreshNamer) logic.Atom {
+	byClass := make(map[int]logic.Term)
+	args := make([]logic.Term, len(te.etype.rep))
+	for i, r := range te.etype.rep {
+		t, ok := byClass[r]
+		if !ok {
+			if lbl, labeled := te.labels[r]; labeled {
+				t = lbl
+			} else {
+				t = namer.NextNull()
+			}
+			byClass[r] = t
+		}
+		args[i] = t
+	}
+	return logic.NewAtom(te.etype.Pred, args...)
+}
+
+// String renders the type.
+func (te TEType) String() string {
+	var b strings.Builder
+	b.WriteString(te.etype.Pred.Name)
+	b.WriteByte('(')
+	for i, r := range te.etype.rep {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if t, ok := te.labels[r]; ok {
+			b.WriteString(t.String())
+		} else {
+			fmt.Fprintf(&b, "*%d", r+1)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

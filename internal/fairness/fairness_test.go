@@ -1,0 +1,298 @@
+package fairness
+
+import (
+	"testing"
+
+	"airct/internal/chase"
+	"airct/internal/parser"
+)
+
+// divergeWithStarvation: one component diverges (S/R ladder), another (P→Q)
+// is violated from the start; a picker that prefers the ladder starves the
+// P-trigger, yielding an unfair infinite derivation. The program is
+// single-head, so Theorem 4.1 applies: Fairize must repair it.
+const divergeWithStarvation = `
+	S(a). P(a).
+	grow: S(X) -> R(X,Y).
+	next: R(X,Y) -> S(Y).
+	want: P(X) -> Q(X).
+`
+
+func TestMaterializeCutsAtHorizon(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	trs, cut, err := Materialize(prog.Database, prog.TGDs, OnlyTGD("grow"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grow fires once per S-atom; without next, only S(a) exists, so the
+	// derivation stops after one step.
+	if cut || len(trs) != 1 {
+		t.Fatalf("OnlyTGD(grow) = %d steps, cut %v", len(trs), cut)
+	}
+	trs, cut, err = Materialize(prog.Database, prog.TGDs, PreferTGD("grow"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut || len(trs) != 8 {
+		t.Fatalf("PreferTGD(grow) must fill the horizon: %d steps, cut %v", len(trs), cut)
+	}
+}
+
+func TestUnfairWitnessesDetectStarvation(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	// Alternate grow/next forever, never firing want.
+	pick := func(d *chase.Derivation) (chase.Trigger, bool) {
+		for _, tr := range d.Active() {
+			if tr.TGD.Label != "want" {
+				return tr, true
+			}
+		}
+		return chase.Trigger{}, false
+	}
+	trs, cut, err := Materialize(prog.Database, prog.TGDs, pick, 10)
+	if err != nil || !cut {
+		t.Fatalf("materialize: %v, cut %v", err, cut)
+	}
+	ws, err := UnfairWitnesses(prog.Database, prog.TGDs, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("the want-trigger must be a starvation witness")
+	}
+	found := false
+	for _, w := range ws {
+		if w.TGD.Label == "want" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("witnesses = %v", ws)
+	}
+}
+
+func TestFairizeRepairsSingleHeadDerivation(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	pick := func(d *chase.Derivation) (chase.Trigger, bool) {
+		for _, tr := range d.Active() {
+			if tr.TGD.Label != "want" {
+				return tr, true
+			}
+		}
+		return chase.Trigger{}, false
+	}
+	trs, rep, err := Fairize(prog.Database, prog.TGDs, pick, 12)
+	if err != nil {
+		t.Fatalf("Fairize: %v", err)
+	}
+	if rep.Rounds == 0 {
+		t.Fatal("at least one insertion expected (the want trigger)")
+	}
+	// Before repair the want-trigger is starved from step 0; afterwards
+	// fairness must reach well into the prefix (only tail triggers remain).
+	if rep.FairUpTo < 6 {
+		t.Errorf("FairUpTo = %d, want repair past the starved step", rep.FairUpTo)
+	}
+	if !rep.DiagonalStable {
+		t.Error("insertions must respect the diagonal property")
+	}
+	// The repaired derivation still replays cleanly and is longer.
+	d, err := Replay(prog.Database, prog.TGDs, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12+rep.Rounds {
+		t.Errorf("length = %d, want %d", d.Len(), 12+rep.Rounds)
+	}
+	// The starved Q(a) must now be present.
+	has := false
+	for _, a := range d.Instance().Atoms() {
+		if a.Pred.Name == "Q" {
+			has = true
+		}
+	}
+	if !has {
+		t.Error("Q(a) must appear after fairisation")
+	}
+}
+
+func TestFairizeFiniteDerivationIsVacuous(t *testing.T) {
+	prog := parser.MustParse(`
+		P(a).
+		want: P(X) -> Q(X).
+	`)
+	trs, rep, err := Fairize(prog.Database, prog.TGDs, FirstActive, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 0 || rep.FairUpTo != len(trs)+1 {
+		t.Errorf("finite derivations need no repair: %+v", rep)
+	}
+	if len(trs) != 1 {
+		t.Errorf("steps = %d", len(trs))
+	}
+}
+
+// exampleB1 is the multi-head counterexample to the Fairness Theorem.
+const exampleB1 = `
+	R(a,b,b).
+	mh1: R(X,Y,Y) -> R(X,Z,Y), R(Z,Y,Y).
+	mh2: R(X,Y,Z) -> R(Z,Z,Z).
+`
+
+func TestExampleB1FairizeCollapses(t *testing.T) {
+	// The mh1-only derivation is infinite and unfair. Repairing it with the
+	// Lemma 4.5 insertion of R(b,b,b) deactivates *every* mh1 trigger, so
+	// the fairised derivation collapses to a fixpoint: no fair continuation
+	// exists. That is the paper's statement for Example B.1 — an infinite
+	// derivation exists but every valid (fair) one is finite — and shows
+	// why Theorem 4.1 needs single-head TGDs.
+	prog := parser.MustParse(exampleB1)
+	for _, horizon := range []int{10, 20} {
+		_, rep, err := Fairize(prog.Database, prog.TGDs, OnlyTGD("mh1"), horizon)
+		if err != nil {
+			t.Fatalf("horizon %d: %v", horizon, err)
+		}
+		if rep.ExtensibleAfter {
+			t.Errorf("horizon %d: fairised Example B.1 must collapse to a fixpoint: %+v", horizon, rep)
+		}
+		if rep.Rounds == 0 {
+			t.Errorf("horizon %d: the mh2 witness must be inserted", horizon)
+		}
+	}
+}
+
+func TestSingleHeadFairUpToGrowsWithHorizon(t *testing.T) {
+	// Contrast with Example B.1: for the single-head ladder, FairUpTo grows
+	// with the horizon — the finite shadow of Theorem 4.1.
+	prog := parser.MustParse(divergeWithStarvation)
+	pick := func(d *chase.Derivation) (chase.Trigger, bool) {
+		for _, tr := range d.Active() {
+			if tr.TGD.Label != "want" {
+				return tr, true
+			}
+		}
+		return chase.Trigger{}, false
+	}
+	var prev int
+	for i, horizon := range []int{8, 16, 32} {
+		_, rep, err := Fairize(prog.Database, prog.TGDs, pick, horizon)
+		if err != nil {
+			t.Fatalf("horizon %d: %v", horizon, err)
+		}
+		if i > 0 && rep.FairUpTo <= prev {
+			t.Errorf("horizon %d: FairUpTo = %d, must grow past %d", horizon, rep.FairUpTo, prev)
+		}
+		if !rep.ExtensibleAfter {
+			t.Errorf("horizon %d: single-head fairisation must stay extensible", horizon)
+		}
+		prev = rep.FairUpTo
+	}
+}
+
+func TestExampleB1DeactivationSetGrowsWithHorizon(t *testing.T) {
+	// Directly observe the non-finiteness of A: the longer the mh1-only
+	// prefix, the more steps the mh2 insertion deactivates.
+	prog := parser.MustParse(exampleB1)
+	sizes := make([]int, 0, 2)
+	for _, horizon := range []int{6, 12} {
+		trs, cut, err := Materialize(prog.Database, prog.TGDs, OnlyTGD("mh1"), horizon)
+		if err != nil || !cut {
+			t.Fatalf("materialize: %v cut=%v", err, cut)
+		}
+		ws, err := UnfairWitnesses(prog.Database, prog.TGDs, trs)
+		if err != nil || len(ws) == 0 {
+			t.Fatalf("witnesses: %v, %v", ws, err)
+		}
+		var mh2 chase.Trigger
+		for _, w := range ws {
+			if w.TGD.Label == "mh2" {
+				mh2 = w
+			}
+		}
+		A, err := deactivationSet(prog.Database, prog.TGDs, trs, mh2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(A))
+	}
+	if sizes[1] <= sizes[0] {
+		t.Errorf("A must grow with the horizon: %v", sizes)
+	}
+}
+
+func TestLemma44BoundHoldsOnSingleHead(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	pick := PreferTGD("grow")
+	trs, cut, err := Materialize(prog.Database, prog.TGDs, pick, 15)
+	if err != nil || !cut {
+		t.Fatalf("materialize: %v", err)
+	}
+	ws, err := UnfairWitnesses(prog.Database, prog.TGDs, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Skip("no persistent witness in this ordering")
+	}
+	sizeA, bound, err := CheckLemma44(prog.Database, prog.TGDs, trs, ws[0])
+	if err != nil {
+		t.Fatalf("Lemma 4.4 check: %v", err)
+	}
+	if sizeA > bound {
+		t.Errorf("|A| = %d exceeds bound %d", sizeA, bound)
+	}
+}
+
+func TestLemma44BoundRejectsMultiHead(t *testing.T) {
+	prog := parser.MustParse(exampleB1)
+	if _, err := Lemma44Bound(prog.TGDs); err == nil {
+		t.Error("multi-head must be rejected")
+	}
+}
+
+func TestReplayRejectsBrokenSequences(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	trs, _, err := Materialize(prog.Database, prog.TGDs, PreferTGD("grow"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversing the ladder breaks parent ordering.
+	rev := make([]chase.Trigger, len(trs))
+	for i, tr := range trs {
+		rev[len(trs)-1-i] = tr
+	}
+	if _, err := Replay(prog.Database, prog.TGDs, rev); err == nil {
+		t.Error("reversed derivation must not replay")
+	}
+}
+
+func TestFairizeIdempotentOnFairPrefix(t *testing.T) {
+	prog := parser.MustParse(divergeWithStarvation)
+	// FirstActive is fair-ish here: it services the want-trigger early.
+	trs1, rep1, err := Fairize(prog.Database, prog.TGDs, FirstActive, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.FairUpTo < 5 {
+		t.Errorf("FairUpTo = %d, expected fairness deep into the prefix", rep1.FairUpTo)
+	}
+	// Re-running Fairize over the produced prefix (as a picker replay)
+	// inserts nothing new.
+	i := 0
+	replayPick := func(d *chase.Derivation) (chase.Trigger, bool) {
+		if i >= len(trs1) {
+			return chase.Trigger{}, false
+		}
+		tr := trs1[i]
+		i++
+		return tr, true
+	}
+	_, rep2, err := Fairize(prog.Database, prog.TGDs, replayPick, len(trs1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Rounds != 0 {
+		t.Errorf("second fairisation must be a no-op, did %d rounds", rep2.Rounds)
+	}
+}

@@ -1,0 +1,524 @@
+package guarded
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"airct/internal/chase"
+	"airct/internal/instance"
+	"airct/internal/jointree"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// EqRel is an equivalence relation on {f, m} × {1, …, ar} — the third
+// component of the abstract-join-tree alphabet Λ_T. "f" refers to the
+// father node's atom, "m" to the node's own atom.
+type EqRel struct {
+	ar     int
+	parent []int // DSU: 0..ar-1 = f side, ar..2ar-1 = m side
+}
+
+// NewEqRel returns the identity relation over {f,m} × {1..ar}.
+func NewEqRel(ar int) *EqRel {
+	e := &EqRel{ar: ar, parent: make([]int, 2*ar)}
+	for i := range e.parent {
+		e.parent[i] = i
+	}
+	return e
+}
+
+func (e *EqRel) idx(side byte, i int) int {
+	if i < 1 || i > e.ar {
+		panic(fmt.Sprintf("guarded: position %d out of 1..%d", i, e.ar))
+	}
+	if side == 'f' {
+		return i - 1
+	}
+	return e.ar + i - 1
+}
+
+func (e *EqRel) find(x int) int {
+	for e.parent[x] != x {
+		e.parent[x] = e.parent[e.parent[x]]
+		x = e.parent[x]
+	}
+	return x
+}
+
+// Union merges the classes of (side1, i1) and (side2, i2).
+func (e *EqRel) Union(side1 byte, i1 int, side2 byte, i2 int) {
+	a, b := e.find(e.idx(side1, i1)), e.find(e.idx(side2, i2))
+	if a != b {
+		if a > b {
+			a, b = b, a
+		}
+		e.parent[b] = a
+	}
+}
+
+// Same reports whether (side1, i1) and (side2, i2) are equivalent.
+func (e *EqRel) Same(side1 byte, i1 int, side2 byte, i2 int) bool {
+	return e.find(e.idx(side1, i1)) == e.find(e.idx(side2, i2))
+}
+
+// Ar returns the relation's arity bound.
+func (e *EqRel) Ar() int { return e.ar }
+
+// Key returns a canonical encoding.
+func (e *EqRel) Key() string {
+	var b strings.Builder
+	for i := 0; i < 2*e.ar; i++ {
+		fmt.Fprintf(&b, "%d,", e.find(i))
+	}
+	return b.String()
+}
+
+// Clone returns a copy.
+func (e *EqRel) Clone() *EqRel {
+	out := &EqRel{ar: e.ar, parent: make([]int, len(e.parent))}
+	copy(out.parent, e.parent)
+	return out
+}
+
+// EqFromAtoms computes the equivalence relation induced by a concrete
+// father/child atom pair: positions are equivalent iff they carry equal
+// terms. Positions beyond an atom's arity stay singleton classes. father
+// may be the zero Atom for root nodes.
+func EqFromAtoms(father, me logic.Atom, ar int) *EqRel {
+	e := NewEqRel(ar)
+	get := func(a logic.Atom, i int) (logic.Term, bool) {
+		if a.Pred.Name == "" || i > len(a.Args) {
+			return logic.Term{}, false
+		}
+		return a.Args[i-1], true
+	}
+	for i := 1; i <= ar; i++ {
+		for j := i + 1; j <= ar; j++ {
+			if ti, ok1 := get(father, i); ok1 {
+				if tj, ok2 := get(father, j); ok2 && ti == tj {
+					e.Union('f', i, 'f', j)
+				}
+			}
+			if ti, ok1 := get(me, i); ok1 {
+				if tj, ok2 := get(me, j); ok2 && ti == tj {
+					e.Union('m', i, 'm', j)
+				}
+			}
+		}
+		for j := 1; j <= ar; j++ {
+			if ti, ok1 := get(father, i); ok1 {
+				if tj, ok2 := get(me, j); ok2 && ti == tj {
+					e.Union('f', i, 'm', j)
+				}
+			}
+		}
+	}
+	return e
+}
+
+// OriginF marks a database-fact node (the paper's F).
+const OriginF = -1
+
+// Label is a letter of Λ_T = sch(T) × ({F} ∪ T) × EQ_T.
+type Label struct {
+	Pred   logic.Predicate
+	Origin int // OriginF or a TGD index
+	Eq     *EqRel
+}
+
+// AJTNode is a node of an abstract join tree.
+type AJTNode struct {
+	ID       int
+	Label    Label
+	Parent   int // -1 for the root
+	Children []int
+}
+
+// AJT is a finite abstract join tree for a guarded set (Definition 5.8).
+// The paper's trees may be infinite; finite trees are what the experiments
+// and the bounded decision procedure manipulate.
+type AJT struct {
+	Set   *tgds.Set
+	Nodes []AJTNode
+}
+
+// Ar returns ar(T).
+func (t *AJT) Ar() int { return t.Set.MaxArity() }
+
+// Validate checks the five conditions of Definition 5.8 (on a finite tree;
+// condition 1's finiteness is automatic).
+func (t *AJT) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("guarded: empty abstract join tree")
+	}
+	fCount := 0
+	roots := 0
+	for i, n := range t.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("guarded: node %d has ID %d", i, n.ID)
+		}
+		if n.Label.Origin == OriginF {
+			fCount++
+		}
+		if n.Parent == -1 {
+			roots++
+			if n.Label.Origin != OriginF {
+				return fmt.Errorf("guarded: root must be a database-fact node")
+			}
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("guarded: %d roots", roots)
+	}
+	if fCount == 0 {
+		return fmt.Errorf("guarded: condition 1: no F-nodes")
+	}
+	for _, y := range t.Nodes {
+		if y.Parent < 0 {
+			continue
+		}
+		x := t.Nodes[y.Parent]
+		// Condition 2: F-nodes are upward closed.
+		if y.Label.Origin == OriginF && x.Label.Origin != OriginF {
+			return fmt.Errorf("guarded: condition 2: F-node %d below non-F node %d", y.ID, x.ID)
+		}
+		// Condition 4: the child's f-side mirrors the father's m-side.
+		arX := x.Label.Pred.Arity
+		for i := 1; i <= arX; i++ {
+			for j := 1; j <= arX; j++ {
+				if x.Label.Eq.Same('m', i, 'm', j) != y.Label.Eq.Same('f', i, 'f', j) {
+					return fmt.Errorf("guarded: condition 4: edge %d->%d positions %d,%d", x.ID, y.ID, i, j)
+				}
+			}
+		}
+		if y.Label.Origin == OriginF {
+			continue
+		}
+		// Conditions 3 and 5 for TGD-origin nodes.
+		sigma := t.Set.TGDs[y.Label.Origin]
+		guard, ok := sigma.Guard()
+		if !ok {
+			return fmt.Errorf("guarded: node %d's origin %s is unguarded", y.ID, sigma.Label)
+		}
+		head := sigma.HeadAtom()
+		if x.Label.Pred != guard.Pred {
+			return fmt.Errorf("guarded: condition 3: father of %d has predicate %v, want guard %v", y.ID, x.Label.Pred, guard.Pred)
+		}
+		if y.Label.Pred != head.Pred {
+			return fmt.Errorf("guarded: condition 3: node %d has predicate %v, want head %v", y.ID, y.Label.Pred, head.Pred)
+		}
+		existential := sigma.ExistentialVars()
+		for i := 1; i <= guard.Pred.Arity; i++ {
+			for j := 1; j <= head.Pred.Arity; j++ {
+				// 5(a): guard and head sharing a variable forces equality.
+				if guard.Args[i-1] == head.Args[j-1] && !y.Label.Eq.Same('f', i, 'm', j) {
+					return fmt.Errorf("guarded: condition 5a: edge %d->%d (%d,%d)", x.ID, y.ID, i, j)
+				}
+			}
+			for j := 1; j <= guard.Pred.Arity; j++ {
+				// 5(b): repeated guard variables force father equalities.
+				if guard.Args[i-1] == guard.Args[j-1] && !y.Label.Eq.Same('f', i, 'f', j) {
+					return fmt.Errorf("guarded: condition 5b: edge %d->%d (%d,%d)", x.ID, y.ID, i, j)
+				}
+			}
+		}
+		// 5(c): existential head positions equal exactly their repeats.
+		for j := 1; j <= head.Pred.Arity; j++ {
+			if !existential.Has(head.Args[j-1]) {
+				continue
+			}
+			for i := 1; i <= head.Pred.Arity; i++ {
+				want := head.Args[j-1] == head.Args[i-1]
+				if y.Label.Eq.Same('m', i, 'm', j) != want {
+					return fmt.Errorf("guarded: condition 5c: node %d positions %d,%d", y.ID, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Decode computes ∆(T): one atom per node, with terms given by the
+// equivalence closure Eq_T over (node, position) pairs. F-node classes
+// decode to constants, the rest to nulls. It returns the atoms (aligned
+// with node IDs) and the instance they form.
+func (t *AJT) Decode() ([]logic.Atom, *instance.Instance) {
+	type cell struct {
+		node, pos int
+	}
+	parent := make(map[cell]cell)
+	var find func(c cell) cell
+	find = func(c cell) cell {
+		p, ok := parent[c]
+		if !ok || p == c {
+			return c
+		}
+		r := find(p)
+		parent[c] = r
+		return r
+	}
+	union := func(a, b cell) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, n := range t.Nodes {
+		arN := n.Label.Pred.Arity
+		for i := 1; i <= arN; i++ {
+			for j := i + 1; j <= arN; j++ {
+				if n.Label.Eq.Same('m', i, 'm', j) {
+					union(cell{n.ID, i}, cell{n.ID, j})
+				}
+			}
+		}
+		if n.Parent >= 0 {
+			arF := t.Nodes[n.Parent].Label.Pred.Arity
+			for i := 1; i <= arF; i++ {
+				for j := 1; j <= arN; j++ {
+					if n.Label.Eq.Same('f', i, 'm', j) {
+						union(cell{n.Parent, i}, cell{n.ID, j})
+					}
+				}
+			}
+		}
+	}
+	// Classes touching an F-node position become constants.
+	isConst := make(map[cell]bool)
+	for _, n := range t.Nodes {
+		if n.Label.Origin != OriginF {
+			continue
+		}
+		for i := 1; i <= n.Label.Pred.Arity; i++ {
+			isConst[find(cell{n.ID, i})] = true
+		}
+	}
+	names := make(map[cell]logic.Term)
+	term := func(c cell) logic.Term {
+		r := find(c)
+		if tm, ok := names[r]; ok {
+			return tm
+		}
+		var tm logic.Term
+		if isConst[r] {
+			tm = logic.Const(fmt.Sprintf("t%d_%d", r.node, r.pos))
+		} else {
+			tm = logic.NewNull(fmt.Sprintf("t%d_%d", r.node, r.pos))
+		}
+		names[r] = tm
+		return tm
+	}
+	atoms := make([]logic.Atom, len(t.Nodes))
+	inst := instance.New()
+	for _, n := range t.Nodes {
+		args := make([]logic.Term, n.Label.Pred.Arity)
+		for i := 1; i <= n.Label.Pred.Arity; i++ {
+			args[i-1] = term(cell{n.ID, i})
+		}
+		atoms[n.ID] = logic.NewAtom(n.Label.Pred, args...)
+		inst.Add(atoms[n.ID])
+	}
+	return atoms, inst
+}
+
+// DecodeF returns ∆(T|F): the decoded atoms of the F-nodes only.
+func (t *AJT) DecodeF() []logic.Atom {
+	atoms, _ := t.Decode()
+	var out []logic.Atom
+	for _, n := range t.Nodes {
+		if n.Label.Origin == OriginF {
+			out = append(out, atoms[n.ID])
+		}
+	}
+	return out
+}
+
+// CheckChaseable verifies the conditions of Definition 5.10 on the finite
+// tree: every TGD-origin node has a πi-side-parent for each sideatom type
+// of its origin's body, and the before relation over the nodes is acyclic
+// (condition 1's finiteness is automatic on finite trees).
+func (t *AJT) CheckChaseable() error {
+	atoms, _ := t.Decode()
+	// Side-parent candidates: z ≺π_sp y iff δ(z) ⊆π δ(father(y)).
+	for _, y := range t.Nodes {
+		if y.Label.Origin == OriginF {
+			continue
+		}
+		sigma := t.Set.TGDs[y.Label.Origin]
+		guard, _ := sigma.Guard()
+		types, ok := BodyTypes(guard, sigma.SideAtoms())
+		if !ok {
+			return fmt.Errorf("guarded: node %d: cannot type the body of %s", y.ID, sigma.Label)
+		}
+		father := atoms[t.Nodes[y.Parent].ID]
+		for _, pi := range types {
+			found := false
+			for _, z := range t.Nodes {
+				if pi.IsSideatom(atoms[z.ID], father) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("guarded: condition 2: node %d lacks a %v side-parent", y.ID, pi)
+			}
+		}
+	}
+	// Before relation acyclicity.
+	adj := t.beforeAdjacency(atoms)
+	color := make([]int, len(t.Nodes))
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		color[v] = 1
+		for _, u := range adj[v] {
+			if color[u] == 1 {
+				return false
+			}
+			if color[u] == 0 && !dfs(u) {
+				return false
+			}
+		}
+		color[v] = 2
+		return true
+	}
+	for v := range t.Nodes {
+		if color[v] == 0 && !dfs(v) {
+			return fmt.Errorf("guarded: condition 3: ≺b has a cycle")
+		}
+	}
+	return nil
+}
+
+// beforeAdjacency computes the one-step ≺b edges over the tree:
+// F-before-non-F, parents (tree fathers and side-parents), and inverted
+// stops.
+func (t *AJT) beforeAdjacency(atoms []logic.Atom) [][]int {
+	adj := make([][]int, len(t.Nodes))
+	addEdge := func(a, b int) { adj[a] = append(adj[a], b) }
+	for _, y := range t.Nodes {
+		if y.Label.Origin == OriginF {
+			for _, z := range t.Nodes {
+				if z.Label.Origin != OriginF {
+					addEdge(y.ID, z.ID)
+				}
+			}
+			continue
+		}
+		addEdge(y.Parent, y.ID)
+		sigma := t.Set.TGDs[y.Label.Origin]
+		guard, _ := sigma.Guard()
+		types, ok := BodyTypes(guard, sigma.SideAtoms())
+		if ok {
+			father := atoms[t.Nodes[y.Parent].ID]
+			for _, pi := range types {
+				for _, z := range t.Nodes {
+					if z.ID != y.ID && pi.IsSideatom(atoms[z.ID], father) {
+						addEdge(z.ID, y.ID)
+					}
+				}
+			}
+		}
+		// Stops: x ≺s y gives edge y -> x in ≺b.
+		frontier := t.frontierTerms(y, atoms)
+		for _, x := range t.Nodes {
+			if x.ID != y.ID && chase.Stops(atoms[x.ID], atoms[y.ID], frontier) {
+				addEdge(y.ID, x.ID)
+			}
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return adj
+}
+
+// frontierTerms returns the terms of δ(y) at the frontier positions of its
+// origin's head.
+func (t *AJT) frontierTerms(y AJTNode, atoms []logic.Atom) logic.TermSet {
+	out := make(logic.TermSet)
+	sigma := t.Set.TGDs[y.Label.Origin]
+	head := sigma.HeadAtom()
+	frontier := sigma.Frontier()
+	for i, v := range head.Args {
+		if frontier.Has(v) {
+			out[atoms[y.ID].Args[i]] = struct{}{}
+		}
+	}
+	return out
+}
+
+// FromRun builds an abstract join tree from a restricted chase run of a
+// guarded set on an acyclic database: the database's join tree supplies the
+// F-nodes, and every derivation step hangs under the node designated for
+// its guard image, labeled with the equivalence pattern of the concrete
+// atoms. The resulting tree validates against Definition 5.8 and decodes
+// back to the run's atoms — the executable face of Lemma 5.9.
+func FromRun(run *chase.Run) (*AJT, error) {
+	if !run.Set.IsGuarded() {
+		return nil, fmt.Errorf("guarded: FromRun needs a guarded set")
+	}
+	ar := run.Set.MaxArity()
+	dbAtoms := run.Database.Atoms()
+	jt, ok := jointree.Build(dbAtoms)
+	if !ok {
+		return nil, fmt.Errorf("guarded: database is not acyclic")
+	}
+	t := &AJT{Set: run.Set}
+	owner := make(map[string]int) // atom key -> node designated to host children
+	for id, n := range jt.Nodes {
+		var father logic.Atom
+		if n.Parent >= 0 {
+			father = dbAtoms[n.Parent]
+		}
+		t.Nodes = append(t.Nodes, AJTNode{
+			ID:     id,
+			Label:  Label{Pred: n.Atom.Pred, Origin: OriginF, Eq: EqFromAtoms(father, n.Atom, ar)},
+			Parent: n.Parent,
+		})
+		if _, dup := owner[n.Atom.Key()]; !dup {
+			owner[n.Atom.Key()] = id
+		}
+	}
+	// Children links in a second pass: GYO parent pointers may reference
+	// later indices.
+	for id, n := range jt.Nodes {
+		if n.Parent >= 0 {
+			t.Nodes[n.Parent].Children = append(t.Nodes[n.Parent].Children, id)
+		}
+	}
+	for i, step := range run.Steps {
+		tr := step.Trigger
+		guard, ok := tr.TGD.Guard()
+		if !ok {
+			return nil, fmt.Errorf("guarded: step %d TGD unguarded", i)
+		}
+		guardImage := guard.Apply(tr.H)
+		parent, ok := owner[guardImage.Key()]
+		if !ok {
+			return nil, fmt.Errorf("guarded: step %d: guard image %v has no node", i, guardImage)
+		}
+		produced := step.Result[0]
+		id := len(t.Nodes)
+		t.Nodes = append(t.Nodes, AJTNode{
+			ID:     id,
+			Label:  Label{Pred: produced.Pred, Origin: tr.TGDIndex, Eq: EqFromAtoms(t.atomOfNode(parent, dbAtoms, run), produced, ar)},
+			Parent: parent,
+		})
+		t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+		if _, dup := owner[produced.Key()]; !dup {
+			owner[produced.Key()] = id
+		}
+	}
+	return t, nil
+}
+
+// atomOfNode recovers the concrete atom of a node built by FromRun: F-nodes
+// map to database atoms, step nodes to their produced atom.
+func (t *AJT) atomOfNode(id int, dbAtoms []logic.Atom, run *chase.Run) logic.Atom {
+	if id < len(dbAtoms) {
+		return dbAtoms[id]
+	}
+	return run.Steps[id-len(dbAtoms)].Result[0]
+}

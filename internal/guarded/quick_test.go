@@ -1,0 +1,130 @@
+package guarded
+
+import (
+	"testing"
+	"testing/quick"
+
+	"airct/internal/chase"
+	"airct/internal/instance"
+	"airct/internal/jointree"
+	"airct/internal/logic"
+	"airct/internal/ochase"
+	"airct/internal/tgds"
+	"airct/internal/workload"
+)
+
+// Property: for every random guarded set whose frozen-body chase
+// terminates on an acyclic database, the derivation-induced abstract join
+// tree validates against Definition 5.8, is chaseable per Definition 5.10,
+// and decodes to an instance of the right size. This exercises the full
+// Lemma 5.9 pipeline on inputs nobody hand-picked.
+func TestQuickAJTFromRandomGuardedRuns(t *testing.T) {
+	checked := 0
+	f := func(seed int64) bool {
+		set := workload.RandomTGDSet(seed%4000, workload.RandomOptions{Rules: 3, MaxBody: 1})
+		if !set.IsGuarded() {
+			return true
+		}
+		for _, db := range GenerateSeeds(set, 4) {
+			// AJTs need acyclic databases.
+			if !isAcyclicDB(db.Atoms()) {
+				continue
+			}
+			run := chase.RunChase(db, set, chase.Options{Variant: chase.Restricted, MaxSteps: 60})
+			if !run.Terminated() {
+				continue
+			}
+			ajt, err := FromRun(run)
+			if err != nil {
+				return false
+			}
+			if err := ajt.Validate(); err != nil {
+				t.Logf("seed %d: Definition 5.8 violated: %v\nset:\n%v\ndb: %v", seed, err, set, db)
+				return false
+			}
+			if err := ajt.CheckChaseable(); err != nil {
+				t.Logf("seed %d: Definition 5.10 violated: %v", seed, err)
+				return false
+			}
+			_, decoded := ajt.Decode()
+			if decoded.Len() != run.Final.Len() {
+				t.Logf("seed %d: decode %d atoms vs chase %d", seed, decoded.Len(), run.Final.Len())
+				return false
+			}
+			checked++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+	if checked < 20 {
+		t.Fatalf("only %d AJTs validated; generator too narrow", checked)
+	}
+}
+
+func isAcyclicDB(atoms []logic.Atom) bool {
+	// Local import cycle avoidance: inline GYO via the jointree package is
+	// already linked; reuse through the exported helper.
+	return jointreeIsAcyclic(atoms)
+}
+
+// Property: DivergenceEvidence never fires on terminating runs.
+func TestQuickNoFalsePumpsOnTerminatingRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		set := workload.RandomTGDSet(seed%4000, workload.RandomOptions{Rules: 3})
+		if !set.IsGuarded() {
+			return true
+		}
+		for _, db := range GenerateSeeds(set, 4) {
+			run := chase.RunChase(db, set, chase.Options{Variant: chase.Restricted, MaxSteps: 500})
+			if !run.Terminated() {
+				continue
+			}
+			if ev, ok := DivergenceEvidence(run); ok {
+				// A pump on a *terminating* run is not a soundness bug per
+				// se (the signature repetition bound is heuristic), but on
+				// short runs it would poison verdicts; surface it.
+				t.Logf("seed %d: pump on terminating run: %s", seed, ev)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: treeified databases always validate and stay acyclic.
+func TestQuickTreeifyAlwaysAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		set := workload.RandomTGDSet(seed%4000, workload.RandomOptions{Rules: 3})
+		if !set.IsGuarded() {
+			return true
+		}
+		seeds := GenerateSeeds(set, 8)
+		if len(seeds) == 0 {
+			return true
+		}
+		g := buildFragment(seeds[0], set)
+		tr, err := Treeify(g, TreeifyOptions{IncludeDirect: true})
+		if err != nil {
+			return true // unguarded edge cases are rejected upstream
+		}
+		return jointreeIsAcyclic(tr.Dac) && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// jointreeIsAcyclic and buildFragment adapt package internals for the
+// property tests.
+func jointreeIsAcyclic(atoms []logic.Atom) bool {
+	return jointree.IsAcyclic(atoms)
+}
+
+func buildFragment(db *instance.Database, set *tgds.Set) *ochase.Graph {
+	return ochase.Build(db, set, ochase.BuildOptions{MaxNodes: 300, MaxDepth: 5})
+}

@@ -1,0 +1,316 @@
+package guarded
+
+import (
+	"fmt"
+
+	"airct/internal/instance"
+	"airct/internal/jointree"
+	"airct/internal/logic"
+	"airct/internal/ochase"
+)
+
+// RemoteSituation is the paper's ⟨α, α′, β, β′⟩ (Definition 5.7/C.1): α and
+// β are distinct database atoms, α ≺⁺gp α′, β ≺⁺gp β′, and β′ is a
+// side-parent of α′ — so α "longs for" β: divergence below α needs service
+// from β's offspring.
+type RemoteSituation struct {
+	Alpha, AlphaPrime, Beta, BetaPrime ochase.NodeID
+}
+
+// TreeifyOptions bounds the construction.
+type TreeifyOptions struct {
+	// MaxDepth caps ℓ∞, the longs-for path length (0: 6). The paper's ℓ∞
+	// is finite by Lemma C.2; on a fragment we take the number of distinct
+	// remote (β, β′) pairs, capped here.
+	MaxDepth int
+	// IncludeDirect also treats a database atom β that *itself* serves as
+	// a side-parent of an α-descendant as longed-for (the reflexive-closure
+	// reading); without its copy the treeified database could not replay
+	// derivations that consume β directly.
+	IncludeDirect bool
+}
+
+func (o TreeifyOptions) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return 6
+	}
+	return o.MaxDepth
+}
+
+// Treeification is the result of the Appendix C.2 construction: the acyclic
+// (multiset) database D_ac presented as an explicit join tree, together
+// with the homomorphism h_ac back to the original database and the
+// bookkeeping the proofs refer to.
+type Treeification struct {
+	// Dac holds the multiset database: one atom per tree node.
+	Dac []logic.Atom
+	// Tree is the witnessing join tree over Dac (same node indexing).
+	Tree *jointree.JoinTree
+	// Hac maps each tree node to the original database atom it copies.
+	Hac []logic.Atom
+	// Depth is the longs-for path depth of each node (root = 0).
+	Depth []int
+	// AlphaInf is the database atom α∞ with the largest guard subtree.
+	AlphaInf logic.Atom
+	// EllInf is the ℓ∞ bound used.
+	EllInf int
+	// LongsFor lists the longs-for edges over database atom keys.
+	LongsFor map[string][]string
+	// Situations are the remote-side-parent situations found.
+	Situations []RemoteSituation
+}
+
+// Database returns D_ac as a set database (collapsing multiset duplicates),
+// which is what the chase consumes; the multiset structure only matters for
+// the proof bookkeeping.
+func (t *Treeification) Database() *instance.Database {
+	db := instance.NewDatabase()
+	for _, a := range t.Dac {
+		if err := db.Add(a); err != nil {
+			panic(err) // construction only emits constant atoms
+		}
+	}
+	return db
+}
+
+// Treeify runs the Treeification construction on a real-oblivious-chase
+// fragment of a guarded set: it locates α∞ (the database atom with the
+// largest guard subtree in the fragment — the proxy for "infinite" on a
+// finite fragment), computes the longs-for graph from the remote-side-
+// parent situations present in the fragment, and materialises the path
+// tree (T_ac, λ) with the renaming-with-sharing label rule of the paper.
+func Treeify(g *ochase.Graph, opts TreeifyOptions) (*Treeification, error) {
+	if !g.Set.IsGuarded() {
+		return nil, fmt.Errorf("guarded: treeification needs a guarded single-head set")
+	}
+	if g.Database.Len() == 0 {
+		return nil, fmt.Errorf("guarded: empty database")
+	}
+	// Database atoms are the first nodes.
+	var dbNodes []ochase.NodeID
+	for _, n := range g.Nodes() {
+		if n.IsDatabase() {
+			dbNodes = append(dbNodes, n.ID)
+		}
+	}
+	// Guard roots.
+	root := make(map[ochase.NodeID]ochase.NodeID)
+	var rootOf func(id ochase.NodeID) (ochase.NodeID, bool)
+	rootOf = func(id ochase.NodeID) (ochase.NodeID, bool) {
+		if r, ok := root[id]; ok {
+			return r, true
+		}
+		if g.Node(id).IsDatabase() {
+			root[id] = id
+			return id, true
+		}
+		gp, ok := g.GuardParent(id)
+		if !ok {
+			return 0, false
+		}
+		r, ok := rootOf(gp)
+		if ok {
+			root[id] = r
+		}
+		return r, ok
+	}
+	// α∞: database node with the largest guard subtree.
+	subtreeSize := make(map[ochase.NodeID]int)
+	for _, n := range g.Nodes() {
+		if r, ok := rootOf(n.ID); ok {
+			subtreeSize[r]++
+		}
+	}
+	alphaInf := dbNodes[0]
+	for _, id := range dbNodes {
+		if subtreeSize[id] > subtreeSize[alphaInf] {
+			alphaInf = id
+		}
+	}
+	// Remote-side-parent situations and the longs-for graph.
+	longsFor := make(map[ochase.NodeID]map[ochase.NodeID]bool)
+	var situations []RemoteSituation
+	pairSeen := make(map[string]bool)
+	addEdge := func(a, b ochase.NodeID) {
+		if longsFor[a] == nil {
+			longsFor[a] = make(map[ochase.NodeID]bool)
+		}
+		longsFor[a][b] = true
+	}
+	for _, n := range g.Nodes() {
+		if n.IsDatabase() {
+			continue
+		}
+		rAlpha, ok := rootOf(n.ID)
+		if !ok {
+			continue
+		}
+		for _, sp := range g.SideParents(n.ID) {
+			spNode := g.Node(sp)
+			if spNode.IsDatabase() {
+				if opts.IncludeDirect && sp != rAlpha {
+					addEdge(rAlpha, sp)
+					situations = append(situations, RemoteSituation{
+						Alpha: rAlpha, AlphaPrime: n.ID, Beta: sp, BetaPrime: sp,
+					})
+					pairSeen[fmt.Sprintf("%d|%d", sp, sp)] = true
+				}
+				continue
+			}
+			rBeta, ok := rootOf(sp)
+			if !ok || rBeta == rAlpha {
+				continue
+			}
+			addEdge(rAlpha, rBeta)
+			situations = append(situations, RemoteSituation{
+				Alpha: rAlpha, AlphaPrime: n.ID, Beta: rBeta, BetaPrime: sp,
+			})
+			pairSeen[fmt.Sprintf("%d|%d", rBeta, sp)] = true
+		}
+	}
+	ellInf := len(pairSeen)
+	if ellInf < 1 {
+		ellInf = 1
+	}
+	if ellInf > opts.maxDepth() {
+		ellInf = opts.maxDepth()
+	}
+	// Materialise the path tree.
+	tr := &Treeification{
+		AlphaInf: g.Node(alphaInf).Atom,
+		EllInf:   ellInf,
+		LongsFor: make(map[string][]string),
+	}
+	for a, targets := range longsFor {
+		for b := range targets {
+			tr.LongsFor[g.Node(a).Atom.Key()] = append(tr.LongsFor[g.Node(a).Atom.Key()], g.Node(b).Atom.Key())
+		}
+	}
+	tr.Situations = situations
+	tree := &jointree.JoinTree{Root: 0}
+	// Node construction: breadth-first over longs-for paths.
+	type pending struct {
+		nodeID int // index in tree
+		dbNode ochase.NodeID
+		depth  int
+	}
+	rootAtom := g.Node(alphaInf).Atom
+	tree.Nodes = append(tree.Nodes, jointree.Node{ID: 0, Atom: rootAtom, Parent: -1})
+	tr.Dac = append(tr.Dac, rootAtom)
+	tr.Hac = append(tr.Hac, rootAtom)
+	tr.Depth = append(tr.Depth, 0)
+	queue := []pending{{nodeID: 0, dbNode: alphaInf, depth: 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= ellInf {
+			continue
+		}
+		parentLabel := tree.Nodes[cur.nodeID].Atom
+		parentOrig := g.Node(cur.dbNode).Atom
+		for _, beta := range sortedKeys(longsFor[cur.dbNode]) {
+			betaAtom := g.Node(beta).Atom
+			childID := len(tree.Nodes)
+			label := relabel(betaAtom, parentOrig, parentLabel, childID)
+			tree.Nodes = append(tree.Nodes, jointree.Node{ID: childID, Atom: label, Parent: cur.nodeID})
+			tree.Nodes[cur.nodeID].Children = append(tree.Nodes[cur.nodeID].Children, childID)
+			tr.Dac = append(tr.Dac, label)
+			tr.Hac = append(tr.Hac, betaAtom)
+			tr.Depth = append(tr.Depth, cur.depth+1)
+			queue = append(queue, pending{nodeID: childID, dbNode: beta, depth: cur.depth + 1})
+		}
+	}
+	tr.Tree = tree
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("guarded: treeification self-check: %w", err)
+	}
+	return tr, nil
+}
+
+// relabel builds λ(y) for a child copying β under a parent copying α with
+// label λ(x): same equality pattern as β; positions sharing a term with α
+// share the corresponding term of λ(x); all other terms are fresh constants
+// [β[i]]_y (Appendix C.2).
+func relabel(beta, alphaOrig, alphaLabel logic.Atom, nodeID int) logic.Atom {
+	args := make([]logic.Term, len(beta.Args))
+	assigned := make(map[logic.Term]logic.Term) // β-term -> label term
+	for i, t := range beta.Args {
+		if u, ok := assigned[t]; ok {
+			args[i] = u
+			continue
+		}
+		var val logic.Term
+		found := false
+		for j, at := range alphaOrig.Args {
+			if at == t {
+				val = alphaLabel.Args[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			val = logic.Const(fmt.Sprintf("%s@n%d", t.Name, nodeID))
+		}
+		assigned[t] = val
+		args[i] = val
+	}
+	return logic.NewAtom(beta.Pred, args...)
+}
+
+func sortedKeys(m map[ochase.NodeID]bool) []ochase.NodeID {
+	var out []ochase.NodeID
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the construction's invariants: the tree is a valid join
+// tree (so D_ac is acyclic, Lemma C.3(1)); h_ac is a homomorphism
+// (Lemma C.3(2)); and per-edge, the label shares terms with its parent
+// exactly where the originals share terms (the isomorphism of Lemma C.3(3)
+// restricted to edges).
+func (t *Treeification) Validate() error {
+	if err := t.Tree.Validate(); err != nil {
+		return err
+	}
+	for i, label := range t.Dac {
+		orig := t.Hac[i]
+		if label.Pred != orig.Pred {
+			return fmt.Errorf("node %d: predicate %v vs original %v", i, label.Pred, orig.Pred)
+		}
+		// h_ac is well-defined per atom: equal label terms must map to
+		// equal original terms positionwise.
+		for a := range label.Args {
+			for b := range label.Args {
+				if label.Args[a] == label.Args[b] && orig.Args[a] != orig.Args[b] {
+					return fmt.Errorf("node %d: label merges positions %d,%d the original keeps apart", i, a+1, b+1)
+				}
+			}
+		}
+	}
+	for i, n := range t.Tree.Nodes {
+		if n.Parent < 0 {
+			continue
+		}
+		label, orig := t.Dac[i], t.Hac[i]
+		pLabel, pOrig := t.Dac[n.Parent], t.Hac[n.Parent]
+		for a := range label.Args {
+			for b := range pLabel.Args {
+				shareLabel := label.Args[a] == pLabel.Args[b]
+				shareOrig := orig.Args[a] == pOrig.Args[b]
+				if shareLabel != shareOrig {
+					return fmt.Errorf("edge %d->%d: sharing mismatch at positions %d/%d", n.Parent, i, a+1, b+1)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package instance implements instances (possibly infinite in the paper,
+// finite here) and databases over a schema, with the indexes the chase and
+// the homomorphism search need: by predicate and by (predicate, position,
+// term). An Instance is a *set* of atoms — duplicates are silently merged —
+// matching Section 2 of the paper; multiset structures live in ochase.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"airct/internal/logic"
+)
+
+type ptKey struct {
+	pred logic.Predicate
+	pos  int // 1-based
+	term logic.Term
+}
+
+// Instance is a finite set of ground atoms (constants and nulls only),
+// indexed for fast trigger and homomorphism search. The zero value is not
+// usable; call New.
+type Instance struct {
+	byKey  map[string]int // atom key -> index into ordered
+	byPred map[logic.Predicate][]logic.Atom
+	byPT   map[ptKey][]logic.Atom
+	order  []logic.Atom // insertion order, no duplicates
+}
+
+// New returns an empty instance.
+func New() *Instance {
+	return &Instance{
+		byKey:  make(map[string]int),
+		byPred: make(map[logic.Predicate][]logic.Atom),
+		byPT:   make(map[ptKey][]logic.Atom),
+	}
+}
+
+// FromAtoms returns an instance containing the given atoms (duplicates are
+// merged). It panics if any atom contains a variable.
+func FromAtoms(atoms ...logic.Atom) *Instance {
+	inst := New()
+	for _, a := range atoms {
+		inst.Add(a)
+	}
+	return inst
+}
+
+// Add inserts the atom and reports whether it was new. It panics if the
+// atom contains a variable: instances hold ground atoms only, and inserting
+// a non-ground atom is a programming error.
+func (in *Instance) Add(a logic.Atom) bool {
+	if !a.IsGround() {
+		panic(fmt.Sprintf("instance: non-ground atom %v", a))
+	}
+	key := a.Key()
+	if _, ok := in.byKey[key]; ok {
+		return false
+	}
+	in.byKey[key] = len(in.order)
+	in.order = append(in.order, a)
+	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
+	for i, t := range a.Args {
+		k := ptKey{pred: a.Pred, pos: i + 1, term: t}
+		in.byPT[k] = append(in.byPT[k], a)
+	}
+	return true
+}
+
+// AddAll inserts every atom and returns the number that were new.
+func (in *Instance) AddAll(atoms []logic.Atom) int {
+	n := 0
+	for _, a := range atoms {
+		if in.Add(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the atom is present.
+func (in *Instance) Has(a logic.Atom) bool {
+	_, ok := in.byKey[a.Key()]
+	return ok
+}
+
+// Len returns the number of (distinct) atoms.
+func (in *Instance) Len() int { return len(in.order) }
+
+// Atoms returns the atoms in insertion order. The returned slice is a copy.
+func (in *Instance) Atoms() []logic.Atom {
+	out := make([]logic.Atom, len(in.order))
+	copy(out, in.order)
+	return out
+}
+
+// AtomAt returns the i-th inserted atom (0-based).
+func (in *Instance) AtomAt(i int) logic.Atom { return in.order[i] }
+
+// AtomsByPredicate implements logic.AtomSource.
+func (in *Instance) AtomsByPredicate(p logic.Predicate) []logic.Atom { return in.byPred[p] }
+
+// AtomsByPredicateTerm implements logic.IndexedSource: atoms with predicate
+// p whose (1-based) pos-th argument is t.
+func (in *Instance) AtomsByPredicateTerm(p logic.Predicate, pos int, t logic.Term) []logic.Atom {
+	return in.byPT[ptKey{pred: p, pos: pos, term: t}]
+}
+
+// Dom returns the active domain dom(I): every term occurring in the
+// instance.
+func (in *Instance) Dom() logic.TermSet {
+	s := make(logic.TermSet)
+	for _, a := range in.order {
+		for _, t := range a.Args {
+			s[t] = struct{}{}
+		}
+	}
+	return s
+}
+
+// Schema returns the set of predicates occurring in the instance.
+func (in *Instance) Schema() *logic.Schema {
+	s := logic.NewSchema()
+	for p := range in.byPred {
+		if len(in.byPred[p]) > 0 {
+			s.Add(p)
+		}
+	}
+	return s
+}
+
+// Clone returns a deep-enough copy: atoms are immutable by convention, so
+// only the index structures are rebuilt.
+func (in *Instance) Clone() *Instance {
+	out := New()
+	for _, a := range in.order {
+		out.Add(a)
+	}
+	return out
+}
+
+// Equal reports set equality of the two instances.
+func (in *Instance) Equal(other *Instance) bool {
+	if in.Len() != other.Len() {
+		return false
+	}
+	for key := range in.byKey {
+		if _, ok := other.byKey[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every atom of other is present in in.
+func (in *Instance) ContainsAll(other *Instance) bool {
+	for key := range other.byKey {
+		if _, ok := in.byKey[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NullCount returns the number of distinct nulls in the active domain.
+func (in *Instance) NullCount() int {
+	n := 0
+	for t := range in.Dom() {
+		if t.IsNull() {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the atoms sorted, one conjunction.
+func (in *Instance) String() string {
+	atoms := in.Atoms()
+	logic.SortAtoms(atoms)
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Database is a finite set of facts: atoms whose arguments are constants
+// only (no nulls, no variables).
+type Database struct {
+	inst *Instance
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{inst: New()} }
+
+// DatabaseFromAtoms builds a database from facts, returning an error if any
+// atom is not a fact.
+func DatabaseFromAtoms(atoms ...logic.Atom) (*Database, error) {
+	db := NewDatabase()
+	for _, a := range atoms {
+		if err := db.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustDatabase is DatabaseFromAtoms that panics on error; for tests and
+// examples with literal data.
+func MustDatabase(atoms ...logic.Atom) *Database {
+	db, err := DatabaseFromAtoms(atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Add inserts a fact, rejecting atoms that contain nulls or variables.
+func (db *Database) Add(a logic.Atom) error {
+	if !a.IsFact() {
+		return fmt.Errorf("instance: %v is not a fact (databases hold constants only)", a)
+	}
+	db.inst.Add(a)
+	return nil
+}
+
+// Instance returns a fresh Instance holding the database's facts; the chase
+// mutates the copy, never the database.
+func (db *Database) Instance() *Instance { return db.inst.Clone() }
+
+// Atoms returns the facts in insertion order.
+func (db *Database) Atoms() []logic.Atom { return db.inst.Atoms() }
+
+// Len returns the number of facts.
+func (db *Database) Len() int { return db.inst.Len() }
+
+// Has reports membership.
+func (db *Database) Has(a logic.Atom) bool { return db.inst.Has(a) }
+
+// Dom returns the database's active domain (constants only).
+func (db *Database) Dom() logic.TermSet { return db.inst.Dom() }
+
+// Schema returns the database's predicates.
+func (db *Database) Schema() *logic.Schema { return db.inst.Schema() }
+
+// String renders the facts.
+func (db *Database) String() string { return db.inst.String() }
+
+// Union returns a new instance containing the atoms of all the given
+// instances.
+func Union(instances ...*Instance) *Instance {
+	out := New()
+	for _, in := range instances {
+		for _, a := range in.order {
+			out.Add(a)
+		}
+	}
+	return out
+}
+
+// Diff returns the atoms of a that are not in b, in a's insertion order.
+func Diff(a, b *Instance) []logic.Atom {
+	var out []logic.Atom
+	for _, atom := range a.order {
+		if !b.Has(atom) {
+			out = append(out, atom)
+		}
+	}
+	return out
+}
+
+// SortedKeys returns the canonical atom keys in sorted order; handy for
+// deterministic comparisons in tests.
+func (in *Instance) SortedKeys() []string {
+	keys := make([]string, 0, len(in.byKey))
+	for k := range in.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,300 @@
+package logic
+
+import "sort"
+
+// AtomSource is the minimal read interface the homomorphism search needs
+// from an instance: all atoms with a given predicate.
+type AtomSource interface {
+	AtomsByPredicate(Predicate) []Atom
+}
+
+// IndexedSource is an AtomSource that can additionally serve atoms with a
+// given term at a given (1-based) argument position. Instances implement it;
+// the search uses it to prune candidates.
+type IndexedSource interface {
+	AtomSource
+	AtomsByPredicateTerm(p Predicate, pos int, t Term) []Atom
+}
+
+// SliceSource adapts a plain slice of atoms to AtomSource.
+type SliceSource struct {
+	byPred map[Predicate][]Atom
+	all    []Atom
+}
+
+// NewSliceSource indexes the given atoms by predicate. The slice is not
+// copied; callers must not mutate it while the source is in use.
+func NewSliceSource(atoms []Atom) *SliceSource {
+	s := &SliceSource{byPred: make(map[Predicate][]Atom), all: atoms}
+	for _, a := range atoms {
+		s.byPred[a.Pred] = append(s.byPred[a.Pred], a)
+	}
+	return s
+}
+
+// AtomsByPredicate implements AtomSource.
+func (s *SliceSource) AtomsByPredicate(p Predicate) []Atom { return s.byPred[p] }
+
+// Atoms returns the underlying atoms.
+func (s *SliceSource) Atoms() []Atom { return s.all }
+
+// matchAtom attempts to extend s so that pattern maps onto target. On
+// success it returns the extended substitution (possibly s itself when no
+// new bindings were needed) and true. On failure s is returned unchanged
+// (any partial additions are recorded in trail and undone by the caller).
+func matchAtom(pattern, target Atom, s Substitution, trail *[]Term) bool {
+	if pattern.Pred != target.Pred {
+		return false
+	}
+	start := len(*trail)
+	for i, pt := range pattern.Args {
+		ut := target.Args[i]
+		if !pt.Mappable() {
+			if pt != ut {
+				undoTrail(s, trail, start)
+				return false
+			}
+			continue
+		}
+		if bound, ok := s[pt]; ok {
+			if bound != ut {
+				undoTrail(s, trail, start)
+				return false
+			}
+			continue
+		}
+		s[pt] = ut
+		*trail = append(*trail, pt)
+	}
+	return true
+}
+
+func undoTrail(s Substitution, trail *[]Term, to int) {
+	for i := len(*trail) - 1; i >= to; i-- {
+		delete(s, (*trail)[i])
+	}
+	*trail = (*trail)[:to]
+}
+
+// candidates returns the atoms of src that could match pattern under the
+// current bindings, using the positional index when one is available.
+func candidates(pattern Atom, s Substitution, src AtomSource) []Atom {
+	if idx, ok := src.(IndexedSource); ok {
+		// Prefer a position whose pattern term is already ground under s.
+		for i, pt := range pattern.Args {
+			t := pt
+			if pt.Mappable() {
+				bound, ok := s[pt]
+				if !ok {
+					continue
+				}
+				t = bound
+			}
+			return idx.AtomsByPredicateTerm(pattern.Pred, i+1, t)
+		}
+	}
+	return src.AtomsByPredicate(pattern.Pred)
+}
+
+// boundness scores how constrained a pattern atom is under s: the number of
+// arguments that are constants or already-bound terms. Higher is more
+// selective.
+func boundness(pattern Atom, s Substitution) int {
+	n := 0
+	for _, pt := range pattern.Args {
+		if !pt.Mappable() {
+			n++
+			continue
+		}
+		if _, ok := s[pt]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachHomomorphism enumerates every homomorphism h ⊇ base from the
+// pattern atoms into src, calling yield for each. Enumeration stops early
+// when yield returns false. The substitution passed to yield is reused
+// between calls: callers that retain it must Clone it.
+//
+// Constants in the pattern must match exactly; nulls and variables are
+// mappable. The base substitution is not mutated.
+func ForEachHomomorphism(pattern []Atom, base Substitution, src AtomSource, yield func(Substitution) bool) {
+	s := base.Clone()
+	if s == nil {
+		s = NewSubstitution()
+	}
+	remaining := make([]Atom, len(pattern))
+	copy(remaining, pattern)
+	var trail []Term
+	var rec func() bool
+	rec = func() bool {
+		if len(remaining) == 0 {
+			return yield(s)
+		}
+		// Pick the most constrained remaining atom (greedy selectivity).
+		best := 0
+		bestScore := -1
+		for i, a := range remaining {
+			if sc := boundness(a, s); sc > bestScore {
+				bestScore, best = sc, i
+			}
+		}
+		pat := remaining[best]
+		remaining[best] = remaining[len(remaining)-1]
+		tail := remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		cont := true
+		for _, cand := range candidates(pat, s, src) {
+			start := len(trail)
+			if !matchAtom(pat, cand, s, &trail) {
+				continue
+			}
+			if !rec() {
+				undoTrail(s, &trail, start)
+				cont = false
+				break
+			}
+			undoTrail(s, &trail, start)
+		}
+		remaining = append(remaining, tail)
+		remaining[best], remaining[len(remaining)-1] = remaining[len(remaining)-1], remaining[best]
+		_ = pat
+		return cont
+	}
+	rec()
+}
+
+// FindHomomorphism returns some homomorphism h ⊇ base from pattern into src,
+// or nil if none exists.
+func FindHomomorphism(pattern []Atom, base Substitution, src AtomSource) Substitution {
+	var found Substitution
+	ForEachHomomorphism(pattern, base, src, func(s Substitution) bool {
+		found = s.Clone()
+		return false
+	})
+	return found
+}
+
+// HasHomomorphism reports whether some homomorphism h ⊇ base from pattern
+// into src exists.
+func HasHomomorphism(pattern []Atom, base Substitution, src AtomSource) bool {
+	return FindHomomorphism(pattern, base, src) != nil
+}
+
+// AllHomomorphisms collects every homomorphism h ⊇ base from pattern into
+// src, in a deterministic order (the order induced by src's atom slices).
+func AllHomomorphisms(pattern []Atom, base Substitution, src AtomSource) []Substitution {
+	var out []Substitution
+	ForEachHomomorphism(pattern, base, src, func(s Substitution) bool {
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+// HomomorphicallyMaps reports whether h maps the atom a onto the atom b,
+// i.e. whether a.Apply(h) equals b after also treating unbound mappable
+// terms as mismatches. It does not extend h.
+func HomomorphicallyMaps(h Substitution, a, b Atom) bool {
+	if a.Pred != b.Pred {
+		return false
+	}
+	for i, t := range a.Args {
+		img := t
+		if t.Mappable() {
+			u, ok := h[t]
+			if !ok {
+				return false
+			}
+			img = u
+		}
+		if img != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether the two atom sets are isomorphic: there is a
+// 1-1 homomorphism from a onto b whose inverse is also a homomorphism
+// (Appendix A of the paper). It additionally returns a witnessing
+// isomorphism when one exists.
+func Isomorphic(a, b []Atom) (Substitution, bool) {
+	if len(dedupAtoms(a)) != len(dedupAtoms(b)) {
+		return nil, false
+	}
+	bs := NewSliceSource(b)
+	var iso Substitution
+	ForEachHomomorphism(a, nil, bs, func(h Substitution) bool {
+		if !h.Injective() {
+			return true
+		}
+		inv, ok := h.Inverse()
+		if !ok || inv.Validate() != nil {
+			return true
+		}
+		// The image of a under h must cover b.
+		img := make(map[string]struct{}, len(a))
+		for _, atom := range a {
+			img[atom.Apply(h).Key()] = struct{}{}
+		}
+		for _, atom := range b {
+			if _, ok := img[atom.Key()]; !ok {
+				return true
+			}
+		}
+		iso = h.Clone()
+		return false
+	})
+	return iso, iso != nil
+}
+
+func dedupAtoms(atoms []Atom) []Atom {
+	seen := make(map[string]struct{}, len(atoms))
+	out := atoms[:0:0]
+	for _, a := range atoms {
+		k := a.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+// DedupAtoms returns the atoms with syntactic duplicates removed, preserving
+// first-occurrence order.
+func DedupAtoms(atoms []Atom) []Atom { return dedupAtoms(atoms) }
+
+// RenameApart returns the atoms with every variable renamed by applying the
+// given namer, together with the renaming used. Constants and nulls are
+// untouched. Used to standardise TGDs apart.
+func RenameApart(atoms []Atom, namer *FreshNamer) ([]Atom, Substitution) {
+	ren := NewSubstitution()
+	vars := VarsOf(atoms).Sorted()
+	for _, v := range vars {
+		ren.Bind(v, namer.NextVar())
+	}
+	return ren.ApplyAtoms(atoms), ren
+}
+
+// CanonicalFreeze returns a copy of the atoms where every variable is
+// replaced by a distinct fresh constant ("freezing"), along with the
+// freezing substitution. Freezing turns a conjunctive-query body into its
+// canonical database.
+func CanonicalFreeze(atoms []Atom, namer *FreshNamer) ([]Atom, Substitution) {
+	frz := NewSubstitution()
+	for _, v := range VarsOf(atoms).Sorted() {
+		frz.Bind(v, Const("~"+v.Name+"~"+namer.Next()))
+	}
+	return frz.ApplyAtoms(atoms), frz
+}
+
+// SortSubstitutions orders substitutions by their canonical keys; useful for
+// deterministic trigger enumeration in tests.
+func SortSubstitutions(subs []Substitution) {
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Key() < subs[j].Key() })
+}

@@ -1,0 +1,179 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Substitution is a finite function from terms to terms. Following the
+// paper, substitutions are built from the empty substitution by adjoining
+// single bindings t ↦ t′. A substitution used as a homomorphism must be the
+// identity on constants; that invariant is enforced by the homomorphism
+// search and by Validate, not by the map type itself.
+type Substitution map[Term]Term
+
+// NewSubstitution returns an empty substitution.
+func NewSubstitution() Substitution { return make(Substitution) }
+
+// Bind returns s extended with t ↦ u, mutating s in place. It panics if t is
+// already bound to a different term: silently overwriting a binding is
+// always a bug in this codebase.
+func (s Substitution) Bind(t, u Term) Substitution {
+	if prev, ok := s[t]; ok && prev != u {
+		panic(fmt.Sprintf("logic: rebinding %v: %v -> %v", t, prev, u))
+	}
+	s[t] = u
+	return s
+}
+
+// Lookup returns the image of t, and whether t is bound.
+func (s Substitution) Lookup(t Term) (Term, bool) {
+	u, ok := s[t]
+	return u, ok
+}
+
+// ApplyTerm returns s(t) when t is bound, and t itself otherwise.
+func (s Substitution) ApplyTerm(t Term) Term {
+	if u, ok := s[t]; ok {
+		return u
+	}
+	return t
+}
+
+// ApplyAtoms maps s over a list of atoms.
+func (s Substitution) ApplyAtoms(atoms []Atom) []Atom {
+	out := make([]Atom, len(atoms))
+	for i, a := range atoms {
+		out[i] = a.Apply(s)
+	}
+	return out
+}
+
+// Restrict returns h|S, the restriction of s to the given set of terms.
+func (s Substitution) Restrict(dom TermSet) Substitution {
+	out := make(Substitution, len(dom))
+	for t, u := range s {
+		if dom.Has(t) {
+			out[t] = u
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of s.
+func (s Substitution) Clone() Substitution {
+	out := make(Substitution, len(s))
+	for t, u := range s {
+		out[t] = u
+	}
+	return out
+}
+
+// Extends reports whether s agrees with base on base's entire domain,
+// i.e. whether s ⊇ base.
+func (s Substitution) Extends(base Substitution) bool {
+	for t, u := range base {
+		if v, ok := s[t]; !ok || v != u {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the substitution t ↦ g(s(t)) for t in dom(s), extended
+// with g's bindings on terms outside dom(s). This matches relational
+// composition when substitutions are read as functions applied left first.
+func (s Substitution) Compose(g Substitution) Substitution {
+	out := make(Substitution, len(s)+len(g))
+	for t, u := range s {
+		out[t] = g.ApplyTerm(u)
+	}
+	for t, u := range g {
+		if _, ok := out[t]; !ok {
+			out[t] = u
+		}
+	}
+	return out
+}
+
+// Validate checks the homomorphism side conditions: constants must map to
+// themselves (if bound at all). It returns a descriptive error on violation.
+func (s Substitution) Validate() error {
+	for t, u := range s {
+		if t.IsConst() && t != u {
+			return fmt.Errorf("logic: substitution moves constant %v to %v", t, u)
+		}
+	}
+	return nil
+}
+
+// Injective reports whether s is injective on its domain.
+func (s Substitution) Injective() bool {
+	seen := make(map[Term]Term, len(s))
+	for t, u := range s {
+		if prev, ok := seen[u]; ok && prev != t {
+			return false
+		}
+		seen[u] = t
+	}
+	return true
+}
+
+// Inverse returns the inverse of an injective substitution. The second
+// result is false if s is not injective.
+func (s Substitution) Inverse() (Substitution, bool) {
+	out := make(Substitution, len(s))
+	for t, u := range s {
+		if _, ok := out[u]; ok {
+			return nil, false
+		}
+		out[u] = t
+	}
+	return out, true
+}
+
+// Equal reports whether two substitutions have identical graphs.
+func (s Substitution) Equal(other Substitution) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for t, u := range s {
+		if v, ok := other[t]; !ok || v != u {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the substitution (bindings in
+// sorted order), usable as a map key to deduplicate triggers.
+func (s Substitution) Key() string {
+	type pair struct{ from, to Term }
+	pairs := make([]pair, 0, len(s))
+	for t, u := range s {
+		pairs = append(pairs, pair{t, u})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].from.Compare(pairs[j].from) < 0 })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(p.from.String())
+		b.WriteString("->")
+		switch p.to.Kind {
+		case Null:
+			b.WriteString("_:")
+		case Variable:
+			b.WriteString("?")
+		}
+		b.WriteString(p.to.Name)
+	}
+	return b.String()
+}
+
+// String renders the substitution as {t1->u1, t2->u2, …} in sorted order.
+func (s Substitution) String() string {
+	return "{" + strings.ReplaceAll(s.Key(), ";", ", ") + "}"
+}

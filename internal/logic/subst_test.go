@@ -1,0 +1,140 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubstitutionBindLookupApply(t *testing.T) {
+	s := NewSubstitution()
+	s.Bind(Var("X"), Const("a"))
+	if got, ok := s.Lookup(Var("X")); !ok || got != Const("a") {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := s.Lookup(Var("Y")); ok {
+		t.Fatal("unexpected binding")
+	}
+	if s.ApplyTerm(Var("X")) != Const("a") || s.ApplyTerm(Var("Y")) != Var("Y") {
+		t.Fatal("ApplyTerm mismatch")
+	}
+	// Rebinding to the same value is fine.
+	s.Bind(Var("X"), Const("a"))
+	// Rebinding to a different value panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected rebinding panic")
+		}
+	}()
+	s.Bind(Var("X"), Const("b"))
+}
+
+func TestSubstitutionRestrictCloneExtends(t *testing.T) {
+	s := NewSubstitution()
+	s.Bind(Var("X"), Const("a"))
+	s.Bind(Var("Y"), Const("b"))
+	r := s.Restrict(NewTermSet(Var("X")))
+	if len(r) != 1 || r.ApplyTerm(Var("X")) != Const("a") {
+		t.Fatalf("Restrict = %v", r)
+	}
+	if !s.Extends(r) {
+		t.Error("s must extend its restriction")
+	}
+	if r.Extends(s) {
+		t.Error("restriction must not extend the whole")
+	}
+	c := s.Clone()
+	c.Bind(Var("Z"), Const("c"))
+	if _, ok := s.Lookup(Var("Z")); ok {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestSubstitutionCompose(t *testing.T) {
+	s := NewSubstitution().Bind(Var("X"), Var("Y"))
+	g := NewSubstitution().Bind(Var("Y"), Const("a"))
+	comp := s.Compose(g)
+	if comp.ApplyTerm(Var("X")) != Const("a") {
+		t.Errorf("Compose: X -> %v, want a", comp.ApplyTerm(Var("X")))
+	}
+	if comp.ApplyTerm(Var("Y")) != Const("a") {
+		t.Errorf("Compose must keep g's bindings: Y -> %v", comp.ApplyTerm(Var("Y")))
+	}
+}
+
+func TestSubstitutionValidate(t *testing.T) {
+	ok := NewSubstitution().Bind(Var("X"), Const("a"))
+	ok.Bind(Const("c"), Const("c"))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate = %v, want nil", err)
+	}
+	bad := Substitution{Const("c"): Const("d")}
+	if err := bad.Validate(); err == nil {
+		t.Error("moving a constant must be invalid")
+	}
+}
+
+func TestSubstitutionInjectiveInverse(t *testing.T) {
+	inj := NewSubstitution().Bind(Var("X"), Const("a")).Bind(Var("Y"), Const("b"))
+	if !inj.Injective() {
+		t.Error("expected injective")
+	}
+	inv, ok := inj.Inverse()
+	if !ok || inv.ApplyTerm(Const("a")) != Var("X") {
+		t.Errorf("Inverse = %v, %v", inv, ok)
+	}
+	notInj := NewSubstitution().Bind(Var("X"), Const("a")).Bind(Var("Y"), Const("a"))
+	if notInj.Injective() {
+		t.Error("expected non-injective")
+	}
+	if _, ok := notInj.Inverse(); ok {
+		t.Error("Inverse of non-injective must fail")
+	}
+}
+
+func TestSubstitutionKeyAndEqual(t *testing.T) {
+	a := NewSubstitution().Bind(Var("X"), Const("a")).Bind(Var("Y"), NewNull("n"))
+	b := NewSubstitution().Bind(Var("Y"), NewNull("n")).Bind(Var("X"), Const("a"))
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if !a.Equal(b) {
+		t.Error("Equal mismatch")
+	}
+	c := NewSubstitution().Bind(Var("X"), Const("a"))
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("different substitutions must differ")
+	}
+	// Null vs constant image must produce different keys.
+	d := NewSubstitution().Bind(Var("X"), Const("n"))
+	e := NewSubstitution().Bind(Var("X"), NewNull("n"))
+	if d.Key() == e.Key() {
+		t.Error("term kind must be reflected in key")
+	}
+}
+
+// Property: ApplyAtoms distributes over atom lists and commutes with Clone.
+func TestApplyAtomsProperty(t *testing.T) {
+	f := func(names []string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		s := NewSubstitution().Bind(Var("X"), Const("a"))
+		atoms := make([]Atom, 0, len(names))
+		for _, n := range names {
+			if n == "" {
+				n = "p"
+			}
+			atoms = append(atoms, MustAtom("P", Var("X"), Const(n)))
+		}
+		out := s.ApplyAtoms(atoms)
+		for i := range out {
+			if out[i].Args[0] != Const("a") || out[i].Args[1] != atoms[i].Args[1] {
+				return false
+			}
+		}
+		return len(out) == len(atoms)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package minimize computes cores of finite instances: the minimal
+// retracts that are homomorphically equivalent to the input. The core of a
+// chase result is the minimal universal model — the strongest possible
+// output of the materialisation pipeline, and the reason the restricted
+// chase's smaller instances matter: the closer the chase output is to its
+// core, the less post-processing a data-exchange system must do.
+//
+// The algorithm is the classical retraction search: repeatedly look for an
+// endomorphism of the instance that is the identity on constants and maps
+// some null to a different term; composing and iterating such retractions
+// until none exists yields the core (unique up to isomorphism).
+package minimize
+
+import (
+	"airct/internal/instance"
+	"airct/internal/logic"
+)
+
+// Core returns the core of the instance together with the number of
+// retraction rounds performed. The input is not mutated.
+func Core(in *instance.Instance) (*instance.Instance, int) {
+	cur := in.Clone()
+	rounds := 0
+	for {
+		h, ok := properRetraction(cur)
+		if !ok {
+			return cur, rounds
+		}
+		rounds++
+		next := instance.New()
+		for _, a := range cur.Atoms() {
+			next.Add(a.Apply(h))
+		}
+		cur = next
+	}
+}
+
+// properRetraction finds an endomorphism h of the instance (identity on
+// constants) whose image loses at least one null — i.e. some null is
+// mapped to a different term. Returns ok = false when the instance is its
+// own core.
+func properRetraction(in *instance.Instance) (logic.Substitution, bool) {
+	nulls := nullsOf(in)
+	if len(nulls) == 0 {
+		return nil, false
+	}
+	atoms := in.Atoms()
+	var found logic.Substitution
+	logic.ForEachHomomorphism(atoms, nil, in, func(h logic.Substitution) bool {
+		for _, n := range nulls {
+			if h.ApplyTerm(n) != n {
+				found = h.Clone()
+				return false
+			}
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+func nullsOf(in *instance.Instance) []logic.Term {
+	var out []logic.Term
+	for t := range in.Dom() {
+		if t.IsNull() {
+			out = append(out, t)
+		}
+	}
+	logic.SortTerms(out)
+	return out
+}
+
+// IsCore reports whether the instance equals its own core (no proper
+// retraction exists).
+func IsCore(in *instance.Instance) bool {
+	_, ok := properRetraction(in)
+	return !ok
+}
+
+// Equivalent reports homomorphic equivalence of two instances (mutual
+// homomorphisms, constants fixed) — the invariant Core preserves.
+func Equivalent(a, b *instance.Instance) bool {
+	return logic.HasHomomorphism(a.Atoms(), nil, b) &&
+		logic.HasHomomorphism(b.Atoms(), nil, a)
+}

@@ -1,0 +1,153 @@
+package minimize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"airct/internal/chase"
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/parser"
+)
+
+func TestCoreDropsDominatedNull(t *testing.T) {
+	// {R(a,b), R(a,n)}: n retracts onto b; the core is {R(a,b)}.
+	in := instance.FromAtoms(
+		logic.MustAtom("R", logic.Const("a"), logic.Const("b")),
+		logic.MustAtom("R", logic.Const("a"), logic.NewNull("n")),
+	)
+	core, rounds := Core(in)
+	if core.Len() != 1 || !core.Has(logic.MustAtom("R", logic.Const("a"), logic.Const("b"))) {
+		t.Fatalf("core = %v", core)
+	}
+	if rounds == 0 {
+		t.Error("a retraction must have happened")
+	}
+	if !Equivalent(in, core) {
+		t.Error("core must stay homomorphically equivalent")
+	}
+	if in.Len() != 2 {
+		t.Error("input must not be mutated")
+	}
+}
+
+func TestCoreOfFactsIsIdentity(t *testing.T) {
+	in := instance.FromAtoms(
+		logic.MustAtom("R", logic.Const("a"), logic.Const("b")),
+		logic.MustAtom("R", logic.Const("b"), logic.Const("a")),
+	)
+	core, rounds := Core(in)
+	if !core.Equal(in) || rounds != 0 {
+		t.Errorf("fact instances are cores: %v (%d rounds)", core, rounds)
+	}
+	if !IsCore(in) {
+		t.Error("IsCore must agree")
+	}
+}
+
+func TestCoreKeepsNecessaryNulls(t *testing.T) {
+	// {S(a), R(a,n)} with no other R-atom: n is necessary.
+	in := instance.FromAtoms(
+		logic.MustAtom("S", logic.Const("a")),
+		logic.MustAtom("R", logic.Const("a"), logic.NewNull("n")),
+	)
+	core, _ := Core(in)
+	if core.Len() != 2 {
+		t.Errorf("nothing to retract: %v", core)
+	}
+	if !IsCore(in) {
+		t.Error("instance is its own core")
+	}
+}
+
+func TestCoreChainCollapse(t *testing.T) {
+	// R(a,n1), R(n1,n2), R(n2,n3) plus R(a,a): the whole null chain folds
+	// onto the loop.
+	in := instance.FromAtoms(
+		logic.MustAtom("R", logic.Const("a"), logic.Const("a")),
+		logic.MustAtom("R", logic.Const("a"), logic.NewNull("n1")),
+		logic.MustAtom("R", logic.NewNull("n1"), logic.NewNull("n2")),
+		logic.MustAtom("R", logic.NewNull("n2"), logic.NewNull("n3")),
+	)
+	core, _ := Core(in)
+	if core.Len() != 1 || !core.Has(logic.MustAtom("R", logic.Const("a"), logic.Const("a"))) {
+		t.Errorf("core = %v, want {R(a,a)}", core)
+	}
+}
+
+func TestCoreOfLIFOChaseMatchesFIFO(t *testing.T) {
+	// Example 3.2 under LIFO keeps an extra invented atom R(a,n) dominated
+	// by R(a,b); its core is exactly the FIFO result.
+	prog := parser.MustParse(`
+		P(a,b).
+		s1: P(X,Y) -> R(X,Y).
+		s2: P(X,Y) -> S(X).
+		s3: R(X,Y) -> S(X).
+		s4: S(X) -> R(X,Y).
+	`)
+	lifo := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted, Strategy: chase.LIFO})
+	fifo := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted, Strategy: chase.FIFO})
+	if lifo.Final.Len() <= fifo.Final.Len() {
+		t.Skip("LIFO did not keep an extra atom on this build")
+	}
+	core, _ := Core(lifo.Final)
+	if !core.Equal(fifo.Final) {
+		t.Errorf("core of LIFO result %v must equal FIFO result %v", core, fifo.Final)
+	}
+}
+
+func TestCoreOfObliviousChaseEqualsRestrictedCore(t *testing.T) {
+	// The oblivious and restricted chases of a terminating program are
+	// homomorphically equivalent, so their cores coincide up to
+	// isomorphism — size equality is the cheap observable.
+	prog := parser.MustParse(`
+		S(a).
+		s1: S(X) -> R(X,Y).
+		s2: R(X,Y) -> T(X).
+	`)
+	res := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted, MaxSteps: 100})
+	obl := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Oblivious, MaxSteps: 100})
+	if !res.Terminated() || !obl.Terminated() {
+		t.Fatal("must terminate")
+	}
+	coreRes, _ := Core(res.Final)
+	coreObl, _ := Core(obl.Final)
+	if coreRes.Len() != coreObl.Len() {
+		t.Errorf("core sizes differ: %v vs %v", coreRes, coreObl)
+	}
+	if !Equivalent(coreRes, coreObl) {
+		t.Error("cores must be homomorphically equivalent")
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := instance.FromAtoms(logic.MustAtom("R", logic.Const("a")))
+	b := instance.FromAtoms(logic.MustAtom("R", logic.Const("b")))
+	if Equivalent(a, b) {
+		t.Error("different constants are not equivalent")
+	}
+}
+
+// Property: Core is idempotent and preserves homomorphic equivalence on
+// random instances mixing constants and nulls.
+func TestQuickCoreIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed % 4000))
+		in := instance.New()
+		terms := []logic.Term{
+			logic.Const("a"), logic.Const("b"),
+			logic.NewNull("n1"), logic.NewNull("n2"), logic.NewNull("n3"),
+		}
+		for i := 0; i < 2+rng.Intn(6); i++ {
+			in.Add(logic.NewAtom(logic.Pred("R", 2),
+				terms[rng.Intn(len(terms))], terms[rng.Intn(len(terms))]))
+		}
+		c1, _ := Core(in)
+		c2, rounds := Core(c1)
+		return rounds == 0 && c2.Equal(c1) && Equivalent(in, c1) && IsCore(c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package ochase implements the real oblivious chase of Definition 3.3: the
+// smallest labeled directed graph ochase(D,T) whose nodes carry atoms and
+// TGD-mapping pairs, closed under trigger application over node tuples. It
+// is a *multiset* structure — the same atom can label many nodes, each
+// remembering unambiguously which nodes produced it (the parent relation
+// ≺p). On top of the graph the package provides the stop relation ≺s, the
+// before relation ≺b, chaseable sets (Definition 5.2), and the two
+// directions of Theorem 5.3: extracting a restricted chase derivation from a
+// chaseable set, and a chaseable set from a restricted chase derivation.
+//
+// The paper's ochase(D,T) is generally infinite; Build materialises the
+// fragment up to configurable node and depth bounds, which is exactly what
+// the finite-fragment experiments need.
+package ochase
+
+import (
+	"fmt"
+
+	"airct/internal/chase"
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// NodeID indexes a node within its Graph.
+type NodeID int
+
+// Node is a vertex of the real oblivious chase: an atom labeled with the
+// trigger that produced it (nil for database atoms, the paper's ⊥) and the
+// ordered parent tuple — Parents[i] is the node matched to the i-th body
+// atom of the trigger's TGD.
+type Node struct {
+	ID      NodeID
+	Atom    logic.Atom
+	Trigger *chase.Trigger // nil ⇔ database atom
+	Parents []NodeID       // empty ⇔ database atom
+	Depth   int            // 0 for database atoms, 1 + max parent depth otherwise
+}
+
+// IsDatabase reports whether the node is a database atom (τ(v) = ⊥).
+func (n *Node) IsDatabase() bool { return n.Trigger == nil }
+
+// BuildOptions bounds the materialised fragment of ochase(D,T).
+type BuildOptions struct {
+	// MaxNodes stops construction when this many nodes exist (0: 10_000).
+	MaxNodes int
+	// MaxDepth only creates nodes up to this derivation depth (0: no bound).
+	MaxDepth int
+}
+
+func (o BuildOptions) maxNodes() int {
+	if o.MaxNodes <= 0 {
+		return 10_000
+	}
+	return o.MaxNodes
+}
+
+// Graph is a finite fragment of the real oblivious chase of D w.r.t. T.
+type Graph struct {
+	Set      *tgds.Set
+	Database *instance.Database
+	nodes    []*Node
+	byPred   map[logic.Predicate][]*Node
+	children map[NodeID][]NodeID
+	// Complete reports whether the graph is the whole of ochase(D,T):
+	// construction reached a fixpoint within the bounds.
+	Complete bool
+	nulls    *chase.NullFactory
+}
+
+// Build materialises ochase(D,T) up to the given bounds.
+func Build(db *instance.Database, set *tgds.Set, opts BuildOptions) *Graph {
+	g := &Graph{
+		Set:      set,
+		Database: db,
+		byPred:   make(map[logic.Predicate][]*Node),
+		children: make(map[NodeID][]NodeID),
+		nulls:    chase.NewNullFactory(chase.StructuralNaming),
+	}
+	for _, fact := range db.Atoms() {
+		g.addNode(fact, nil, nil)
+	}
+	seen := make(map[string]struct{}) // (σ, h, parent tuple) identities
+	frontierStart := 0
+	for {
+		if len(g.nodes) >= opts.maxNodes() {
+			g.Complete = false
+			return g
+		}
+		next := len(g.nodes)
+		added := g.expand(seen, frontierStart, opts)
+		frontierStart = next
+		if !added {
+			g.Complete = len(g.nodes) < opts.maxNodes()
+			return g
+		}
+	}
+}
+
+func (g *Graph) addNode(atom logic.Atom, tr *chase.Trigger, parents []NodeID) *Node {
+	depth := 0
+	for _, p := range parents {
+		if d := g.nodes[p].Depth + 1; d > depth {
+			depth = d
+		}
+	}
+	n := &Node{
+		ID:      NodeID(len(g.nodes)),
+		Atom:    atom,
+		Trigger: tr,
+		Parents: parents,
+		Depth:   depth,
+	}
+	g.nodes = append(g.nodes, n)
+	g.byPred[atom.Pred] = append(g.byPred[atom.Pred], n)
+	for _, p := range parents {
+		g.children[p] = append(g.children[p], n.ID)
+	}
+	return n
+}
+
+// expand performs one closure round: every (σ, h, parent-tuple) with at
+// least one parent in the latest frontier (or any tuple in the first round)
+// spawns a node. It reports whether any node was added.
+func (g *Graph) expand(seen map[string]struct{}, frontierStart int, opts BuildOptions) bool {
+	added := false
+	limit := len(g.nodes) // only match against pre-round nodes
+	for idx, t := range g.Set.TGDs {
+		g.matchBody(t, limit, func(h logic.Substitution, parents []NodeID) bool {
+			if frontierStart > 0 {
+				inFrontier := false
+				for _, p := range parents {
+					if int(p) >= frontierStart {
+						inFrontier = true
+						break
+					}
+				}
+				if !inFrontier {
+					return true
+				}
+			}
+			if opts.MaxDepth > 0 {
+				d := 0
+				for _, p := range parents {
+					if pd := g.nodes[p].Depth + 1; pd > d {
+						d = pd
+					}
+				}
+				if d > opts.MaxDepth {
+					return true
+				}
+			}
+			tr := chase.NewTrigger(idx, t, h)
+			key := tr.Key()
+			for _, p := range parents {
+				key += fmt.Sprintf("|%d", p)
+			}
+			if _, dup := seen[key]; dup {
+				return true
+			}
+			seen[key] = struct{}{}
+			result := chase.Result(tr, g.nulls)
+			// Definition 3.3 is stated for single-head TGDs; for multi-head
+			// sets we add one node per head atom sharing the parent tuple.
+			for _, atom := range result {
+				trc := tr
+				g.addNode(atom, &trc, append([]NodeID(nil), parents...))
+			}
+			added = true
+			return len(g.nodes) < opts.maxNodes()
+		})
+		if len(g.nodes) >= opts.maxNodes() {
+			return added
+		}
+	}
+	return added
+}
+
+// matchBody enumerates homomorphisms of t's body onto node tuples drawn from
+// nodes[0:limit], yielding the substitution and the parent tuple. The yield
+// function returns false to stop enumeration.
+func (g *Graph) matchBody(t tgds.TGD, limit int, yield func(logic.Substitution, []NodeID) bool) {
+	h := logic.NewSubstitution()
+	parents := make([]NodeID, len(t.Body))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(t.Body) {
+			return yield(h, parents)
+		}
+		pat := t.Body[i]
+		for _, cand := range g.byPred[pat.Pred] {
+			if int(cand.ID) >= limit {
+				continue
+			}
+			var trail []logic.Term
+			ok := true
+			for k, v := range pat.Args {
+				got := cand.Atom.Args[k]
+				if bound, has := h.Lookup(v); has {
+					if bound != got {
+						ok = false
+						break
+					}
+					continue
+				}
+				h[v] = got
+				trail = append(trail, v)
+			}
+			if ok {
+				parents[i] = cand.ID
+				if !rec(i + 1) {
+					for _, v := range trail {
+						delete(h, v)
+					}
+					return false
+				}
+			}
+			for _, v := range trail {
+				delete(h, v)
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in creation order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Children returns the node IDs whose parent tuples include id.
+func (g *Graph) Children(id NodeID) []NodeID { return g.children[id] }
+
+// AtomSet returns the *set* of atoms labelling the graph — by the remark in
+// Section 3.1 this coincides with the (ordinary) oblivious chase of D
+// w.r.t. T when the graph is complete.
+func (g *Graph) AtomSet() *instance.Instance {
+	out := instance.New()
+	for _, n := range g.nodes {
+		out.Add(n.Atom)
+	}
+	return out
+}
+
+// MultisetSize returns the number of nodes (atom copies); AtomSet().Len()
+// counts distinct atoms.
+func (g *Graph) MultisetSize() int { return len(g.nodes) }
+
+// NodesByAtom returns the nodes labelled with the given atom, in creation
+// order — the copies of the atom in the multiset.
+func (g *Graph) NodesByAtom(a logic.Atom) []*Node {
+	var out []*Node
+	for _, n := range g.byPred[a.Pred] {
+		if n.Atom.Equal(a) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// GuardParent returns the guard-parent of the node: the parent matched to
+// the guard atom of the producing TGD (Appendix C.2). It returns false for
+// database nodes and for nodes produced by unguarded TGDs.
+func (g *Graph) GuardParent(id NodeID) (NodeID, bool) {
+	n := g.nodes[id]
+	if n.IsDatabase() {
+		return 0, false
+	}
+	gi := n.Trigger.TGD.GuardIndex()
+	if gi < 0 {
+		return 0, false
+	}
+	return n.Parents[gi], true
+}
+
+// SideParents returns the parents other than the guard, in body order.
+func (g *Graph) SideParents(id NodeID) []NodeID {
+	n := g.nodes[id]
+	if n.IsDatabase() {
+		return nil
+	}
+	gi := n.Trigger.TGD.GuardIndex()
+	var out []NodeID
+	for i, p := range n.Parents {
+		if i != gi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stops reports λ(v) ≺s λ(u): there is a homomorphism h′ with
+// h′(λ(u)) = λ(v) fixing every frontier term of u's trigger (Section 3.1).
+// It is false whenever u is a database node (no trigger to deactivate).
+func (g *Graph) Stops(v, u NodeID) bool {
+	nu := g.nodes[u]
+	if nu.IsDatabase() {
+		return false
+	}
+	return chase.Stops(g.nodes[v].Atom, nu.Atom, chase.FrontierTerms(*nu.Trigger))
+}
+
+// Before reports the one-step before relation v ≺b u:
+// v is a database node and u is not, or v ≺p u, or u ≺s v.
+func (g *Graph) Before(v, u NodeID) bool {
+	nv, nu := g.nodes[v], g.nodes[u]
+	if nv.IsDatabase() && !nu.IsDatabase() {
+		return true
+	}
+	for _, p := range nu.Parents {
+		if p == v {
+			return true
+		}
+	}
+	return g.Stops(u, v)
+}
+
+// IsParent reports v ≺p u.
+func (g *Graph) IsParent(v, u NodeID) bool {
+	for _, p := range g.nodes[u].Parents {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+package ochase
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"airct/internal/parser"
+)
+
+// randomSmallProgram emits a random 2-rule program with a 2-fact database;
+// rules may invent values, so fragments are bounded.
+func randomSmallProgram(seed int64) *parser.Program {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	consts := []string{"a", "b"}
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&b, "P%d(%s,%s).\n", rng.Intn(2), consts[rng.Intn(2)], consts[rng.Intn(2)])
+	}
+	heads := []string{"P0(X,Y)", "P1(Y,X)", "P0(Y,W)", "P1(X,W)"}
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&b, "P%d(X,Y) -> %s.\n", rng.Intn(2), heads[rng.Intn(len(heads))])
+	}
+	prog, err := parser.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Property: node depths are consistent (1 + max parent depth; 0 for
+// database nodes) and the atom set of the fragment is contained in the
+// engine's oblivious chase result.
+func TestQuickGraphStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomSmallProgram(seed % 3000)
+		g := Build(prog.Database, prog.TGDs, BuildOptions{MaxNodes: 150, MaxDepth: 4})
+		for _, n := range g.Nodes() {
+			if n.IsDatabase() {
+				if n.Depth != 0 || len(n.Parents) != 0 {
+					return false
+				}
+				continue
+			}
+			want := 0
+			for _, p := range n.Parents {
+				if int(p) >= int(n.ID) {
+					return false // parents precede children in creation order
+				}
+				if d := g.Node(p).Depth + 1; d > want {
+					want = d
+				}
+			}
+			if n.Depth != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: building twice yields identical fragments (determinism).
+func TestQuickBuildDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomSmallProgram(seed % 3000)
+		g1 := Build(prog.Database, prog.TGDs, BuildOptions{MaxNodes: 100, MaxDepth: 3})
+		g2 := Build(prog.Database, prog.TGDs, BuildOptions{MaxNodes: 100, MaxDepth: 3})
+		if g1.Len() != g2.Len() {
+			return false
+		}
+		for i := range g1.Nodes() {
+			a, b := g1.Node(NodeID(i)), g2.Node(NodeID(i))
+			if !a.Atom.Equal(b.Atom) || len(a.Parents) != len(b.Parents) {
+				return false
+			}
+			for j := range a.Parents {
+				if a.Parents[j] != b.Parents[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the before relation contains the parent relation and the
+// DB-before-derived pairs.
+func TestQuickBeforeContainsParents(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomSmallProgram(seed % 3000)
+		g := Build(prog.Database, prog.TGDs, BuildOptions{MaxNodes: 80, MaxDepth: 3})
+		for _, n := range g.Nodes() {
+			for _, p := range n.Parents {
+				if !g.Before(p, n.ID) {
+					return false
+				}
+			}
+			if !n.IsDatabase() {
+				for _, m := range g.Nodes() {
+					if m.IsDatabase() && !g.Before(m.ID, n.ID) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+package sticky
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"airct/internal/buchi"
+	"airct/internal/etypes"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// trackedType abstracts a previous body atom α_i relative to the *current*
+// atom α_j (the T_j-equality type of Appendix A / Lemma D.3): its
+// predicate, the partition of its positions, and for each class either the
+// current-atom class holding the same term (label ≥ 0) or -1 when the term
+// left the path. Everything needed to evaluate α_i ≺s α_{j+k} later is
+// here — Lemma D.3's point.
+type trackedType struct {
+	pred  logic.Predicate
+	rep   []int // rep[i] = first position (0-based) with the same term
+	label []int // per position's class rep: current-atom class, or -1
+}
+
+func (tt trackedType) key() string {
+	var b strings.Builder
+	b.WriteString(tt.pred.Name)
+	fmt.Fprintf(&b, "/%d:", tt.pred.Arity)
+	for i := range tt.rep {
+		fmt.Fprintf(&b, "%d.%d,", tt.rep[i], tt.label[i])
+	}
+	return b.String()
+}
+
+// pathState is a state of the product automaton A_{e₀,Π₀}: the equality
+// type of the current path atom (A_pc), the stop-tracking set Θ (A_qc),
+// and the relay-position sets with the acceptance flag (A_cc).
+type pathState struct {
+	etype   etypes.EType
+	tracked []trackedType // canonically sorted, deduplicated
+	pi1     []int         // positions (1-based) of the current relay term
+	pi2     []int         // positions of all relay terms, current included
+	accept  bool          // ⊤ right after a pass-on point
+}
+
+func (s pathState) key() string {
+	var b strings.Builder
+	b.WriteString(s.etype.Key())
+	b.WriteByte('|')
+	for _, tt := range s.tracked {
+		b.WriteString(tt.key())
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	fmt.Fprintf(&b, "%v|%v|%v", s.pi1, s.pi2, s.accept)
+	return b.String()
+}
+
+// machine carries the per-set context shared by all transitions.
+type machine struct {
+	set     *tgds.Set
+	marking *tgds.Marking
+	symbols map[string]Symbol
+	states  map[string]pathState
+}
+
+func newMachine(set *tgds.Set) (*machine, error) {
+	ok, marking, err := tgds.IsSticky(set)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("sticky: set is not sticky: %v", marking.Violation())
+	}
+	m := &machine{
+		set:     set,
+		marking: marking,
+		symbols: make(map[string]Symbol),
+		states:  make(map[string]pathState),
+	}
+	for _, s := range Alphabet(set) {
+		m.symbols[s.Key()] = s
+	}
+	return m, nil
+}
+
+func (m *machine) intern(s pathState) string {
+	k := s.key()
+	if _, ok := m.states[k]; !ok {
+		m.states[k] = s
+	}
+	return k
+}
+
+// step implements the product transition δ = (δet, δΘ, δcc) of Appendix
+// D.2. It returns false for the reject sink.
+func (m *machine) step(s pathState, sym Symbol) (pathState, bool) {
+	t := m.set.TGDs[sym.TGDIndex]
+	gamma := t.Body[sym.Gamma]
+	head := t.HeadAtom()
+	n := gamma.Pred.Arity
+
+	// --- A_pc: homomorphism of γ onto the canonical atom of the current
+	// equality type, then the new equality type δet(e, (σ,γ,·)).
+	if gamma.Pred != s.etype.Pred {
+		return pathState{}, false
+	}
+	h := make(map[logic.Term]int) // γ-variable -> current class (1-based rep)
+	for p := 1; p <= n; p++ {
+		v := gamma.Arg(p)
+		c := s.etype.ClassOf(p)
+		if prev, ok := h[v]; ok {
+			if prev != c {
+				return pathState{}, false // γ repeats a variable across distinct classes
+			}
+			continue
+		}
+		h[v] = c
+	}
+
+	// New equality type over the head positions: same class iff same head
+	// variable, or both variables γ-bound to the same current class.
+	// Frontier variables bound by leg atoms, and existential variables,
+	// are pairwise-distinct fresh symbols (freeness).
+	mHead := head.Pred.Arity
+	rep := make([]int, mHead)
+	for i := 0; i < mHead; i++ {
+		rep[i] = i
+		vi := head.Args[i]
+		for j := 0; j < i; j++ {
+			vj := head.Args[j]
+			same := vi == vj
+			if !same {
+				ci, oki := h[vi]
+				cj, okj := h[vj]
+				same = oki && okj && ci == cj
+			}
+			if same {
+				rep[i] = rep[j]
+				break
+			}
+		}
+	}
+	newType, err := etypes.FromPartition(head.Pred, rep)
+	if err != nil {
+		return pathState{}, false
+	}
+
+	// Old-class -> new-class map for terms surviving through γ.
+	oldToNew := make(map[int]int)
+	for p := 1; p <= mHead; p++ {
+		if c, ok := h[head.Arg(p)]; ok {
+			oldToNew[c] = newType.ClassOf(p)
+		}
+	}
+
+	// --- A_qc: update Θ (tracked types) and check stops (Lemma D.3).
+	frontier := t.Frontier()
+	frontierClass := make(map[int]bool)
+	for p := 1; p <= mHead; p++ {
+		if frontier.Has(head.Arg(p)) {
+			frontierClass[newType.ClassOf(p)] = true
+		}
+	}
+	newTracked := make([]trackedType, 0, len(s.tracked)+1)
+	seen := make(map[string]bool)
+	push := func(tt trackedType) {
+		k := tt.key()
+		if !seen[k] {
+			seen[k] = true
+			newTracked = append(newTracked, tt)
+		}
+	}
+	for _, tt := range append(s.tracked, selfType(s.etype)) {
+		upd := trackedType{pred: tt.pred, rep: tt.rep, label: make([]int, len(tt.label))}
+		for i, lbl := range tt.label {
+			if lbl < 0 {
+				upd.label[i] = -1
+			} else if nc, ok := oldToNew[lbl]; ok {
+				upd.label[i] = nc
+			} else {
+				upd.label[i] = -1
+			}
+		}
+		if stops(upd, newType, frontierClass) {
+			return pathState{}, false // a previous atom stops the new one
+		}
+		push(upd)
+	}
+	sort.Slice(newTracked, func(i, j int) bool { return newTracked[i].key() < newTracked[j].key() })
+
+	// --- A_cc: relay propagation δpos, immortality, pass-on bookkeeping.
+	dpos := func(pi []int) []int {
+		vars := make(map[logic.Term]bool)
+		for _, j := range pi {
+			if j <= n {
+				vars[gamma.Arg(j)] = true
+			}
+		}
+		var out []int
+		for i := 1; i <= mHead; i++ {
+			if vars[head.Arg(i)] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	d1 := dpos(s.pi1)
+	d2 := dpos(s.pi2)
+	if len(d1) == 0 {
+		return pathState{}, false // the current relay term died before the next pass-on
+	}
+	for _, i := range d2 {
+		// A relay term reached an immortal position: the variable at head
+		// position i is an unmarked frontier variable.
+		v := head.Arg(i)
+		if frontier.Has(v) && !m.marking.IsMarked(v) {
+			return pathState{}, false
+		}
+	}
+	next := pathState{etype: newType, tracked: newTracked}
+	if len(sym.P) > 0 {
+		next.pi1 = append([]int(nil), sym.P...)
+		next.pi2 = mergeSorted(sym.P, mergeSorted(d1, d2))
+		next.accept = true
+	} else {
+		next.pi1 = d1
+		next.pi2 = mergeSorted(d1, d2)
+		next.accept = false
+	}
+	return next, true
+}
+
+// selfType is the tracked type of the current atom relative to itself:
+// every class labeled by itself.
+func selfType(e etypes.EType) trackedType {
+	n := e.Pred.Arity
+	tt := trackedType{pred: e.Pred, rep: make([]int, n), label: make([]int, n)}
+	for i := 1; i <= n; i++ {
+		tt.rep[i-1] = e.ClassOf(i) - 1
+		tt.label[i-1] = e.ClassOf(i)
+	}
+	return tt
+}
+
+// stops decides whether the previous atom abstracted by tt stops the new
+// atom of type e (with the given frontier classes): a homomorphism h′ from
+// the new atom onto the old one must map each new-atom class consistently
+// and fix the frontier classes — the old atom's class at a frontier
+// position must be labeled with exactly that new-atom class.
+func stops(tt trackedType, e etypes.EType, frontierClass map[int]bool) bool {
+	if tt.pred != e.Pred {
+		return false
+	}
+	n := e.Pred.Arity
+	target := make(map[int]int) // new class -> old class rep
+	for p := 1; p <= n; p++ {
+		nc := e.ClassOf(p)
+		oc := tt.rep[p-1]
+		if prev, ok := target[nc]; ok {
+			if prev != oc {
+				return false // inconsistent: one new term would map to two old terms
+			}
+			continue
+		}
+		target[nc] = oc
+	}
+	for p := 1; p <= n; p++ {
+		nc := e.ClassOf(p)
+		if frontierClass[nc] && tt.label[target[nc]] != nc {
+			return false // frontier term not fixed
+		}
+	}
+	return true
+}
+
+func mergeSorted(a, b []int) []int {
+	set := make(map[int]bool, len(a)+len(b))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]int, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Seed identifies a component automaton A_{e₀,Π₀}: the equality type of
+// the first body atom and the class of positions carrying the first relay
+// term.
+type Seed struct {
+	EType etypes.EType
+	Pi0   []int
+}
+
+// Seeds enumerates the (e₀, Π₀) pairs of the union A_T: every equality
+// type over sch(T) paired with each of its position classes.
+func Seeds(set *tgds.Set) []Seed {
+	var out []Seed
+	for _, e := range etypes.AllForSchema(set.Schema()) {
+		for _, c := range e.Classes() {
+			positions := []int{}
+			for p := 1; p <= e.Pred.Arity; p++ {
+				if e.ClassOf(p) == c {
+					positions = append(positions, p)
+				}
+			}
+			out = append(out, Seed{EType: e, Pi0: positions})
+		}
+	}
+	return out
+}
+
+// BuildAutomaton constructs the deterministic Büchi automaton A_{e₀,Π₀}
+// over caterpillar words for the given seed.
+func BuildAutomaton(set *tgds.Set, seed Seed) (*buchi.Automaton, error) {
+	m, err := newMachine(set)
+	if err != nil {
+		return nil, err
+	}
+	initial := pathState{etype: seed.EType, pi1: append([]int(nil), seed.Pi0...), pi2: append([]int(nil), seed.Pi0...)}
+	initKey := m.intern(initial)
+	return &buchi.Automaton{
+		Alphabet: AlphabetKeys(set),
+		Initial:  initKey,
+		Step: func(stateKey, symKey string) (string, bool) {
+			st, ok := m.states[stateKey]
+			if !ok {
+				return "", false
+			}
+			next, ok := m.step(st, m.symbols[symKey])
+			if !ok {
+				return "", false
+			}
+			return m.intern(next), true
+		},
+		Accepting: func(stateKey string) bool {
+			return m.states[stateKey].accept
+		},
+	}, nil
+}

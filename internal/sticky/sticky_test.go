@@ -1,0 +1,228 @@
+package sticky
+
+import (
+	"testing"
+
+	"airct/internal/chase"
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+func set(t *testing.T, src string) *tgds.Set {
+	t.Helper()
+	s, err := parser.ParseTGDs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAlphabetShape(t *testing.T) {
+	s := set(t, `S(X) -> R(X,Y). R(X,Y) -> S(Y).`)
+	syms := Alphabet(s)
+	// σ1: one body atom, one existential (Y at head position 2):
+	//     (σ1,γ1,∅) and (σ1,γ1,{2}).
+	// σ2: one body atom, no existential: (σ2,γ1,∅).
+	if len(syms) != 3 {
+		t.Fatalf("alphabet = %d symbols: %v", len(syms), syms)
+	}
+	for _, sym := range syms {
+		key := sym.Key()
+		back, err := ParseSymbolKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Key() != key {
+			t.Errorf("round trip %q -> %q", key, back.Key())
+		}
+		if SymbolString(s, sym) == "" {
+			t.Error("SymbolString must render")
+		}
+	}
+}
+
+func TestParseSymbolKeyErrors(t *testing.T) {
+	for _, bad := range []string{"", "1", "x/y/z", "1/2/x"} {
+		if _, err := ParseSymbolKey(bad); err == nil {
+			t.Errorf("ParseSymbolKey(%q) must fail", bad)
+		}
+	}
+}
+
+func TestSeedsEnumeration(t *testing.T) {
+	s := set(t, `S(X) -> R(X,Y). R(X,Y) -> S(Y).`)
+	seeds := Seeds(s)
+	// S/1: 1 etype × 1 class. R/2: etype {12}, 1 class; etype {1}{2}, 2
+	// classes. Total 1 + 1 + 2 = 4.
+	if len(seeds) != 4 {
+		t.Fatalf("seeds = %d, want 4", len(seeds))
+	}
+}
+
+func TestDecideDivergingFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"ladder", `S(X) -> R(X,Y). R(X,Y) -> S(Y).`},
+		{"linear chain", `R(X,Y) -> R(Y,Z).`},
+		{"swap cascade", `R(X,Y) -> P(X,Y). P(X,Y) -> R(Y,Z).`},
+		{"three-hop", `A(X) -> B(X,Y). B(X,Y) -> C(Y). C(X) -> A(X).`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := set(t, tc.src)
+			if !s.IsSticky() {
+				t.Fatalf("corpus error: %q must be sticky", tc.src)
+			}
+			v, err := Decide(s, DecideOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Terminates {
+				t.Fatalf("must diverge: %+v", v)
+			}
+			if v.Method != "buchi-witness" || v.Lasso == nil || v.Seed == nil {
+				t.Fatalf("witness expected: %+v", v)
+			}
+			if len(v.Lasso.Cycle) == 0 {
+				t.Error("cycle must be non-empty")
+			}
+		})
+	}
+}
+
+func TestDecideTerminatingFamilies(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"intro example", `R(X,Y) -> R(X,Z).`},
+		{"datalog", `A(X) -> B(X). B(X) -> C(X).`},
+		{"one-shot existential", `A(X) -> R(X,Y). R(X,Y) -> B(X).`},
+		{"self-satisfied head", `R(X,Y) -> R(Z,Y).`},
+		{"paper sticky example", `T(X,Y,Z) -> S(Y,W). R(X,Y), P(Y,Z) -> T(X,Y,W).`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := set(t, tc.src)
+			if !s.IsSticky() {
+				t.Fatalf("corpus error: %q must be sticky", tc.src)
+			}
+			v, err := Decide(s, DecideOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Terminates {
+				t.Fatalf("must terminate; witness seed %v lasso %v", v.Seed, v.Lasso)
+			}
+			if !v.Complete {
+				t.Error("exploration should complete on these families")
+			}
+		})
+	}
+}
+
+func TestDecideRejectsNonSticky(t *testing.T) {
+	nonSticky := set(t, `T(X,Y,Z) -> S(X,W). R(X,Y), P(Y,Z) -> T(X,Y,W).`)
+	if nonSticky.IsSticky() {
+		t.Fatal("corpus error: second Section 2 set is not sticky")
+	}
+	if _, err := Decide(nonSticky, DecideOptions{}); err == nil {
+		t.Error("non-sticky input must be rejected")
+	}
+	multi := set(t, `R(X) -> S(X), T(X).`)
+	if _, err := Decide(multi, DecideOptions{}); err == nil {
+		t.Error("multi-head input must be rejected")
+	}
+}
+
+func TestWitnessMaterializesToDivergingDatabase(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"ladder", `S(X) -> R(X,Y). R(X,Y) -> S(Y).`},
+		{"linear chain", `R(X,Y) -> R(Y,Z).`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := set(t, tc.src)
+			v, err := Decide(s, DecideOptions{})
+			if err != nil || v.Terminates {
+				t.Fatalf("diverging verdict needed: %v %v", v, err)
+			}
+			cat, err := MaterializeWitness(s, *v.Seed, v.Lasso, 3)
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+			if err := cat.ValidateProto(s); err != nil {
+				t.Fatalf("proto-caterpillar invalid: %v", err)
+			}
+			if err := cat.ValidateCaterpillar(s); err != nil {
+				t.Fatalf("caterpillar invalid: %v", err)
+			}
+			db, err := cat.Database()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := chase.RunChase(db, s, chase.Options{Variant: chase.Restricted, MaxSteps: 200})
+			if run.Terminated() {
+				t.Errorf("materialized witness %v must diverge", db)
+			}
+		})
+	}
+}
+
+func TestCaterpillarValidatorsRejectBrokenPrefixes(t *testing.T) {
+	s := set(t, `S(X) -> R(X,Y). R(X,Y) -> S(Y).`)
+	v, err := Decide(s, DecideOptions{})
+	if err != nil || v.Terminates {
+		t.Fatal("need witness")
+	}
+	cat, err := MaterializeWitness(s, *v.Seed, v.Lasso, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the body: swap two atoms.
+	if len(cat.Body) < 3 {
+		t.Fatal("need at least 3 body atoms")
+	}
+	broken := *cat
+	broken.Body = append(cat.Body[:0:0], cat.Body...)
+	broken.Body[1], broken.Body[2] = broken.Body[2], broken.Body[1]
+	if err := broken.ValidateProto(s); err == nil {
+		t.Error("swapped body must fail validation")
+	}
+	// Mismatched trigger count.
+	short := *cat
+	short.Triggers = cat.Triggers[:len(cat.Triggers)-1]
+	if err := short.ValidateProto(s); err == nil {
+		t.Error("missing trigger must fail")
+	}
+	if !cat.IsFinitary() {
+		t.Error("finite prefixes are finitary")
+	}
+}
+
+func TestStateGrowthAcrossFamilies(t *testing.T) {
+	// The decision explores more states for wider sets — sanity check for
+	// the E7 experiment's shape.
+	small := set(t, `R(X,Y) -> R(Y,Z).`)
+	vSmall, err := Decide(small, DecideOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large := set(t, `R(X,Y) -> P(X,Y). P(X,Y) -> Q(X,Y). Q(X,Y) -> R(Y,Z).`)
+	vLarge, err := Decide(large, DecideOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vLarge.StatesExplored <= vSmall.StatesExplored {
+		t.Logf("small=%d large=%d (non-fatal: witness may be found early)",
+			vSmall.StatesExplored, vLarge.StatesExplored)
+	}
+	if vSmall.Terminates || vLarge.Terminates {
+		t.Error("both families diverge")
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+// RandomOptions tunes RandomTGDSet.
+type RandomOptions struct {
+	// Rules is the number of TGDs (0: 4).
+	Rules int
+	// Preds is the predicate pool size (0: 4).
+	Preds int
+	// MaxArity bounds predicate arity (0: 3).
+	MaxArity int
+	// MaxBody bounds body length (0: 2).
+	MaxBody int
+	// ExistentialBias is the per-head-position probability of an
+	// existential variable, in percent (0: 30).
+	ExistentialBias int
+}
+
+func (o RandomOptions) rules() int {
+	if o.Rules <= 0 {
+		return 4
+	}
+	return o.Rules
+}
+func (o RandomOptions) preds() int {
+	if o.Preds <= 0 {
+		return 4
+	}
+	return o.Preds
+}
+func (o RandomOptions) maxArity() int {
+	if o.MaxArity <= 0 {
+		return 3
+	}
+	return o.MaxArity
+}
+func (o RandomOptions) maxBody() int {
+	if o.MaxBody <= 0 {
+		return 2
+	}
+	return o.MaxBody
+}
+func (o RandomOptions) bias() int {
+	if o.ExistentialBias <= 0 {
+		return 30
+	}
+	return o.ExistentialBias
+}
+
+// RandomTGDSet draws a random single-head TGD set, deterministically from
+// the seed. No class or termination guarantees: callers classify the
+// result themselves (that is the point — it feeds the cross-validation
+// property tests, which check the deciders against empirical chasing on
+// whatever comes out).
+func RandomTGDSet(seed int64, opts RandomOptions) *tgds.Set {
+	rng := rand.New(rand.NewSource(seed))
+	arities := make([]int, opts.preds())
+	for i := range arities {
+		arities[i] = 1 + rng.Intn(opts.maxArity())
+	}
+	varPool := []string{"X", "Y", "Z", "U", "V"}
+	var b strings.Builder
+	for r := 0; r < opts.rules(); r++ {
+		nBody := 1 + rng.Intn(opts.maxBody())
+		var bodyVars []string
+		atom := func(vars []string) string {
+			p := rng.Intn(len(arities))
+			args := make([]string, arities[p])
+			for i := range args {
+				args[i] = vars[rng.Intn(len(vars))]
+			}
+			return fmt.Sprintf("P%d(%s)", p, strings.Join(args, ","))
+		}
+		// Body: draw variables from the pool.
+		k := 1 + rng.Intn(len(varPool)-1)
+		bodyVars = varPool[:k]
+		var bodyAtoms []string
+		for i := 0; i < nBody; i++ {
+			bodyAtoms = append(bodyAtoms, atom(bodyVars))
+		}
+		// Head: frontier vars from the body, existentials with bias.
+		p := rng.Intn(len(arities))
+		args := make([]string, arities[p])
+		for i := range args {
+			if rng.Intn(100) < opts.bias() {
+				args[i] = fmt.Sprintf("W%d", i)
+			} else {
+				args[i] = bodyVars[rng.Intn(len(bodyVars))]
+			}
+		}
+		fmt.Fprintf(&b, "%s -> P%d(%s).\n", strings.Join(bodyAtoms, ", "), p, strings.Join(args, ","))
+	}
+	set, err := parser.ParseTGDs(b.String())
+	if err != nil {
+		panic(fmt.Sprintf("workload: random generator produced invalid program: %v\n%s", err, b.String()))
+	}
+	return set
+}

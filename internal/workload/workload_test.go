@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+
+	"airct/internal/acyclicity"
+	"airct/internal/chase"
+	"airct/internal/guarded"
+)
+
+func TestCorpusLabelsMatchClassCheckers(t *testing.T) {
+	for _, l := range Corpus() {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			if got := l.Set.IsGuarded(); got != l.Guarded {
+				t.Errorf("IsGuarded = %v, labeled %v", got, l.Guarded)
+			}
+			if got := l.Set.IsSticky(); got != l.Sticky {
+				t.Errorf("IsSticky = %v, labeled %v", got, l.Sticky)
+			}
+			if got := l.Set.IsLinear(); got != l.Linear {
+				t.Errorf("IsLinear = %v, labeled %v", got, l.Linear)
+			}
+		})
+	}
+}
+
+func TestGroundTruthLabelsHoldEmpirically(t *testing.T) {
+	// Every diverging corpus member must exhaust a budget from some
+	// frozen-body seed; every terminating member must saturate from all of
+	// them (three trigger orders each).
+	for _, l := range Corpus() {
+		l := l
+		t.Run(l.Name, func(t *testing.T) {
+			diverged := false
+			for _, db := range guarded.GenerateSeeds(l.Set, 128) {
+				for _, o := range []chase.Options{
+					{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: 800, DropSteps: true},
+					{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: 800, DropSteps: true},
+					{Variant: chase.Restricted, Strategy: chase.Random, Seed: 11, MaxSteps: 800, DropSteps: true},
+				} {
+					if !chase.RunChase(db, l.Set, o).Terminated() {
+						diverged = true
+					}
+				}
+			}
+			if diverged && l.Terminates {
+				t.Error("labeled terminating but a seed diverged")
+			}
+			if !diverged && !l.Terminates {
+				t.Error("labeled diverging but every seed saturated")
+			}
+		})
+	}
+}
+
+func TestSwapIntroIsNotWeaklyAcyclic(t *testing.T) {
+	l := SwapIntro(1)
+	if acyclicity.IsWeaklyAcyclic(l.Set) {
+		t.Error("swap-intro must not be WA — that is its raison d'être")
+	}
+	if !l.Set.IsSticky() || !l.Set.IsGuarded() {
+		t.Error("swap-intro is sticky and guarded")
+	}
+}
+
+func TestParametricSizes(t *testing.T) {
+	if got := DatalogChain(5).Set.Len(); got != 5 {
+		t.Errorf("DatalogChain(5) = %d rules", got)
+	}
+	if got := ExistentialChain(3).Set.Len(); got != 6 {
+		t.Errorf("ExistentialChain(3) = %d rules", got)
+	}
+	if got := LinearCycle(4).Set.Len(); got != 4 {
+		t.Errorf("LinearCycle(4) = %d rules", got)
+	}
+	if got := SwapIntro(3).Set.Len(); got != 8 {
+		t.Errorf("SwapIntro(3) = %d rules", got)
+	}
+}
+
+func TestDatabaseGenerators(t *testing.T) {
+	star := StarDatabase("R", 5)
+	if star.Len() != 5 {
+		t.Errorf("star = %d", star.Len())
+	}
+	chain := ChainDatabase("R", 5)
+	if chain.Len() != 5 {
+		t.Errorf("chain = %d", chain.Len())
+	}
+	l := LinearCycle(2)
+	rnd := RandomDatabase(l.Set.Schema(), 20, 5, 7)
+	if rnd.Len() == 0 || rnd.Len() > 20 {
+		t.Errorf("random = %d", rnd.Len())
+	}
+	rnd2 := RandomDatabase(l.Set.Schema(), 20, 5, 7)
+	if !rnd2.Atoms()[0].Equal(rnd.Atoms()[0]) {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestExchangeScenario(t *testing.T) {
+	sc := Exchange(10, 1)
+	if sc.Program.Database.Len() != 10 {
+		t.Errorf("source = %d tuples", sc.Program.Database.Len())
+	}
+	if !acyclicity.IsWeaklyAcyclic(sc.Program.TGDs) {
+		t.Error("exchange mappings must be weakly acyclic")
+	}
+	run := chase.RunChase(sc.Program.Database, sc.Program.TGDs, chase.Options{Variant: chase.Restricted})
+	if !run.Terminated() {
+		t.Error("exchange chase must terminate")
+	}
+	if run.Final.Len() <= 10 {
+		t.Error("targets must be materialised")
+	}
+}
+
+func TestOntologyWorkload(t *testing.T) {
+	prog := Ontology(20, 3)
+	if !prog.TGDs.IsGuarded() {
+		t.Error("ontology must be guarded")
+	}
+	run := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted})
+	if !run.Terminated() {
+		t.Error("ontology chase must terminate")
+	}
+	// Every student must have become a Person with a membership.
+	persons := 0
+	for _, a := range run.Final.Atoms() {
+		if a.Pred.Name == "Person" {
+			persons++
+		}
+	}
+	if persons < 20 {
+		t.Errorf("persons = %d, want ≥ 20", persons)
+	}
+}
