@@ -30,6 +30,7 @@ func BenchmarkAblationNullNaming(b *testing.B) {
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run := chase.RunChase(prog.Database, prog.TGDs, chase.Options{
 					Variant: chase.Restricted, Naming: tc.naming, DropSteps: true,
@@ -58,6 +59,7 @@ func BenchmarkAblationStrategy(b *testing.B) {
 	} {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run := chase.RunChase(prog.Database, prog.TGDs, chase.Options{
 					Variant: chase.Restricted, Strategy: tc.strategy, Seed: 3, DropSteps: true,
@@ -92,6 +94,7 @@ func BenchmarkAblationHomSearchIndex(b *testing.B) {
 	}
 	slice := logic.NewSliceSource(atoms)
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if logic.FindHomomorphism(pattern, nil, inst) == nil {
 				b.Fatal("must match")
@@ -99,6 +102,7 @@ func BenchmarkAblationHomSearchIndex(b *testing.B) {
 		}
 	})
 	b.Run("unindexed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if logic.FindHomomorphism(pattern, nil, slice) == nil {
 				b.Fatal("must match")
@@ -114,6 +118,7 @@ func BenchmarkAblationSeedGeneration(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		fam := workload.GuardedLadder(n)
 		b.Run(fam.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if seeds := guarded.GenerateSeeds(fam.Set, 256); len(seeds) == 0 {
 					b.Fatal("no seeds")
@@ -132,6 +137,7 @@ func BenchmarkAblationExistsSearch(b *testing.B) {
 		swap: R(X,Y) -> R(Y,X).
 	`)
 	b.Run("exists-search", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res := chase.ExistsTerminatingDerivation(prog.Database, prog.TGDs, 5000, 50)
 			if !res.Found {
@@ -140,6 +146,7 @@ func BenchmarkAblationExistsSearch(b *testing.B) {
 		}
 	})
 	b.Run("fifo-engine-budget", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			chase.RunChase(prog.Database, prog.TGDs, chase.Options{
 				Variant: chase.Restricted, MaxSteps: 100, DropSteps: true,

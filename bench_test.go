@@ -41,6 +41,7 @@ func BenchmarkE1RestrictedVsOblivious(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		db := workload.StarDatabase("R", n)
 		b.Run(fmt.Sprintf("restricted/star-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run := chase.RunChase(db, set, chase.Options{Variant: chase.Restricted, DropSteps: true})
 				if !run.Terminated() {
@@ -49,6 +50,7 @@ func BenchmarkE1RestrictedVsOblivious(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("oblivious-budget1000/star-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				run := chase.RunChase(db, set, chase.Options{Variant: chase.Oblivious, MaxSteps: 1000, DropSteps: true})
 				if run.Terminated() {
@@ -69,6 +71,7 @@ func BenchmarkE2RealObliviousChase(b *testing.B) {
 	`)
 	for _, bound := range []int{100, 500, 2000} {
 		b.Run(fmt.Sprintf("nodes-%d", bound), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g := ochase.Build(prog.Database, prog.TGDs, ochase.BuildOptions{MaxNodes: bound})
 				if g.AtomSet().Len() != 4 {
@@ -98,6 +101,7 @@ func BenchmarkE3Fairness(b *testing.B) {
 	}
 	for _, h := range []int{16, 64, 256} {
 		b.Run(fmt.Sprintf("horizon-%d", h), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := fairness.Fairize(prog.Database, prog.TGDs, starve, h); err != nil {
 					b.Fatal(err)
@@ -118,6 +122,7 @@ func BenchmarkE4ChaseableSets(b *testing.B) {
 	`)
 	run := chase.RunChase(prog.Database, prog.TGDs, chase.Options{Variant: chase.Restricted})
 	g := ochase.Build(prog.Database, prog.TGDs, ochase.BuildOptions{MaxNodes: 5000})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		A, err := ochase.ChaseableFromRun(g, run)
@@ -139,6 +144,7 @@ func BenchmarkE5Treeification(b *testing.B) {
 		s2: R(X,Y), T(Y) -> P(X,Y).
 		s3: P(X,Y) -> P(Y,Z).
 	`)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := ochase.Build(prog.Database, prog.TGDs, ochase.BuildOptions{MaxNodes: 400, MaxDepth: 8})
 		if _, err := guarded.Treeify(g, guarded.TreeifyOptions{}); err != nil {
@@ -154,6 +160,7 @@ func BenchmarkE6GuardedDecision(b *testing.B) {
 		for _, fam := range []workload.Labeled{workload.SwapIntro(n), workload.GuardedLadder(n)} {
 			fam := fam
 			b.Run(fam.Name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					v, err := guarded.Decide(fam.Set, guarded.DecideOptions{MaxSteps: 800})
 					if err != nil {
@@ -175,6 +182,7 @@ func BenchmarkE7StickyDecision(b *testing.B) {
 		for _, fam := range []workload.Labeled{workload.StickyJoin(n), workload.StickyRelay(n)} {
 			fam := fam
 			b.Run(fam.Name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					v, err := sticky.Decide(fam.Set, sticky.DecideOptions{})
 					if err != nil {
@@ -201,6 +209,7 @@ func BenchmarkE8BoundedGapWitness(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := buchi.Explore(a, 0)
@@ -216,6 +225,7 @@ func BenchmarkE8BoundedGapWitness(b *testing.B) {
 func BenchmarkE9BaselineCoverage(b *testing.B) {
 	corpus := workload.Corpus()
 	b.Run("baselines", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, l := range corpus {
 				acyclicity.IsWeaklyAcyclic(l.Set)
@@ -224,6 +234,7 @@ func BenchmarkE9BaselineCoverage(b *testing.B) {
 		}
 	})
 	b.Run("analyzer", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, l := range corpus {
 				if _, err := core.Analyze(l.Set, core.Options{}); err != nil {
@@ -246,6 +257,7 @@ func BenchmarkE10EngineThroughput(b *testing.B) {
 		for _, v := range []chase.Variant{chase.Restricted, chase.SemiOblivious, chase.Oblivious} {
 			w, v := w, v
 			b.Run(fmt.Sprintf("%s/%s", w.name, v), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					run := chase.RunChase(w.prog.Database, w.prog.TGDs, chase.Options{Variant: v, DropSteps: true})
 					if !run.Terminated() {

@@ -1,0 +1,3 @@
+module airct
+
+go 1.22

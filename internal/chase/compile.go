@@ -1,0 +1,103 @@
+package chase
+
+import (
+	"sort"
+
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// compiledTGD is the engine's slot-compiled form of one TGD. Variables map
+// to dense slots — sorted body variables first (slots 0..nBody-1), then
+// sorted existential head variables — so a trigger is identified by the
+// TermID tuple bound to the body slots, the frontier class by the subset at
+// frontierSlots, and result atoms are built straight from slot references.
+// Nothing on these paths renders a string.
+type compiledTGD struct {
+	nBody     int
+	bodyVars  []logic.Term // sorted; slot i holds bodyVars[i]
+	existVars []logic.Term // sorted; slot nBody+k holds existVars[k]
+
+	body      *logic.CPattern   // all body atoms
+	bodyMinus []*logic.CPattern // body atoms excluding atom j, for semi-naive discovery
+	head      *logic.CPattern   // head atoms: activity pattern and result template
+
+	// frontierSlots are the body slots of frontier variables, ascending
+	// (equivalently: frontier variables in sorted order).
+	frontierSlots []int32
+}
+
+// compileSet compiles every TGD of the set against the interner (the
+// engine's instance interner, so pattern PredIDs and the instance's posting
+// lists agree).
+func compileSet(set *tgds.Set, in *logic.Interner) []compiledTGD {
+	out := make([]compiledTGD, len(set.TGDs))
+	for i, t := range set.TGDs {
+		out[i] = compileTGD(t, in)
+	}
+	return out
+}
+
+func compileTGD(t tgds.TGD, in *logic.Interner) compiledTGD {
+	ct := compiledTGD{
+		bodyVars:  t.BodyVars().Sorted(),
+		existVars: t.ExistentialVars().Sorted(),
+	}
+	ct.nBody = len(ct.bodyVars)
+	slots := make(map[logic.Term]int32, ct.nBody+len(ct.existVars))
+	for i, v := range ct.bodyVars {
+		slots[v] = int32(i)
+	}
+	for k, v := range ct.existVars {
+		slots[v] = int32(ct.nBody + k)
+	}
+	slotOf := func(t logic.Term) int32 { return slots[t] }
+	total := ct.nBody + len(ct.existVars)
+	ct.body = logic.CompilePattern(t.Body, total, slotOf, in)
+	ct.head = logic.CompilePattern(t.Head, total, slotOf, in)
+	ct.bodyMinus = make([]*logic.CPattern, len(t.Body))
+	for j := range t.Body {
+		rest := make([]logic.CAtom, 0, len(t.Body)-1)
+		rest = append(rest, ct.body.Atoms[:j]...)
+		rest = append(rest, ct.body.Atoms[j+1:]...)
+		ct.bodyMinus[j] = &logic.CPattern{Atoms: rest, NSlots: total}
+	}
+	frontier := t.Frontier()
+	for i, v := range ct.bodyVars {
+		if frontier.Has(v) {
+			ct.frontierSlots = append(ct.frontierSlots, int32(i))
+		}
+	}
+	return ct
+}
+
+// discSorter sorts the flat buffer of discovered trigger tuples (offsets in
+// sortBuf, tuples of length stride in discBuf) by the canonical trigger
+// order: componentwise Term.Compare of the bound terms in slot order. This
+// reproduces logic.SortSubstitutions over the interned representation —
+// comparisons resolve terms through the interner, but no key strings are
+// built. It lives on the engine so sorting allocates nothing.
+type discSorter struct {
+	e      *engine
+	stride int32
+}
+
+func (d *discSorter) Len() int { return len(d.e.sortBuf) }
+
+func (d *discSorter) Swap(i, j int) {
+	d.e.sortBuf[i], d.e.sortBuf[j] = d.e.sortBuf[j], d.e.sortBuf[i]
+}
+
+func (d *discSorter) Less(i, j int) bool {
+	a := d.e.discBuf[d.e.sortBuf[i] : d.e.sortBuf[i]+d.stride]
+	b := d.e.discBuf[d.e.sortBuf[j] : d.e.sortBuf[j]+d.stride]
+	// a[0] and b[0] hold the TGD index and are equal within one sort.
+	for k := 1; k < int(d.stride); k++ {
+		if c := d.e.itab.CompareTermIDs(logic.TermID(a[k]), logic.TermID(b[k])); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+var _ sort.Interface = (*discSorter)(nil)

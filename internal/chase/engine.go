@@ -3,6 +3,7 @@ package chase
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"airct/internal/instance"
 	"airct/internal/logic"
@@ -165,87 +166,191 @@ func (r *Run) InstanceAt(i int) *instance.Instance {
 	return inst
 }
 
-// engine is the shared machinery of the three variants.
+// engine is the shared machinery of the three variants. It runs entirely on
+// interned identity: triggers are TermID tuples deduped in a TupleTable
+// (one probe answers "seen before?"), activity checks and trigger discovery
+// run the slot-compiled homomorphism search, and the FIFO queue is a
+// head-indexed ring of 4-byte trigger IDs. No string keys are built in
+// steady state; Trigger.Key()/FrontierKey() remain as debug/test renderers
+// and are used only when recording Steps is requested.
 type engine struct {
-	set   *tgds.Set
-	opts  Options
-	inst  *instance.Instance
-	nulls *NullFactory
-	queue []Trigger
-	seen  map[string]struct{} // trigger keys ever enqueued
-	// appliedFrontier dedups semi-oblivious applications by frontier class.
-	appliedFrontier map[string]struct{}
-	rng             *rand.Rand
-	run             *Run
+	set  *tgds.Set
+	opts Options
+	inst *instance.Instance
+	itab *logic.Interner
+	ct   []compiledTGD
+
+	namer       *logic.FreshNamer       // null names, shared sequence across naming modes
+	structNulls map[uint64]logic.TermID // StructuralNaming: (trigger ID, exist index) -> null
+
+	trig      *logic.TupleTable // trigger identity: [tgd, body TermIDs...]; TupleID = trigger
+	front     *logic.TupleTable // frontier classes: [tgd, frontier TermIDs...]
+	applied   []bool            // per frontier class (semi-oblivious)
+	lastFront logic.TupleID     // frontier class of the trigger applicable just admitted
+
+	queue []int32 // trigger TupleIDs
+	qhead int     // FIFO ring head
+
+	rng *rand.Rand
+	run *Run
+
+	ss      logic.SlotSearch
+	ds      discSorter
+	tupbuf  []uint32       // scratch identity tuple
+	discBuf []uint32       // flat discovered trigger tuples
+	sortBuf []int32        // offsets into discBuf, sorted canonically
+	nullIDs []logic.TermID // scratch nulls of the current application
+	argbuf  []logic.TermID // scratch head-atom arguments
+	addedIx []int32        // scratch indices of atoms added by the current application
 }
 
 // Run chases the database with the TGD set under the options.
 func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
+	inst := db.Instance()
 	e := &engine{
-		set:             set,
-		opts:            opts,
-		inst:            db.Instance(),
-		nulls:           NewNullFactory(opts.Naming),
-		seen:            make(map[string]struct{}),
-		appliedFrontier: make(map[string]struct{}),
-		run:             &Run{Options: opts, Set: set, Database: db},
+		set:         set,
+		opts:        opts,
+		inst:        inst,
+		itab:        inst.Interner(),
+		namer:       logic.NewFreshNamer("n"),
+		structNulls: make(map[uint64]logic.TermID),
+		trig:        logic.NewTupleTable(64),
+		front:       logic.NewTupleTable(16),
+		run:         &Run{Options: opts, Set: set, Database: db},
 	}
+	e.ct = compileSet(set, e.itab)
+	e.ds.e = e
 	if opts.Strategy == Random {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
-	for _, tr := range AllTriggers(set, e.inst) {
-		e.enqueue(tr)
+	// Seed the queue with every trigger on the database, per TGD in
+	// canonical order (the order AllTriggers produces).
+	for i := range e.ct {
+		ct := &e.ct[i]
+		e.ss.Reset(ct.body)
+		e.collectTriggers(i, ct.body)
+		e.enqueueDiscovered(ct)
 	}
 	e.loop()
 	e.run.Final = e.inst
 	return e.run
 }
 
-func (e *engine) enqueue(tr Trigger) {
-	key := tr.Key()
-	if _, ok := e.seen[key]; ok {
-		return
-	}
-	e.seen[key] = struct{}{}
-	e.run.Stats.TriggersEnqueued++
-	e.queue = append(e.queue, tr)
+// collectTriggers enumerates homomorphisms of the pattern (extending any
+// bindings already pinned in e.ss.Bind) and collects one trigger tuple
+// [tgd, body TermIDs...] per homomorphism into discBuf/sortBuf.
+func (e *engine) collectTriggers(tgd int, pat *logic.CPattern) {
+	ct := &e.ct[tgd]
+	e.discBuf = e.discBuf[:0]
+	e.sortBuf = e.sortBuf[:0]
+	e.ss.ForEach(pat, e.inst, func(bind []logic.TermID) bool {
+		e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
+		e.discBuf = append(e.discBuf, uint32(tgd))
+		for s := 0; s < ct.nBody; s++ {
+			e.discBuf = append(e.discBuf, uint32(bind[s]))
+		}
+		return true
+	})
 }
 
-func (e *engine) pop() Trigger {
-	var i int
+// enqueueDiscovered sorts the collected trigger tuples canonically and
+// enqueues the ones never seen before. The trigger table's isNew answer is
+// the dedup — no separate seen set.
+func (e *engine) enqueueDiscovered(ct *compiledTGD) {
+	if len(e.sortBuf) > 1 {
+		e.ds.stride = int32(ct.nBody) + 1
+		sort.Sort(&e.ds)
+	}
+	for _, off := range e.sortBuf {
+		tup := e.discBuf[off : off+int32(ct.nBody)+1]
+		if id, isNew := e.trig.Intern(tup); isNew {
+			e.run.Stats.TriggersEnqueued++
+			e.queue = append(e.queue, id)
+		}
+	}
+}
+
+func (e *engine) pending() int { return len(e.queue) - e.qhead }
+
+func (e *engine) pop() int32 {
 	switch e.opts.Strategy {
 	case LIFO:
-		i = len(e.queue) - 1
+		id := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		return id
 	case Random:
-		i = e.rng.Intn(len(e.queue))
-	default:
-		i = 0
+		// Remove at a random position, preserving the relative order of the
+		// rest (same discipline — and same seeded index sequence — as the
+		// string-keyed engine). O(pending), deliberately: Random exists to
+		// exhibit derivations, not to be fast.
+		i := e.qhead + e.rng.Intn(e.pending())
+		id := e.queue[i]
+		copy(e.queue[i:], e.queue[i+1:])
+		e.queue = e.queue[:len(e.queue)-1]
+		return id
+	default: // FIFO: head-indexed ring, O(1) amortized — no slice shifting.
+		id := e.queue[e.qhead]
+		e.qhead++
+		if e.qhead >= 64 && e.qhead*2 >= len(e.queue) {
+			n := copy(e.queue, e.queue[e.qhead:])
+			e.queue = e.queue[:n]
+			e.qhead = 0
+		}
+		return id
 	}
-	tr := e.queue[i]
-	e.queue = append(e.queue[:i], e.queue[i+1:]...)
-	return tr
+}
+
+// isActive reports whether the trigger (tgd, body tuple) is active: no
+// homomorphism of the head extending the frontier bindings exists in the
+// instance (Definition 3.1), checked with the slot search.
+func (e *engine) isActive(tgd int, bt []uint32) bool {
+	ct := &e.ct[tgd]
+	e.ss.Reset(ct.head)
+	for _, s := range ct.frontierSlots {
+		e.ss.Bind[s] = logic.TermID(bt[s])
+	}
+	found := false
+	e.ss.ForEach(ct.head, e.inst, func([]logic.TermID) bool {
+		found = true
+		return false
+	})
+	return !found
+}
+
+// frontierID interns the trigger's frontier class and returns its dense ID,
+// growing the applied flags alongside.
+func (e *engine) frontierID(tgd int, bt []uint32) logic.TupleID {
+	ct := &e.ct[tgd]
+	e.tupbuf = e.tupbuf[:0]
+	e.tupbuf = append(e.tupbuf, uint32(tgd))
+	for _, s := range ct.frontierSlots {
+		e.tupbuf = append(e.tupbuf, bt[s])
+	}
+	id, _ := e.front.Intern(e.tupbuf)
+	for len(e.applied) < e.front.Len() {
+		e.applied = append(e.applied, false)
+	}
+	return id
 }
 
 // applicable decides whether a popped trigger should fire under the variant.
-func (e *engine) applicable(tr Trigger) bool {
+func (e *engine) applicable(tgd int, bt []uint32) bool {
 	switch e.opts.Variant {
 	case Restricted:
 		// Activity is antitone: once non-active, forever non-active
 		// (instances only grow), so dropping is safe.
 		e.run.Stats.ActivityChecks++
-		return IsActive(tr, e.inst)
+		return e.isActive(tgd, bt)
 	case SemiOblivious:
-		if _, done := e.appliedFrontier[tr.FrontierKey()]; done {
-			return false
-		}
-		return true
+		e.lastFront = e.frontierID(tgd, bt)
+		return !e.applied[e.lastFront]
 	default:
 		return true
 	}
 }
 
 func (e *engine) loop() {
-	for len(e.queue) > 0 {
+	for e.pending() > 0 {
 		if e.opts.MaxSteps > 0 && e.run.StepsTaken >= e.opts.MaxSteps {
 			e.run.Reason = StepBudget
 			return
@@ -254,36 +359,127 @@ func (e *engine) loop() {
 			e.run.Reason = AtomBudget
 			return
 		}
-		tr := e.pop()
-		if !e.applicable(tr) {
+		id := e.pop()
+		tup := e.trig.Tuple(id)
+		tgd, bt := int(tup[0]), tup[1:]
+		if !e.applicable(tgd, bt) {
 			e.run.Stats.TriggersSkipped++
 			continue
 		}
-		e.apply(tr)
+		e.apply(id, tgd, bt)
 	}
 	e.run.Reason = Fixpoint
 }
 
-func (e *engine) apply(tr Trigger) {
-	result := Result(tr, e.nulls)
-	added := make([]logic.Atom, 0, len(result))
-	for _, a := range result {
-		if e.inst.Add(a) {
-			added = append(added, a)
+// nullFor returns the interned null for the trigger's k-th existential
+// variable: fresh under CounterNaming, interned per (trigger, variable)
+// under StructuralNaming — the paper's c^{σ,h}_x, keyed by IDs.
+func (e *engine) nullFor(id int32, k int) logic.TermID {
+	if e.opts.Naming == CounterNaming {
+		return e.itab.InternTerm(e.namer.NextNull())
+	}
+	key := uint64(uint32(id))<<32 | uint64(uint32(k))
+	if nid, ok := e.structNulls[key]; ok {
+		return nid
+	}
+	nid := e.itab.InternTerm(e.namer.NextNull())
+	e.structNulls[key] = nid
+	return nid
+}
+
+func (e *engine) apply(id int32, tgd int, bt []uint32) {
+	ct := &e.ct[tgd]
+	e.nullIDs = e.nullIDs[:0]
+	for k := range ct.existVars {
+		e.nullIDs = append(e.nullIDs, e.nullFor(id, k))
+	}
+	record := !e.opts.DropSteps
+	var result, added []logic.Atom
+	e.addedIx = e.addedIx[:0]
+	for _, ca := range ct.head.Atoms {
+		e.argbuf = e.argbuf[:0]
+		for _, a := range ca.Args {
+			if int(a.Slot) < ct.nBody {
+				e.argbuf = append(e.argbuf, logic.TermID(bt[a.Slot]))
+			} else {
+				e.argbuf = append(e.argbuf, e.nullIDs[int(a.Slot)-ct.nBody])
+			}
+		}
+		idx, isNew := e.inst.AddTuple(ca.Pred, e.argbuf)
+		if record {
+			result = append(result, e.inst.AtomAt(int(idx)))
+		}
+		if isNew {
+			e.addedIx = append(e.addedIx, idx)
+			if record {
+				added = append(added, e.inst.AtomAt(int(idx)))
+			}
 		}
 	}
 	if e.opts.Variant == SemiOblivious {
-		e.appliedFrontier[tr.FrontierKey()] = struct{}{}
+		// applicable just interned this trigger's frontier class.
+		e.applied[e.lastFront] = true
 	}
 	e.run.StepsTaken++
-	if !e.opts.DropSteps {
-		e.run.Steps = append(e.run.Steps, Step{Trigger: tr, Result: result, Added: added})
+	if record {
+		e.run.Steps = append(e.run.Steps, Step{
+			Trigger: e.materializeTrigger(tgd, bt),
+			Result:  result,
+			Added:   added,
+		})
 	}
-	for _, a := range added {
-		for _, nt := range TriggersInvolving(e.set, e.inst, a) {
-			e.enqueue(nt)
+	// Semi-naive delta: new atoms seed new triggers, exactly like the
+	// public TriggersInvolving but fused with dedup-by-interning. The loop
+	// ranges over the live e.addedIx scratch: discover must not reuse it
+	// (it clobbers discBuf/sortBuf/ss only).
+	for _, ai := range e.addedIx {
+		e.discover(ai)
+	}
+}
+
+// discover finds every trigger whose body uses the atom at insertion index
+// ai at some body-atom position and enqueues the new ones, in the canonical
+// order TriggersInvolving produces.
+func (e *engine) discover(ai int32) {
+	pred := e.inst.AtomPredID(ai)
+	args := e.inst.AtomArgIDs(ai)
+	for i := range e.ct {
+		ct := &e.ct[i]
+		for j := range ct.body.Atoms {
+			ba := &ct.body.Atoms[j]
+			if ba.Pred != pred {
+				continue
+			}
+			// Pin the body atom onto the new atom; conflicting repeated
+			// variables rule the position out.
+			e.ss.Reset(ct.body)
+			ok := true
+			for k, a := range ba.Args {
+				v := logic.TermID(args[k])
+				if b := e.ss.Bind[a.Slot]; b != logic.NoTermID && b != v {
+					ok = false
+					break
+				}
+				e.ss.Bind[a.Slot] = v
+			}
+			if !ok {
+				continue
+			}
+			e.collectTriggers(i, ct.bodyMinus[j])
+			e.enqueueDiscovered(ct)
 		}
 	}
+}
+
+// materializeTrigger rebuilds the public Trigger form (map substitution
+// over the body variables) for derivation recording.
+func (e *engine) materializeTrigger(tgd int, bt []uint32) Trigger {
+	ct := &e.ct[tgd]
+	h := logic.NewSubstitution()
+	for i, v := range ct.bodyVars {
+		h[v] = e.itab.Term(logic.TermID(bt[i]))
+	}
+	return Trigger{TGDIndex: tgd, TGD: e.set.TGDs[tgd], H: h}
 }
 
 // Terminates runs the restricted chase with the given budgets and reports

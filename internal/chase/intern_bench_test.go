@@ -1,0 +1,67 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"airct/internal/parser"
+	"airct/internal/workload"
+)
+
+// Dense-trigger workloads: many joins, heavy trigger discovery and dedup,
+// activity checks on every pop. These are the workloads the interned-ID
+// layer targets; BenchmarkRunChaseInterned (the new engine) against
+// BenchmarkRunChaseReference (the string-keyed engine kept as the
+// differential oracle) is the before/after of the interning refactor.
+
+func densePrograms(b *testing.B) map[string]*parser.Program {
+	b.Helper()
+	closure := func(n int) *parser.Program {
+		src := "E(X,Y), E(Y,Z) -> E(X,Z).\n"
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("E(c%d,c%d).\n", i, (i+1)%n)
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prog
+	}
+	return map[string]*parser.Program{
+		"closure-cycle-24": closure(24),
+		"ontology-120":     workload.Ontology(120, 1),
+		"exchange-150":     workload.Exchange(150, 1).Program,
+	}
+}
+
+func benchEngines(b *testing.B, run func(*parser.Program, Variant) *Run) {
+	for name, prog := range densePrograms(b) {
+		for _, variant := range []Variant{Restricted, SemiOblivious} {
+			prog, variant := prog, variant
+			b.Run(fmt.Sprintf("%s/%v", name, variant), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if r := run(prog, variant); !r.Terminated() {
+						b.Fatal("must terminate")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunChaseInterned measures the interned engine on the dense
+// workloads.
+func BenchmarkRunChaseInterned(b *testing.B) {
+	benchEngines(b, func(prog *parser.Program, v Variant) *Run {
+		return RunChase(prog.Database, prog.TGDs, Options{Variant: v, DropSteps: true})
+	})
+}
+
+// BenchmarkRunChaseReference measures the pre-interning string-keyed engine
+// (the differential oracle) on the same workloads.
+func BenchmarkRunChaseReference(b *testing.B) {
+	benchEngines(b, func(prog *parser.Program, v Variant) *Run {
+		return referenceRunChase(prog.Database, prog.TGDs, Options{Variant: v, DropSteps: true})
+	})
+}

@@ -27,13 +27,16 @@ type Trigger struct {
 
 // Key returns a canonical identity for the trigger: the TGD index plus the
 // body-variable bindings. Two applications of the same TGD with the same
-// homomorphism are the same trigger.
+// homomorphism are the same trigger. This is the debug/test rendering of
+// trigger identity — the engine dedups triggers by interned (TGD index,
+// TermID tuple) keys and never builds these strings.
 func (tr Trigger) Key() string {
 	return fmt.Sprintf("%d|%s", tr.TGDIndex, tr.H.Restrict(tr.TGD.BodyVars()).Key())
 }
 
 // FrontierKey identifies the trigger up to its frontier bindings: the
 // semi-oblivious (skolem) chase applies one trigger per frontier class.
+// Like Key, a debug/test renderer; the engine interns frontier classes.
 func (tr Trigger) FrontierKey() string {
 	return fmt.Sprintf("%d|%s", tr.TGDIndex, tr.H.Restrict(tr.TGD.Frontier()).Key())
 }
@@ -98,7 +101,10 @@ func (f *NullFactory) NullFor(tr Trigger, x logic.Term) logic.Term {
 func Result(tr Trigger, nulls *NullFactory) []logic.Atom {
 	v := logic.NewSubstitution()
 	frontier := tr.TGD.Frontier()
-	for x := range tr.TGD.HeadVars() {
+	// Sorted iteration pins the null-invention order: under CounterNaming
+	// the k-th existential variable (in term order) of an application always
+	// receives the k-th fresh name, matching the engine's interned path.
+	for _, x := range tr.TGD.HeadVars().Sorted() {
 		if frontier.Has(x) {
 			v.Bind(x, tr.H.ApplyTerm(x))
 		} else {

@@ -1,8 +1,18 @@
 // Package instance implements instances (possibly infinite in the paper,
 // finite here) and databases over a schema, with the indexes the chase and
 // the homomorphism search need: by predicate and by (predicate, position,
-// term). An Instance is a *set* of atoms — duplicates are silently merged —
-// matching Section 2 of the paper; multiset structures live in ochase.
+// term). An Instance is a *set* of ground atoms — duplicates are silently
+// merged — matching Section 2 of the paper; multiset structures live in
+// ochase.
+//
+// Identity is interned: each instance owns a logic.Interner mapping terms
+// and predicates to dense IDs, and membership is a (PredID, TermID...)
+// tuple-table probe — no string keys are built on the Add/Has/Diff/Equal
+// paths. Atom.Key() remains available as the debug/test rendering.
+//
+// Concurrency contract: an Instance has a single writer. Readers may run
+// concurrently with each other, but not with Add. Engines own their
+// instance (RunChase chases a clone, never the caller's database).
 package instance
 
 import (
@@ -13,28 +23,35 @@ import (
 	"airct/internal/logic"
 )
 
-type ptKey struct {
-	pred logic.Predicate
-	pos  int // 1-based
-	term logic.Term
-}
-
 // Instance is a finite set of ground atoms (constants and nulls only),
 // indexed for fast trigger and homomorphism search. The zero value is not
 // usable; call New.
 type Instance struct {
-	byKey  map[string]int // atom key -> index into ordered
-	byPred map[logic.Predicate][]logic.Atom
-	byPT   map[ptKey][]logic.Atom
-	order  []logic.Atom // insertion order, no duplicates
+	tab   *logic.Interner   // term/pred IDs; owned by this instance
+	atoms *logic.TupleTable // (PredID, TermID...) identity; TupleID = insertion index
+	order []logic.Atom      // insertion order, no duplicates
+
+	byPred  map[logic.Predicate][]logic.Atom // interface index for the generic search
+	predIdx map[logic.PredID][]int32         // insertion indices per predicate
+	ptIdx   map[uint64][]int32               // packed (pred, pos, term) -> insertion indices
+
+	tupbuf []uint32 // scratch for tuple probes; single-writer
+}
+
+// ptPack packs a (PredID, 1-based position, TermID) triple into one map
+// key: 22 bits of predicate, 10 of position, 32 of term.
+func ptPack(p logic.PredID, pos int, t logic.TermID) uint64 {
+	return uint64(p)<<42 | uint64(pos)<<32 | uint64(t)
 }
 
 // New returns an empty instance.
 func New() *Instance {
 	return &Instance{
-		byKey:  make(map[string]int),
-		byPred: make(map[logic.Predicate][]logic.Atom),
-		byPT:   make(map[ptKey][]logic.Atom),
+		tab:     logic.NewInterner(),
+		atoms:   logic.NewTupleTable(16),
+		byPred:  make(map[logic.Predicate][]logic.Atom),
+		predIdx: make(map[logic.PredID][]int32),
+		ptIdx:   make(map[uint64][]int32),
 	}
 }
 
@@ -48,6 +65,11 @@ func FromAtoms(atoms ...logic.Atom) *Instance {
 	return inst
 }
 
+// Interner exposes the instance's identity tables. The engine shares it to
+// translate between terms and IDs; the single-writer contract extends to
+// it (interning through it counts as writing).
+func (in *Instance) Interner() *logic.Interner { return in.tab }
+
 // Add inserts the atom and reports whether it was new. It panics if the
 // atom contains a variable: instances hold ground atoms only, and inserting
 // a non-ground atom is a programming error.
@@ -55,18 +77,52 @@ func (in *Instance) Add(a logic.Atom) bool {
 	if !a.IsGround() {
 		panic(fmt.Sprintf("instance: non-ground atom %v", a))
 	}
-	key := a.Key()
-	if _, ok := in.byKey[key]; ok {
-		return false
+	pid := in.tab.InternPred(a.Pred)
+	in.tupbuf = in.tupbuf[:0]
+	in.tupbuf = append(in.tupbuf, uint32(pid))
+	for _, t := range a.Args {
+		in.tupbuf = append(in.tupbuf, uint32(in.tab.InternTerm(t)))
 	}
-	in.byKey[key] = len(in.order)
+	_, isNew := in.insert(pid, in.tupbuf, a)
+	return isNew
+}
+
+// AddTuple inserts the atom with the given interned identity, materializing
+// its logic.Atom form from the IDs. It returns the atom's insertion index
+// and whether it was new. This is the engine's allocation-free membership
+// path (the Atom is materialized only for new atoms).
+func (in *Instance) AddTuple(pid logic.PredID, args []logic.TermID) (int32, bool) {
+	in.tupbuf = in.tupbuf[:0]
+	in.tupbuf = append(in.tupbuf, uint32(pid))
+	for _, t := range args {
+		in.tupbuf = append(in.tupbuf, uint32(t))
+	}
+	if idx, ok := in.atoms.Lookup(in.tupbuf); ok {
+		return idx, false
+	}
+	terms := make([]logic.Term, len(args))
+	for i, t := range args {
+		terms[i] = in.tab.Term(t)
+	}
+	a := logic.Atom{Pred: in.tab.Pred(pid), Args: terms}
+	idx, _ := in.insert(pid, in.tupbuf, a)
+	return idx, true
+}
+
+// insert stores the atom under the prepared identity tuple (pid, args...).
+func (in *Instance) insert(pid logic.PredID, tuple []uint32, a logic.Atom) (int32, bool) {
+	idx, isNew := in.atoms.Intern(tuple)
+	if !isNew {
+		return idx, false
+	}
 	in.order = append(in.order, a)
 	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
-	for i, t := range a.Args {
-		k := ptKey{pred: a.Pred, pos: i + 1, term: t}
-		in.byPT[k] = append(in.byPT[k], a)
+	in.predIdx[pid] = append(in.predIdx[pid], idx)
+	for i, t := range tuple[1:] {
+		k := ptPack(pid, i+1, logic.TermID(t))
+		in.ptIdx[k] = append(in.ptIdx[k], idx)
 	}
-	return true
+	return idx, true
 }
 
 // AddAll inserts every atom and returns the number that were new.
@@ -80,9 +136,47 @@ func (in *Instance) AddAll(atoms []logic.Atom) int {
 	return n
 }
 
-// Has reports whether the atom is present.
+// lookupTuple builds the identity tuple for a into buf without interning;
+// ok is false when some term or the predicate was never seen (so a is
+// absent). The read paths pass stack-local buffers so concurrent readers
+// never share scratch (in.tupbuf belongs to the writer).
+func (in *Instance) lookupTuple(a logic.Atom, buf []uint32) ([]uint32, bool) {
+	pid, ok := in.tab.LookupPred(a.Pred)
+	if !ok {
+		return nil, false
+	}
+	buf = append(buf, uint32(pid))
+	for _, t := range a.Args {
+		id, ok := in.tab.LookupTerm(t)
+		if !ok {
+			return nil, false
+		}
+		buf = append(buf, uint32(id))
+	}
+	return buf, true
+}
+
+// Has reports whether the atom is present. No strings, no interning: a
+// probe against the identity tables. Safe for concurrent readers.
 func (in *Instance) Has(a logic.Atom) bool {
-	_, ok := in.byKey[a.Key()]
+	var arr [12]uint32
+	tup, ok := in.lookupTuple(a, arr[:0])
+	if !ok {
+		return false
+	}
+	_, ok = in.atoms.Lookup(tup)
+	return ok
+}
+
+// HasTuple reports membership of an already-interned atom identity. Safe
+// for concurrent readers.
+func (in *Instance) HasTuple(pid logic.PredID, args []logic.TermID) bool {
+	var arr [12]uint32
+	tup := append(arr[:0], uint32(pid))
+	for _, t := range args {
+		tup = append(tup, uint32(t))
+	}
+	_, ok := in.atoms.Lookup(tup)
 	return ok
 }
 
@@ -102,10 +196,40 @@ func (in *Instance) AtomAt(i int) logic.Atom { return in.order[i] }
 // AtomsByPredicate implements logic.AtomSource.
 func (in *Instance) AtomsByPredicate(p logic.Predicate) []logic.Atom { return in.byPred[p] }
 
-// AtomsByPredicateTerm implements logic.IndexedSource: atoms with predicate
-// p whose (1-based) pos-th argument is t.
-func (in *Instance) AtomsByPredicateTerm(p logic.Predicate, pos int, t logic.Term) []logic.Atom {
-	return in.byPT[ptKey{pred: p, pos: pos, term: t}]
+// AtomIndexesByPredicateTerm implements logic.IndexedSource: insertion
+// indices of atoms with predicate p whose (1-based) pos-th argument is t.
+func (in *Instance) AtomIndexesByPredicateTerm(p logic.Predicate, pos int, t logic.Term) []int32 {
+	pid, ok := in.tab.LookupPred(p)
+	if !ok {
+		return nil
+	}
+	tid, ok := in.tab.LookupTerm(t)
+	if !ok {
+		return nil
+	}
+	return in.ptIdx[ptPack(pid, pos, tid)]
+}
+
+// AtomByIndex implements logic.IndexedSource.
+func (in *Instance) AtomByIndex(i int32) logic.Atom { return in.order[i] }
+
+// AtomArgIDs implements logic.IDSource: the raw interned argument tuple
+// (each element is a logic.TermID value) of the atom at insertion index i.
+func (in *Instance) AtomArgIDs(i int32) []uint32 {
+	return in.atoms.Tuple(i)[1:]
+}
+
+// AtomPredID returns the interned predicate of the atom at insertion index i.
+func (in *Instance) AtomPredID(i int32) logic.PredID {
+	return logic.PredID(in.atoms.Tuple(i)[0])
+}
+
+// IdxByPred implements logic.IDSource.
+func (in *Instance) IdxByPred(p logic.PredID) []int32 { return in.predIdx[p] }
+
+// IdxByPredTerm implements logic.IDSource.
+func (in *Instance) IdxByPredTerm(p logic.PredID, pos int, t logic.TermID) []int32 {
+	return in.ptIdx[ptPack(p, pos, t)]
 }
 
 // Dom returns the active domain dom(I): every term occurring in the
@@ -132,7 +256,11 @@ func (in *Instance) Schema() *logic.Schema {
 }
 
 // Clone returns a deep-enough copy: atoms are immutable by convention, so
-// only the index structures are rebuilt.
+// only the index structures are rebuilt. Atom insertion indices (and hence
+// tuple IDs) match the original; TermIDs need not — the clone interns
+// terms in atom-argument appearance order, while the original's writer may
+// have interned them in another order (the engine interns nulls before the
+// atoms that carry them). Never compare TermIDs across instances.
 func (in *Instance) Clone() *Instance {
 	out := New()
 	for _, a := range in.order {
@@ -146,18 +274,13 @@ func (in *Instance) Equal(other *Instance) bool {
 	if in.Len() != other.Len() {
 		return false
 	}
-	for key := range in.byKey {
-		if _, ok := other.byKey[key]; !ok {
-			return false
-		}
-	}
-	return true
+	return other.ContainsAll(in)
 }
 
 // ContainsAll reports whether every atom of other is present in in.
 func (in *Instance) ContainsAll(other *Instance) bool {
-	for key := range other.byKey {
-		if _, ok := in.byKey[key]; !ok {
+	for _, a := range other.order {
+		if !in.Has(a) {
 			return false
 		}
 	}
@@ -272,11 +395,12 @@ func Diff(a, b *Instance) []logic.Atom {
 }
 
 // SortedKeys returns the canonical atom keys in sorted order; handy for
-// deterministic comparisons in tests.
+// deterministic comparisons in tests. This is a debug/test renderer: it
+// builds one string per atom.
 func (in *Instance) SortedKeys() []string {
-	keys := make([]string, 0, len(in.byKey))
-	for k := range in.byKey {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(in.order))
+	for _, a := range in.order {
+		keys = append(keys, a.Key())
 	}
 	sort.Strings(keys)
 	return keys

@@ -49,11 +49,17 @@ func TestInstanceIndexes(t *testing.T) {
 	if got := in.AtomsByPredicate(logic.Pred("T", 1)); got != nil {
 		t.Errorf("byPred missing pred = %v", got)
 	}
-	if got := in.AtomsByPredicateTerm(logic.Pred("R", 2), 1, logic.Const("a")); len(got) != 2 {
+	if got := in.AtomIndexesByPredicateTerm(logic.Pred("R", 2), 1, logic.Const("a")); len(got) != 2 {
 		t.Errorf("byPT (R,1,a) = %d atoms", len(got))
 	}
-	if got := in.AtomsByPredicateTerm(logic.Pred("R", 2), 2, logic.Const("b")); len(got) != 1 {
+	if got := in.AtomIndexesByPredicateTerm(logic.Pred("R", 2), 2, logic.Const("b")); len(got) != 1 {
 		t.Errorf("byPT (R,2,b) = %d atoms", len(got))
+	}
+	if got := in.AtomIndexesByPredicateTerm(logic.Pred("R", 2), 2, logic.Const("zz")); got != nil {
+		t.Errorf("byPT unknown term = %v", got)
+	}
+	if got := in.AtomByIndex(2); got.Pred.Name != "S" {
+		t.Errorf("AtomByIndex(2) = %v", got)
 	}
 }
 

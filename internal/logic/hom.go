@@ -8,12 +8,15 @@ type AtomSource interface {
 	AtomsByPredicate(Predicate) []Atom
 }
 
-// IndexedSource is an AtomSource that can additionally serve atoms with a
-// given term at a given (1-based) argument position. Instances implement it;
-// the search uses it to prune candidates.
+// IndexedSource is an AtomSource that can additionally serve the insertion
+// indices of atoms with a given term at a given (1-based) argument
+// position. Instances implement it; the search uses it to prune
+// candidates. Postings are indices (not copied atoms) so the index costs
+// 4 bytes per entry and candidates resolve through AtomByIndex.
 type IndexedSource interface {
 	AtomSource
-	AtomsByPredicateTerm(p Predicate, pos int, t Term) []Atom
+	AtomIndexesByPredicateTerm(p Predicate, pos int, t Term) []int32
+	AtomByIndex(i int32) Atom
 }
 
 // SliceSource adapts a plain slice of atoms to AtomSource.
@@ -77,9 +80,11 @@ func undoTrail(s Substitution, trail *[]Term, to int) {
 }
 
 // candidates returns the atoms of src that could match pattern under the
-// current bindings, using the positional index when one is available.
-func candidates(pattern Atom, s Substitution, src AtomSource) []Atom {
-	if idx, ok := src.(IndexedSource); ok {
+// current bindings: either a posting list of indices into idx (when src is
+// indexed and some pattern position is ground under s), or a plain atom
+// slice. Exactly one of the two results is non-nil… unless both are empty.
+func candidates(pattern Atom, s Substitution, src AtomSource) (byIdx []int32, idx IndexedSource, atoms []Atom) {
+	if ix, ok := src.(IndexedSource); ok {
 		// Prefer a position whose pattern term is already ground under s.
 		for i, pt := range pattern.Args {
 			t := pt
@@ -90,10 +95,10 @@ func candidates(pattern Atom, s Substitution, src AtomSource) []Atom {
 				}
 				t = bound
 			}
-			return idx.AtomsByPredicateTerm(pattern.Pred, i+1, t)
+			return ix.AtomIndexesByPredicateTerm(pattern.Pred, i+1, t), ix, nil
 		}
 	}
-	return src.AtomsByPredicate(pattern.Pred)
+	return nil, nil, src.AtomsByPredicate(pattern.Pred)
 }
 
 // boundness scores how constrained a pattern atom is under s: the number of
@@ -142,11 +147,19 @@ func ForEachHomomorphism(pattern []Atom, base Substitution, src AtomSource, yiel
 			}
 		}
 		pat := remaining[best]
-		remaining[best] = remaining[len(remaining)-1]
-		tail := remaining[len(remaining)-1]
-		remaining = remaining[:len(remaining)-1]
+		last := len(remaining) - 1
+		remaining[best] = remaining[last]
+		remaining = remaining[:last]
 		cont := true
-		for _, cand := range candidates(pat, s, src) {
+		byIdx, idx, atoms := candidates(pat, s, src)
+		n := len(byIdx) + len(atoms)
+		for c := 0; c < n && cont; c++ {
+			var cand Atom
+			if byIdx != nil {
+				cand = idx.AtomByIndex(byIdx[c])
+			} else {
+				cand = atoms[c]
+			}
 			start := len(trail)
 			if !matchAtom(pat, cand, s, &trail) {
 				continue
@@ -158,9 +171,12 @@ func ForEachHomomorphism(pattern []Atom, base Substitution, src AtomSource, yiel
 			}
 			undoTrail(s, &trail, start)
 		}
-		remaining = append(remaining, tail)
-		remaining[best], remaining[len(remaining)-1] = remaining[len(remaining)-1], remaining[best]
-		_ = pat
+		// Undo the swap-removal exactly: the atom that was moved into slot
+		// best goes back to the end, and pat returns to slot best. (When
+		// best == last the first write is a no-op.)
+		remaining = remaining[:last+1]
+		remaining[last] = remaining[best]
+		remaining[best] = pat
 		return cont
 	}
 	rec()
@@ -293,8 +309,30 @@ func CanonicalFreeze(atoms []Atom, namer *FreshNamer) ([]Atom, Substitution) {
 	return frz.ApplyAtoms(atoms), frz
 }
 
-// SortSubstitutions orders substitutions by their canonical keys; useful for
-// deterministic trigger enumeration in tests.
+// SortSubstitutions orders substitutions canonically (Substitution.Compare):
+// deterministic trigger enumeration relies on this order, and the engine's
+// interned fast path reproduces it over TermID tuples.
 func SortSubstitutions(subs []Substitution) {
-	sort.Slice(subs, func(i, j int) bool { return subs[i].Key() < subs[j].Key() })
+	if len(subs) < 2 {
+		return
+	}
+	keys := make([][]substPair, len(subs))
+	for i, s := range subs {
+		keys[i] = s.sortedPairs()
+	}
+	sort.Sort(&substSorter{subs: subs, keys: keys})
+}
+
+type substSorter struct {
+	subs []Substitution
+	keys [][]substPair
+}
+
+func (ss *substSorter) Len() int { return len(ss.subs) }
+func (ss *substSorter) Swap(i, j int) {
+	ss.subs[i], ss.subs[j] = ss.subs[j], ss.subs[i]
+	ss.keys[i], ss.keys[j] = ss.keys[j], ss.keys[i]
+}
+func (ss *substSorter) Less(i, j int) bool {
+	return comparePairs(ss.keys[i], ss.keys[j]) < 0
 }

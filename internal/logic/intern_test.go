@@ -1,0 +1,219 @@
+package logic
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	a, b := Const("a"), NewNull("a") // same name, different kind
+	ida, idb := in.InternTerm(a), in.InternTerm(b)
+	if ida == idb {
+		t.Fatal("distinct terms must get distinct IDs")
+	}
+	if in.InternTerm(a) != ida {
+		t.Fatal("interning is idempotent")
+	}
+	if in.Term(ida) != a || in.Term(idb) != b {
+		t.Fatal("reverse lookup mismatch")
+	}
+	if id, ok := in.LookupTerm(Var("X")); ok {
+		t.Fatalf("LookupTerm must not intern, got %d", id)
+	}
+	if in.NumTerms() != 2 {
+		t.Fatalf("NumTerms = %d", in.NumTerms())
+	}
+	p, q := Pred("R", 2), Pred("R", 3) // same name, different arity
+	if in.InternPred(p) == in.InternPred(q) {
+		t.Fatal("distinct predicates must get distinct IDs")
+	}
+	if in.Pred(in.InternPred(p)) != p {
+		t.Fatal("predicate reverse lookup mismatch")
+	}
+}
+
+func TestInternerCompareTermIDs(t *testing.T) {
+	in := NewInterner()
+	// Intern in an order disagreeing with term order: ID order must not
+	// leak into comparisons.
+	idb := in.InternTerm(Const("b"))
+	ida := in.InternTerm(Const("a"))
+	if in.CompareTermIDs(ida, idb) >= 0 || in.CompareTermIDs(idb, ida) <= 0 {
+		t.Fatal("CompareTermIDs must order by Term.Compare, not ID")
+	}
+	if in.CompareTermIDs(ida, ida) != 0 {
+		t.Fatal("reflexive compare")
+	}
+	// n10 vs n1: componentwise name comparison, no joined-string quirks.
+	n1 := in.InternTerm(NewNull("n1"))
+	n10 := in.InternTerm(NewNull("n10"))
+	if in.CompareTermIDs(n1, n10) >= 0 {
+		t.Fatal("n1 must order before n10")
+	}
+}
+
+func TestTupleTableInternLookup(t *testing.T) {
+	tab := NewTupleTable(4)
+	id0, isNew := tab.Intern([]uint32{1, 2, 3})
+	if !isNew || id0 != 0 {
+		t.Fatalf("first intern = (%d, %v)", id0, isNew)
+	}
+	if id, isNew := tab.Intern([]uint32{1, 2, 3}); isNew || id != id0 {
+		t.Fatalf("re-intern = (%d, %v)", id, isNew)
+	}
+	// Prefix and extension are distinct tuples.
+	id1, _ := tab.Intern([]uint32{1, 2})
+	id2, _ := tab.Intern([]uint32{1, 2, 3, 4})
+	if id1 == id0 || id2 == id0 || id1 == id2 {
+		t.Fatal("prefix/extension tuples must be distinct")
+	}
+	if _, ok := tab.Lookup([]uint32{9, 9}); ok {
+		t.Fatal("Lookup must miss unseen tuples")
+	}
+	if got := tab.Tuple(id2); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("Tuple(%d) = %v", id2, got)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestTupleTableGrowth(t *testing.T) {
+	tab := NewTupleTable(2)
+	const n = 10_000
+	for i := uint32(0); i < n; i++ {
+		id, isNew := tab.Intern([]uint32{i, i * 7, i ^ 0xdead})
+		if !isNew || id != TupleID(i) {
+			t.Fatalf("intern %d = (%d, %v)", i, id, isNew)
+		}
+	}
+	for i := uint32(0); i < n; i++ {
+		id, ok := tab.Lookup([]uint32{i, i * 7, i ^ 0xdead})
+		if !ok || id != TupleID(i) {
+			t.Fatalf("lookup %d = (%d, %v)", i, id, ok)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+// idSliceSource adapts interned atoms for slot-search tests.
+type idSliceSource struct {
+	preds  []PredID
+	args   [][]uint32
+	byPred map[PredID][]int32
+	byPT   map[[3]uint32][]int32
+}
+
+func newIDSource(in *Interner, atoms []Atom) *idSliceSource {
+	s := &idSliceSource{
+		byPred: make(map[PredID][]int32),
+		byPT:   make(map[[3]uint32][]int32),
+	}
+	for i, a := range atoms {
+		p := in.InternPred(a.Pred)
+		row := make([]uint32, len(a.Args))
+		for j, t := range a.Args {
+			row[j] = uint32(in.InternTerm(t))
+		}
+		s.preds = append(s.preds, p)
+		s.args = append(s.args, row)
+		s.byPred[p] = append(s.byPred[p], int32(i))
+		for j, w := range row {
+			k := [3]uint32{uint32(p), uint32(j + 1), w}
+			s.byPT[k] = append(s.byPT[k], int32(i))
+		}
+	}
+	return s
+}
+
+func (s *idSliceSource) AtomArgIDs(i int32) []uint32 { return s.args[i] }
+func (s *idSliceSource) IdxByPred(p PredID) []int32  { return s.byPred[p] }
+func (s *idSliceSource) IdxByPredTerm(p PredID, pos int, t TermID) []int32 {
+	return s.byPT[[3]uint32{uint32(p), uint32(pos), uint32(t)}]
+}
+
+// TestSlotSearchMatchesGenericSearch pins the compiled search against the
+// generic map-based search: same homomorphisms, same enumeration order.
+func TestSlotSearchMatchesGenericSearch(t *testing.T) {
+	in := NewInterner()
+	var atoms []Atom
+	for i := 0; i < 6; i++ {
+		atoms = append(atoms, MustAtom("E",
+			Const(fmt.Sprintf("v%d", i)), Const(fmt.Sprintf("v%d", (i+1)%6))))
+	}
+	atoms = append(atoms,
+		MustAtom("E", Const("v0"), Const("v3")),
+		MustAtom("L", Const("v2")),
+	)
+	src := newIDSource(in, atoms)
+	pattern := []Atom{
+		MustAtom("E", Var("X"), Var("Y")),
+		MustAtom("E", Var("Y"), Var("Z")),
+		MustAtom("L", Var("Y")),
+	}
+	vars := VarsOf(pattern).Sorted()
+	slots := make(map[Term]int32, len(vars))
+	for i, v := range vars {
+		slots[v] = int32(i)
+	}
+	cp := CompilePattern(pattern, len(vars), func(t Term) int32 { return slots[t] }, in)
+
+	var gotIDs [][]TermID
+	var ss SlotSearch
+	ss.Reset(cp)
+	ss.ForEach(cp, src, func(bind []TermID) bool {
+		row := make([]TermID, len(bind))
+		copy(row, bind)
+		gotIDs = append(gotIDs, row)
+		return true
+	})
+
+	want := AllHomomorphisms(pattern, nil, NewSliceSource(atoms))
+	if len(gotIDs) != len(want) {
+		t.Fatalf("slot search found %d homs, generic %d", len(gotIDs), len(want))
+	}
+	for i, h := range want {
+		for j, v := range vars {
+			got := in.Term(gotIDs[i][j])
+			if got != h.ApplyTerm(v) {
+				t.Fatalf("hom %d: %v -> %v, generic says %v", i, v, got, h.ApplyTerm(v))
+			}
+		}
+	}
+}
+
+// TestSlotSearchEarlyStopAndRestore checks early termination and that Bind
+// is restored between calls.
+func TestSlotSearchEarlyStopAndRestore(t *testing.T) {
+	in := NewInterner()
+	atoms := []Atom{
+		MustAtom("R", Const("a")),
+		MustAtom("R", Const("b")),
+		MustAtom("R", Const("c")),
+	}
+	src := newIDSource(in, atoms)
+	pattern := []Atom{MustAtom("R", Var("X"))}
+	cp := CompilePattern(pattern, 1, func(Term) int32 { return 0 }, in)
+	var ss SlotSearch
+	ss.Reset(cp)
+	n := 0
+	if ss.ForEach(cp, src, func([]TermID) bool { n++; return n < 2 }) {
+		t.Fatal("stopped enumeration must report false")
+	}
+	if n != 2 {
+		t.Fatalf("yielded %d times, want 2", n)
+	}
+	if ss.Bind[0] != NoTermID {
+		t.Fatal("Bind must be restored after ForEach")
+	}
+	n = 0
+	if !ss.ForEach(cp, src, func([]TermID) bool { n++; return true }) {
+		t.Fatal("full enumeration must report true")
+	}
+	if n != 3 {
+		t.Fatalf("second pass yielded %d, want 3", n)
+	}
+}

@@ -1,0 +1,202 @@
+package logic
+
+// Slot-compiled homomorphism search: the ID-based fast path mirroring the
+// generic map-based search in hom.go. A pattern ([]Atom) is compiled once
+// into slot references — every mappable term becomes a dense slot index —
+// and the search binds TermIDs into a flat array instead of a map. The
+// chase engine runs trigger discovery and activity checks through this
+// path; the generic path remains for callers working with plain atoms.
+//
+// The search visits candidates in exactly the same order as the generic
+// search (same most-constrained-atom selection, same index-position choice,
+// same posting-list order), so the two paths enumerate homomorphisms
+// identically — the property the differential engine test pins down.
+
+// IDSource is the ID-level read interface the compiled search needs from an
+// instance: atom argument tuples and posting lists of atom indices.
+// Instances implement it; posting lists are in insertion order.
+type IDSource interface {
+	// AtomArgIDs returns the interned argument tuple of the atom with the
+	// given insertion index; each element is a TermID value (raw uint32, the
+	// arena's storage type). The slice must not be mutated.
+	AtomArgIDs(i int32) []uint32
+	// IdxByPred returns the insertion indices of atoms with predicate p.
+	IdxByPred(p PredID) []int32
+	// IdxByPredTerm returns the insertion indices of atoms with predicate p
+	// whose pos-th (1-based) argument is t.
+	IdxByPredTerm(p PredID, pos int, t TermID) []int32
+}
+
+// CTerm is a compiled pattern term: either a variable slot (Slot >= 0) or a
+// ground interned term (Slot < 0, ID holds the TermID).
+type CTerm struct {
+	Slot int32
+	ID   TermID
+}
+
+// CAtom is a compiled pattern atom.
+type CAtom struct {
+	Pred PredID
+	Args []CTerm
+}
+
+// CPattern is a compiled pattern: a conjunction of atoms over NSlots
+// variable slots.
+type CPattern struct {
+	Atoms  []CAtom
+	NSlots int
+}
+
+// CompilePattern compiles atoms against the interner: mappable terms map to
+// the slot slotOf returns (which must be total on the pattern's mappable
+// terms), rigid terms are interned. NSlots is the caller's slot-space size.
+func CompilePattern(atoms []Atom, nSlots int, slotOf func(Term) int32, in *Interner) *CPattern {
+	p := &CPattern{Atoms: make([]CAtom, len(atoms)), NSlots: nSlots}
+	for i, a := range atoms {
+		ca := CAtom{Pred: in.InternPred(a.Pred), Args: make([]CTerm, len(a.Args))}
+		for j, t := range a.Args {
+			if t.Mappable() {
+				ca.Args[j] = CTerm{Slot: slotOf(t)}
+			} else {
+				ca.Args[j] = CTerm{Slot: -1, ID: in.InternTerm(t)}
+			}
+		}
+		p.Atoms[i] = ca
+	}
+	return p
+}
+
+// SlotSearch is the reusable state of the compiled search: the bindings
+// array plus scratch. A zero value is usable. Not safe for concurrent use;
+// engines own one each.
+type SlotSearch struct {
+	// Bind holds the current bindings, indexed by slot; NoTermID = unbound.
+	// Callers preset base bindings between Reset and ForEach.
+	Bind  []TermID
+	trail []int32
+	rem   []int32
+}
+
+// Reset sizes Bind for the pattern and clears every slot.
+func (ss *SlotSearch) Reset(p *CPattern) {
+	if cap(ss.Bind) < p.NSlots {
+		ss.Bind = make([]TermID, p.NSlots)
+	}
+	ss.Bind = ss.Bind[:p.NSlots]
+	for i := range ss.Bind {
+		ss.Bind[i] = NoTermID
+	}
+}
+
+// value resolves a compiled term under the current bindings; the second
+// result is false when the term is an unbound slot.
+func (ss *SlotSearch) value(t CTerm) (TermID, bool) {
+	if t.Slot < 0 {
+		return t.ID, true
+	}
+	if v := ss.Bind[t.Slot]; v != NoTermID {
+		return v, true
+	}
+	return 0, false
+}
+
+func (ss *SlotSearch) boundness(a CAtom) int {
+	n := 0
+	for _, t := range a.Args {
+		if _, ok := ss.value(t); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates picks the posting list for the pattern atom exactly like the
+// generic search: the first argument position holding a ground-or-bound
+// term selects the positional index; otherwise the predicate index.
+func (ss *SlotSearch) candidates(a CAtom, src IDSource) []int32 {
+	for i, t := range a.Args {
+		if v, ok := ss.value(t); ok {
+			return src.IdxByPredTerm(a.Pred, i+1, v)
+		}
+	}
+	return src.IdxByPred(a.Pred)
+}
+
+// match extends Bind so the pattern atom maps onto the target tuple,
+// recording new bindings on the trail. On mismatch it undoes its own
+// additions and returns false. Argument counts match by construction
+// (candidates share the atom's predicate, and arity is part of Predicate).
+func (ss *SlotSearch) match(a CAtom, target []uint32, start int) bool {
+	for i, t := range a.Args {
+		ut := TermID(target[i])
+		if v, ok := ss.value(t); ok {
+			if v != ut {
+				ss.undo(start)
+				return false
+			}
+			continue
+		}
+		ss.Bind[t.Slot] = ut
+		ss.trail = append(ss.trail, t.Slot)
+	}
+	return true
+}
+
+func (ss *SlotSearch) undo(to int) {
+	for i := len(ss.trail) - 1; i >= to; i-- {
+		ss.Bind[ss.trail[i]] = NoTermID
+	}
+	ss.trail = ss.trail[:to]
+}
+
+// ForEach enumerates every homomorphism from the pattern into src that
+// extends the bindings already present in Bind, calling yield with the full
+// bindings array for each. Enumeration stops early when yield returns
+// false; ForEach returns false iff it was stopped. The array passed to
+// yield is ss.Bind itself — callers must copy what they retain. Bind is
+// restored to its pre-call contents on return.
+func (ss *SlotSearch) ForEach(p *CPattern, src IDSource, yield func([]TermID) bool) bool {
+	ss.trail = ss.trail[:0]
+	ss.rem = ss.rem[:0]
+	for i := range p.Atoms {
+		ss.rem = append(ss.rem, int32(i))
+	}
+	return ss.rec(p, src, yield)
+}
+
+func (ss *SlotSearch) rec(p *CPattern, src IDSource, yield func([]TermID) bool) bool {
+	if len(ss.rem) == 0 {
+		return yield(ss.Bind)
+	}
+	// Pick the most constrained remaining atom (greedy selectivity), first
+	// index winning ties — the generic search's heuristic, kept in lockstep.
+	best := 0
+	bestScore := -1
+	for i, ai := range ss.rem {
+		if sc := ss.boundness(p.Atoms[ai]); sc > bestScore {
+			bestScore, best = sc, i
+		}
+	}
+	patIdx := ss.rem[best]
+	last := len(ss.rem) - 1
+	ss.rem[best] = ss.rem[last]
+	ss.rem = ss.rem[:last]
+	pat := p.Atoms[patIdx]
+	cont := true
+	for _, ci := range ss.candidates(pat, src) {
+		start := len(ss.trail)
+		if !ss.match(pat, src.AtomArgIDs(ci), start) {
+			continue
+		}
+		if !ss.rec(p, src, yield) {
+			ss.undo(start)
+			cont = false
+			break
+		}
+		ss.undo(start)
+	}
+	ss.rem = ss.rem[:last+1]
+	ss.rem[last] = ss.rem[best]
+	ss.rem[best] = patIdx
+	return cont
+}

@@ -146,15 +146,55 @@ func (s Substitution) Equal(other Substitution) bool {
 	return true
 }
 
-// Key returns a canonical string encoding of the substitution (bindings in
-// sorted order), usable as a map key to deduplicate triggers.
-func (s Substitution) Key() string {
-	type pair struct{ from, to Term }
-	pairs := make([]pair, 0, len(s))
+// Compare orders substitutions canonically: the binding lists, sorted by
+// bound term, are compared componentwise — bound terms first, then images,
+// via Term.Compare — with a proper prefix sorting first. This is the
+// ordering behind deterministic trigger enumeration; unlike comparing Key()
+// strings it builds nothing and is agnostic to name quirks (a joined string
+// comparison would order "n10" before "n1" next to a separator byte).
+func (s Substitution) Compare(other Substitution) int {
+	return comparePairs(s.sortedPairs(), other.sortedPairs())
+}
+
+type substPair struct{ from, to Term }
+
+// comparePairs is the canonical ordering over sorted binding lists, shared
+// by Substitution.Compare and SortSubstitutions so the two can never
+// drift apart.
+func comparePairs(a, b []substPair) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := a[i].from.Compare(b[i].from); c != 0 {
+			return c
+		}
+		if c := a[i].to.Compare(b[i].to); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (s Substitution) sortedPairs() []substPair {
+	pairs := make([]substPair, 0, len(s))
 	for t, u := range s {
-		pairs = append(pairs, pair{t, u})
+		pairs = append(pairs, substPair{t, u})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].from.Compare(pairs[j].from) < 0 })
+	return pairs
+}
+
+// Key returns a canonical string encoding of the substitution (bindings in
+// sorted order). Two substitutions have equal keys iff they are Equal. It
+// is a debug/test renderer: steady-state engine paths identify
+// substitutions by interned TermID tuples instead.
+func (s Substitution) Key() string {
+	pairs := s.sortedPairs()
 	var b strings.Builder
 	for i, p := range pairs {
 		if i > 0 {

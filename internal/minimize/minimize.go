@@ -36,8 +36,11 @@ func Core(in *instance.Instance) (*instance.Instance, int) {
 }
 
 // properRetraction finds an endomorphism h of the instance (identity on
-// constants) whose image loses at least one null — i.e. some null is
-// mapped to a different term. Returns ok = false when the instance is its
+// constants) whose image loses at least one null — some null is outside
+// h's range, so the image is a strictly smaller retract. Merely moving a
+// null is not enough: an endomorphism that permutes nulls (an automorphism)
+// neither shrinks the instance nor makes progress, and accepting one sends
+// Core into an infinite loop. Returns ok = false when the instance is its
 // own core.
 func properRetraction(in *instance.Instance) (logic.Substitution, bool) {
 	nulls := nullsOf(in)
@@ -46,9 +49,14 @@ func properRetraction(in *instance.Instance) (logic.Substitution, bool) {
 	}
 	atoms := in.Atoms()
 	var found logic.Substitution
+	img := make(logic.TermSet, len(nulls)) // scratch, cleared per candidate
 	logic.ForEachHomomorphism(atoms, nil, in, func(h logic.Substitution) bool {
+		clear(img)
 		for _, n := range nulls {
-			if h.ApplyTerm(n) != n {
+			img.Add(h.ApplyTerm(n))
+		}
+		for _, n := range nulls {
+			if !img.Has(n) {
 				found = h.Clone()
 				return false
 			}
