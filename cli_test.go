@@ -106,6 +106,41 @@ func TestTermcheckMultiHeadIsUnknown(t *testing.T) {
 	}
 }
 
+func TestTermcheckExistsSearch(t *testing.T) {
+	bin := binary(t, "termcheck")
+	// Example B.1 admits a finite derivation (fire mh2 first): exit 0 plus
+	// a replayable witness listing.
+	out, code := run(t, bin, "-exists", "testdata/exampleB1.chase")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (finite derivation exists)\n%s", code, out)
+	}
+	if !strings.Contains(out, "finite derivation exists") {
+		t.Errorf("missing witness banner:\n%s", out)
+	}
+	if !strings.Contains(out, "exists-search: strategy=smallest") {
+		t.Errorf("missing search stats line:\n%s", out)
+	}
+	// The diverging ladder under tight budgets: the search is cut off, not
+	// exhausted — honest exit 2.
+	out, code = run(t, bin, "-exists", "-exists-states", "200", "-exists-atoms", "12", "-exists-strategy", "bfs", "testdata/ladder.chase")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (budget)\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown") {
+		t.Errorf("missing budget verdict:\n%s", out)
+	}
+	// A program without facts cannot be searched: the question is
+	// per-database.
+	factless := filepath.Join(t.TempDir(), "factless.chase")
+	if err := os.WriteFile(factless, []byte("grow: R(X,Y) -> R(X,Z).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = run(t, bin, "-exists", factless)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (no facts)\n%s", code, out)
+	}
+}
+
 func TestTermcheckRejectsBadInput(t *testing.T) {
 	bin := binary(t, "termcheck")
 	bad := filepath.Join(t.TempDir(), "bad.chase")

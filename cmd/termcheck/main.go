@@ -6,6 +6,14 @@
 // The program is read from the file argument or stdin. Facts in the input
 // are ignored for the decision (the question is all-instances) but are
 // reported. Exit status: 0 terminating, 1 diverging, 2 unknown, 3 error.
+//
+// With -exists the question changes to the paper's open question (3),
+// CT^res_∀∃ on the *given* database: does some trigger order reach a
+// fixpoint? The fingerprint-memoised derivation search runs with the
+// -exists-states/-exists-atoms budgets and the -exists-strategy frontier
+// discipline. Exit status: 0 a finite derivation exists (and a witness is
+// printed), 1 the bounded space was exhausted (every derivation is
+// infinite), 2 a budget stopped the search, 3 error.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"airct/internal/chase"
 	"airct/internal/core"
 	"airct/internal/guarded"
 	"airct/internal/parser"
@@ -23,6 +32,10 @@ import (
 func main() {
 	guardedBudget := flag.Int("guarded-budget", 2000, "per-seed chase step budget for the guarded search")
 	stickyStates := flag.Int("sticky-states", 200000, "state bound per sticky Büchi component")
+	exists := flag.Bool("exists", false, "search for a finite derivation of the input database (CT^res_∀∃) instead of deciding all-instances termination")
+	existsStates := flag.Int("exists-states", 10000, "state budget for the -exists search")
+	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
+	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -35,6 +48,10 @@ func main() {
 	}
 	if prog.TGDs.Len() == 0 {
 		fail(fmt.Errorf("no TGDs in input"))
+	}
+	if *exists {
+		runExists(prog, *existsStates, *existsAtoms, *existsStrategy)
+		return
 	}
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
@@ -54,6 +71,39 @@ func main() {
 	case core.Diverges:
 		os.Exit(1)
 	default:
+		os.Exit(2)
+	}
+}
+
+// runExists runs the ∀∃ derivation search on the program's database and
+// exits with the search's verdict.
+func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string) {
+	if prog.Database.Len() == 0 {
+		fail(fmt.Errorf("-exists needs facts in the input (the question is per-database)"))
+	}
+	strat, err := chase.ParseSearchStrategy(strategy)
+	if err != nil {
+		fail(err)
+	}
+	res := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, chase.SearchOptions{
+		MaxStates: maxStates,
+		MaxAtoms:  maxAtoms,
+		Strategy:  strat,
+	})
+	fmt.Printf("exists-search: strategy=%s states=%d expanded=%d memo-hits=%d peak-frontier=%d\n",
+		strat, res.StatesVisited, res.Stats.StatesExpanded, res.Stats.MemoHits, res.Stats.PeakFrontier)
+	switch {
+	case res.Found:
+		fmt.Printf("finite derivation exists: %d steps\n", len(res.Derivation))
+		for i, tr := range res.Derivation {
+			fmt.Printf("  %d: %s\n", i, tr)
+		}
+		os.Exit(0)
+	case res.Exhausted:
+		fmt.Println("no finite derivation: the bounded space is exhausted (every derivation is infinite)")
+		os.Exit(1)
+	default:
+		fmt.Println("unknown: the search budget was reached before exhausting the space")
 		os.Exit(2)
 	}
 }

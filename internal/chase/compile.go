@@ -71,29 +71,34 @@ func compileTGD(t tgds.TGD, in *logic.Interner) compiledTGD {
 	return ct
 }
 
-// discSorter sorts the flat buffer of discovered trigger tuples (offsets in
-// sortBuf, tuples of length stride in discBuf) by the canonical trigger
-// order: componentwise Term.Compare of the bound terms in slot order. This
+// discSorter sorts a flat buffer of discovered trigger tuples (offsets in
+// *idx, tuples of length stride in *disc) by the canonical trigger order:
+// componentwise Term.Compare of the bound terms in slot order. This
 // reproduces logic.SortSubstitutions over the interned representation —
 // comparisons resolve terms through the interner, but no key strings are
-// built. It lives on the engine so sorting allocates nothing.
+// built. It points at its owner's live buffers (engine or searcher) so
+// sorting allocates nothing.
 type discSorter struct {
-	e      *engine
+	itab   *logic.Interner
+	disc   *[]uint32
+	idx    *[]int32
 	stride int32
 }
 
-func (d *discSorter) Len() int { return len(d.e.sortBuf) }
+func (d *discSorter) Len() int { return len(*d.idx) }
 
 func (d *discSorter) Swap(i, j int) {
-	d.e.sortBuf[i], d.e.sortBuf[j] = d.e.sortBuf[j], d.e.sortBuf[i]
+	s := *d.idx
+	s[i], s[j] = s[j], s[i]
 }
 
 func (d *discSorter) Less(i, j int) bool {
-	a := d.e.discBuf[d.e.sortBuf[i] : d.e.sortBuf[i]+d.stride]
-	b := d.e.discBuf[d.e.sortBuf[j] : d.e.sortBuf[j]+d.stride]
+	s, buf := *d.idx, *d.disc
+	a := buf[s[i] : s[i]+d.stride]
+	b := buf[s[j] : s[j]+d.stride]
 	// a[0] and b[0] hold the TGD index and are equal within one sort.
 	for k := 1; k < int(d.stride); k++ {
-		if c := d.e.itab.CompareTermIDs(logic.TermID(a[k]), logic.TermID(b[k])); c != 0 {
+		if c := d.itab.CompareTermIDs(logic.TermID(a[k]), logic.TermID(b[k])); c != 0 {
 			return c < 0
 		}
 	}

@@ -123,17 +123,21 @@ func (d *Derivation) IsFairAtHorizon() bool {
 	// Replay the derivation, collecting every trigger that was ever active,
 	// then check each against the final instance.
 	inst := d.db.Instance()
-	everActive := make(map[string]Trigger)
-	for _, tr := range ActiveTriggers(d.set, inst) {
-		everActive[tr.Key()] = tr
+	trigs := NewTriggerInterner()
+	var everActive []Trigger
+	record := func() {
+		for _, tr := range ActiveTriggers(d.set, inst) {
+			if _, isNew := trigs.Intern(tr); isNew {
+				everActive = append(everActive, tr)
+			}
+		}
 	}
+	record()
 	for _, s := range d.steps {
 		for _, a := range s.Added {
 			inst.Add(a)
 		}
-		for _, tr := range ActiveTriggers(d.set, inst) {
-			everActive[tr.Key()] = tr
-		}
+		record()
 	}
 	for _, tr := range everActive {
 		if IsActive(tr, d.inst) {

@@ -219,7 +219,7 @@ func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
 		run:         &Run{Options: opts, Set: set, Database: db},
 	}
 	e.ct = compileSet(set, e.itab)
-	e.ds.e = e
+	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
 	if opts.Strategy == Random {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}

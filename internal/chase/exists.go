@@ -1,9 +1,6 @@
 package chase
 
 import (
-	"sort"
-	"strings"
-
 	"airct/internal/instance"
 	"airct/internal/tgds"
 )
@@ -22,6 +19,8 @@ type ExistsResult struct {
 	// Found = false is a proof that *every* derivation is infinite,
 	// CT^res_∀∃ failure); false when a budget stopped the search.
 	Exhausted bool
+	// Stats counts the search's work.
+	Stats SearchStats
 }
 
 // ExistsTerminatingDerivation searches the space of restricted chase
@@ -29,71 +28,18 @@ type ExistsResult struct {
 // restricted chase is order-sensitive: a program may admit both infinite
 // and finite derivations (the engine's FIFO order can diverge where a
 // smarter order terminates). The search explores instances
-// breadth-preferring-small, memoising visited instance states, and stops
-// at maxStates distinct instances or maxAtoms per instance (0 = defaults
-// 10_000 / 200).
+// breadth-preferring-small, memoising visited instance states by their
+// order-independent fingerprint, and stops at maxStates distinct instances
+// or maxAtoms per instance (0 = defaults 10_000 / 200). It is a
+// convenience wrapper around SearchTerminatingDerivation with the
+// SmallestFirst strategy (see internal/chase/search.go for the subsystem).
 //
 // This is a semi-decision helper for the paper's open question (3) —
 // CT^res_∀∃ — not one of its theorems; it is exact on the explored space.
 func ExistsTerminatingDerivation(db *instance.Database, set *tgds.Set, maxStates, maxAtoms int) *ExistsResult {
-	if maxStates <= 0 {
-		maxStates = 10_000
-	}
-	if maxAtoms <= 0 {
-		maxAtoms = 200
-	}
-	type node struct {
-		inst  *instance.Instance
-		path  []Trigger
-		nulls *NullFactory
-	}
-	start := node{inst: db.Instance(), nulls: NewNullFactory(StructuralNaming)}
-	seen := map[string]bool{instKey(start.inst): true}
-	queue := []node{start}
-	res := &ExistsResult{Exhausted: true}
-	for len(queue) > 0 {
-		// Prefer small instances: fixpoints are found sooner and the
-		// memoised frontier stays tight.
-		sort.SliceStable(queue, func(i, j int) bool { return queue[i].inst.Len() < queue[j].inst.Len() })
-		cur := queue[0]
-		queue = queue[1:]
-		active := ActiveTriggers(set, cur.inst)
-		if len(active) == 0 {
-			res.Found = true
-			res.Derivation = cur.path
-			res.StatesVisited = len(seen)
-			return res
-		}
-		if cur.inst.Len() >= maxAtoms {
-			res.Exhausted = false
-			continue
-		}
-		for _, tr := range active {
-			next := cur.inst.Clone()
-			// Share the null factory: structural naming makes the result
-			// of a trigger independent of the path, so states merge.
-			for _, a := range Result(tr, cur.nulls) {
-				next.Add(a)
-			}
-			key := instKey(next)
-			if seen[key] {
-				continue
-			}
-			if len(seen) >= maxStates {
-				res.Exhausted = false
-				break
-			}
-			seen[key] = true
-			path := make([]Trigger, len(cur.path)+1)
-			copy(path, cur.path)
-			path[len(cur.path)] = tr
-			queue = append(queue, node{inst: next, path: path, nulls: cur.nulls})
-		}
-	}
-	res.StatesVisited = len(seen)
-	return res
-}
-
-func instKey(in *instance.Instance) string {
-	return strings.Join(in.SortedKeys(), "|")
+	return SearchTerminatingDerivation(db, set, SearchOptions{
+		MaxStates: maxStates,
+		MaxAtoms:  maxAtoms,
+		Strategy:  SmallestFirst,
+	})
 }

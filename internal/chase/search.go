@@ -1,0 +1,473 @@
+package chase
+
+// The ∀∃ derivation search subsystem: a best-first exploration of the space
+// of restricted chase derivations, memoised by the 128-bit order-independent
+// instance fingerprint (logic.Fingerprint) instead of rendered key strings.
+//
+// The search runs entirely on one shared interner:
+//
+//   - every explored chase state is an instance over the same term/pred IDs
+//     (instance.NewWithInterner), so trigger tuples, nulls and fingerprint
+//     caches agree across states;
+//   - TGDs are slot-compiled once (compileSet) and trigger enumeration and
+//     activity checks run the SlotSearch fast path, like the engine;
+//   - trigger identity on paths is the interned tuple [tgd, body TermIDs...]
+//     in a TupleTable — nodes store a 4-byte trigger ID and a parent
+//     pointer, never a copied []Trigger path;
+//   - nulls are invented per (trigger ID, existential index) — the paper's
+//     c^{σ,h}_x — and interned with a *structural* hash (the trigger's
+//     content, not the null's counter name), so fingerprints of states
+//     reached along different paths collide exactly when the states merge;
+//   - child states are deltas: generating a successor costs O(|result|)
+//     membership probes and one fingerprint merge — no Clone, no rendering.
+//     A node's instance is materialised (database + ancestor deltas) only
+//     when the node is popped for expansion; generated-but-never-expanded
+//     states (the majority, under memoisation) never build an instance.
+//
+// The frontier is a binary heap: SmallestFirst orders by instance size
+// (FIFO among equals), replacing the previous implementation's full-queue
+// sort.SliceStable per pop; BreadthFirst and DepthFirst are the plain
+// queue/stack disciplines.
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// SearchStrategy selects the frontier discipline of the ∀∃ search.
+type SearchStrategy uint8
+
+const (
+	// SmallestFirst expands the smallest instance first (FIFO among equal
+	// sizes): fixpoints are found sooner and the memoised frontier stays
+	// tight. The default.
+	SmallestFirst SearchStrategy = iota
+	// BreadthFirst expands states in generation order.
+	BreadthFirst
+	// DepthFirst expands the most recently generated state first; finds
+	// deep fixpoints fast but can chase a divergent branch to the budget.
+	DepthFirst
+)
+
+func (s SearchStrategy) String() string {
+	switch s {
+	case SmallestFirst:
+		return "smallest"
+	case BreadthFirst:
+		return "bfs"
+	case DepthFirst:
+		return "dfs"
+	default:
+		return fmt.Sprintf("SearchStrategy(%d)", uint8(s))
+	}
+}
+
+// ParseSearchStrategy parses the CLI spelling of a strategy.
+func ParseSearchStrategy(s string) (SearchStrategy, error) {
+	switch s {
+	case "smallest", "":
+		return SmallestFirst, nil
+	case "bfs":
+		return BreadthFirst, nil
+	case "dfs":
+		return DepthFirst, nil
+	default:
+		return 0, fmt.Errorf("chase: unknown search strategy %q (want smallest, bfs or dfs)", s)
+	}
+}
+
+// SearchOptions configures the ∀∃ search. The zero value uses the defaults.
+type SearchOptions struct {
+	// MaxStates bounds the number of distinct instance states (0: 10_000).
+	MaxStates int
+	// MaxAtoms bounds the per-instance atom count (0: 200).
+	MaxAtoms int
+	// Strategy selects the frontier discipline.
+	Strategy SearchStrategy
+}
+
+// SearchStats counts the search's work.
+type SearchStats struct {
+	// StatesExpanded counts popped states whose triggers were enumerated.
+	StatesExpanded int
+	// MemoHits counts generated successors that merged into a visited state.
+	MemoHits int
+	// PeakFrontier is the largest frontier size reached.
+	PeakFrontier int
+}
+
+// searchNode is one chase state: the delta against its parent plus the
+// incremental fingerprint. The trigger path is recovered by walking parents.
+type searchNode struct {
+	parent *searchNode
+	trig   logic.TupleID // trigger applied to parent; -1 at the root
+	delta  []uint32      // flattened new atoms: [pid, args...]* (arity from pid)
+	size   int           // instance atom count
+	fp     logic.Fingerprint
+	seq    int // generation counter; heap tie-break
+}
+
+// searchFrontier is the heap of pending states.
+type searchFrontier struct {
+	nodes []*searchNode
+	strat SearchStrategy
+}
+
+func (f *searchFrontier) Len() int { return len(f.nodes) }
+
+func (f *searchFrontier) Less(i, j int) bool {
+	a, b := f.nodes[i], f.nodes[j]
+	switch f.strat {
+	case BreadthFirst:
+		return a.seq < b.seq
+	case DepthFirst:
+		return a.seq > b.seq
+	default: // SmallestFirst
+		if a.size != b.size {
+			return a.size < b.size
+		}
+		return a.seq < b.seq
+	}
+}
+
+func (f *searchFrontier) Swap(i, j int) { f.nodes[i], f.nodes[j] = f.nodes[j], f.nodes[i] }
+
+func (f *searchFrontier) Push(x any) { f.nodes = append(f.nodes, x.(*searchNode)) }
+
+func (f *searchFrontier) Pop() any {
+	n := len(f.nodes) - 1
+	x := f.nodes[n]
+	f.nodes[n] = nil
+	f.nodes = f.nodes[:n]
+	return x
+}
+
+// nullIdentitySeed starts the structural hash of an invented null; distinct
+// from every term content hash by construction (those pass through fnv64).
+var nullIdentitySeed = logic.Fingerprint{Hi: 0x9d39247e33776d41, Lo: 0x2af7398005aaa5c7}
+
+// searcher is the search's engine-like state. Single writer, single run.
+type searcher struct {
+	set  *tgds.Set
+	opts SearchOptions
+
+	itab *logic.Interner // shared identity of every explored state
+	ct   []compiledTGD
+
+	trig        *logic.TupleTable       // trigger identity: [tgd, body TermIDs...]
+	structNulls map[uint64]logic.TermID // (trigger ID, exist index) -> null
+	namer       *logic.FreshNamer
+
+	memo  map[logic.Fingerprint]struct{}
+	front searchFrontier
+	seq   int
+
+	ss logic.SlotSearch
+	ds discSorter
+
+	// scratch; see the engine's twins
+	discBuf  []uint32
+	sortBuf  []int32
+	actBuf   []uint32 // flat active trigger tuples, stride per TGD
+	actOff   []int32
+	argbuf   []logic.TermID
+	argraw   []uint32
+	deltaBuf []uint32
+	chain    []*searchNode
+
+	res *ExistsResult
+}
+
+// SearchTerminatingDerivation searches the space of restricted chase
+// derivations of D w.r.t. T for one that reaches a fixpoint — the ∀∃ side
+// of the paper's open question (3). See ExistsTerminatingDerivation for the
+// semantics; this entry point exposes the strategy and budgets.
+func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts SearchOptions) *ExistsResult {
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 10_000
+	}
+	if opts.MaxAtoms <= 0 {
+		opts.MaxAtoms = 200
+	}
+	s := &searcher{
+		set:         set,
+		opts:        opts,
+		itab:        logic.NewInterner(),
+		trig:        logic.NewTupleTable(64),
+		structNulls: make(map[uint64]logic.TermID),
+		namer:       logic.NewFreshNamer("n"),
+		memo:        make(map[logic.Fingerprint]struct{}),
+		front:       searchFrontier{strat: opts.Strategy},
+		res:         &ExistsResult{Exhausted: true},
+	}
+	s.ct = compileSet(set, s.itab)
+	s.ds = discSorter{itab: s.itab, disc: &s.discBuf, idx: &s.sortBuf}
+
+	var rootDelta []uint32
+	var rootFp logic.Fingerprint
+	for _, a := range db.Atoms() {
+		pid := s.itab.InternPred(a.Pred)
+		off := len(rootDelta)
+		rootDelta = append(rootDelta, uint32(pid))
+		for _, t := range a.Args {
+			rootDelta = append(rootDelta, uint32(s.itab.InternTerm(t)))
+		}
+		// Databases are duplicate-free sets, so each atom merges once.
+		rootFp = rootFp.Merge(s.itab.HashAtomIDs(pid, rootDelta[off+1:]))
+	}
+	root := &searchNode{trig: -1, delta: rootDelta, size: db.Len(), fp: rootFp}
+	s.memo[root.fp] = struct{}{}
+	heap.Push(&s.front, root)
+	s.loop()
+	return s.res
+}
+
+func (s *searcher) loop() {
+	for s.front.Len() > 0 {
+		if s.front.Len() > s.res.Stats.PeakFrontier {
+			s.res.Stats.PeakFrontier = s.front.Len()
+		}
+		cur := heap.Pop(&s.front).(*searchNode)
+		inst := s.materialise(cur)
+		s.collectActive(inst)
+		s.res.Stats.StatesExpanded++
+		if len(s.actOff) == 0 {
+			s.res.Found = true
+			s.res.Derivation = s.path(cur)
+			s.res.StatesVisited = len(s.memo)
+			return
+		}
+		if cur.size >= s.opts.MaxAtoms {
+			s.res.Exhausted = false
+			continue
+		}
+		s.generate(cur, inst)
+	}
+	s.res.StatesVisited = len(s.memo)
+}
+
+// generate creates the successor of cur under every active trigger
+// (s.actBuf/actOff): a delta node with an incrementally merged fingerprint.
+// Memoised and over-budget successors are dropped without allocating.
+func (s *searcher) generate(cur *searchNode, inst *instance.Instance) {
+	for _, off := range s.actOff {
+		tgd := int(s.actBuf[off])
+		ct := &s.ct[tgd]
+		trigTup := s.actBuf[off : off+int32(ct.nBody)+1]
+		trigID, _ := s.trig.Intern(trigTup)
+		bt := trigTup[1:]
+
+		childFp := cur.fp
+		s.deltaBuf = s.deltaBuf[:0]
+		added := 0
+		for _, ca := range ct.head.Atoms {
+			s.argbuf = s.argbuf[:0]
+			s.argraw = s.argraw[:0]
+			for _, a := range ca.Args {
+				var id logic.TermID
+				if int(a.Slot) < ct.nBody {
+					id = logic.TermID(bt[a.Slot])
+				} else {
+					id = s.nullFor(trigID, int(a.Slot)-ct.nBody)
+				}
+				s.argbuf = append(s.argbuf, id)
+				s.argraw = append(s.argraw, uint32(id))
+			}
+			if inst.HasTuple(ca.Pred, s.argbuf) || s.deltaHas(ca.Pred, s.argraw) {
+				continue
+			}
+			s.deltaBuf = append(s.deltaBuf, uint32(ca.Pred))
+			s.deltaBuf = append(s.deltaBuf, s.argraw...)
+			childFp = childFp.Merge(s.itab.HashAtomIDs(ca.Pred, s.argraw))
+			added++
+		}
+		if _, dup := s.memo[childFp]; dup {
+			s.res.Stats.MemoHits++
+			continue
+		}
+		if len(s.memo) >= s.opts.MaxStates {
+			s.res.Exhausted = false
+			return
+		}
+		s.memo[childFp] = struct{}{}
+		child := &searchNode{
+			parent: cur,
+			trig:   trigID,
+			delta:  append([]uint32(nil), s.deltaBuf...),
+			size:   cur.size + added,
+			fp:     childFp,
+			seq:    s.seq,
+		}
+		s.seq++
+		heap.Push(&s.front, child)
+	}
+}
+
+// materialise builds the node's instance — database plus ancestor deltas,
+// root first — on the shared interner. Called once per expanded node.
+func (s *searcher) materialise(n *searchNode) *instance.Instance {
+	s.chain = s.chain[:0]
+	for m := n; m != nil; m = m.parent {
+		s.chain = append(s.chain, m)
+	}
+	inst := instance.NewWithInterner(s.itab)
+	for i := len(s.chain) - 1; i >= 0; i-- {
+		d := s.chain[i].delta
+		for j := 0; j < len(d); {
+			pid := logic.PredID(d[j])
+			ar := s.itab.Pred(pid).Arity
+			s.argbuf = s.argbuf[:0]
+			for k := 0; k < ar; k++ {
+				s.argbuf = append(s.argbuf, logic.TermID(d[j+1+k]))
+			}
+			inst.AddTuple(pid, s.argbuf)
+			j += 1 + ar
+		}
+	}
+	return inst
+}
+
+// collectActive enumerates the active triggers on inst into actBuf/actOff,
+// per TGD in canonical order — the slot-search equivalent of
+// ActiveTriggers(set, inst).
+func (s *searcher) collectActive(inst *instance.Instance) {
+	s.actBuf = s.actBuf[:0]
+	s.actOff = s.actOff[:0]
+	for i := range s.ct {
+		ct := &s.ct[i]
+		s.discBuf = s.discBuf[:0]
+		s.sortBuf = s.sortBuf[:0]
+		s.ss.Reset(ct.body)
+		s.ss.ForEach(ct.body, inst, func(bind []logic.TermID) bool {
+			s.sortBuf = append(s.sortBuf, int32(len(s.discBuf)))
+			s.discBuf = append(s.discBuf, uint32(i))
+			for k := 0; k < ct.nBody; k++ {
+				s.discBuf = append(s.discBuf, uint32(bind[k]))
+			}
+			return true
+		})
+		if len(s.sortBuf) > 1 {
+			s.ds.stride = int32(ct.nBody) + 1
+			sort.Sort(&s.ds)
+		}
+		for _, off := range s.sortBuf {
+			tup := s.discBuf[off : off+int32(ct.nBody)+1]
+			if s.isActive(i, tup[1:], inst) {
+				s.actOff = append(s.actOff, int32(len(s.actBuf)))
+				s.actBuf = append(s.actBuf, tup...)
+			}
+		}
+	}
+}
+
+// isActive mirrors engine.isActive against the given instance.
+func (s *searcher) isActive(tgd int, bt []uint32, inst *instance.Instance) bool {
+	ct := &s.ct[tgd]
+	s.ss.Reset(ct.head)
+	for _, sl := range ct.frontierSlots {
+		s.ss.Bind[sl] = logic.TermID(bt[sl])
+	}
+	found := false
+	s.ss.ForEach(ct.head, inst, func([]logic.TermID) bool {
+		found = true
+		return false
+	})
+	return !found
+}
+
+// deltaHas reports whether the atom (pid, raw...) is already in deltaBuf —
+// a multi-head result can instantiate two head atoms identically.
+func (s *searcher) deltaHas(pid logic.PredID, raw []uint32) bool {
+	d := s.deltaBuf
+	for i := 0; i < len(d); {
+		p := logic.PredID(d[i])
+		ar := s.itab.Pred(p).Arity
+		if p == pid {
+			same := true
+			for k := 0; k < ar; k++ {
+				if d[i+1+k] != raw[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		i += 1 + ar
+	}
+	return false
+}
+
+// nullFor returns the interned null for the trigger's k-th existential
+// variable, inventing it on first use with a structural hash: the hash of
+// (TGD index, body binding term hashes, k) — the content of c^{σ,h}_x —
+// rather than of the null's arbitrary counter name. Well-founded: every
+// binding term was interned (and hashed) before the null it helps invent.
+func (s *searcher) nullFor(trigID logic.TupleID, k int) logic.TermID {
+	key := uint64(uint32(trigID))<<32 | uint64(uint32(k))
+	if id, ok := s.structNulls[key]; ok {
+		return id
+	}
+	tup := s.trig.Tuple(trigID)
+	h := nullIdentitySeed.MixUint64(uint64(tup[0]))
+	for _, b := range tup[1:] {
+		h = h.Mix(s.itab.TermHash(logic.TermID(b)))
+	}
+	h = h.MixUint64(uint64(k))
+	id := s.itab.InternTermWithHash(s.namer.NextNull(), h)
+	s.structNulls[key] = id
+	return id
+}
+
+// path rebuilds the witnessing trigger sequence by walking parent pointers,
+// materialising the public Trigger form from each interned tuple.
+//
+// The search mints null names in exploration order, but a caller replaying
+// the witness through Derivation.Apply mints them in *path* order with its
+// own factory — so the triggers' bindings are renamed here by simulating
+// that replay: a fresh structural factory is driven exactly as Apply's
+// Result will drive it, and each search null maps to the name the replay
+// will use. Every null bound by a path trigger was invented by an earlier
+// path step (a node's instance is the database plus its own path's
+// results), so the rename map is total on the bindings.
+func (s *searcher) path(n *searchNode) []Trigger {
+	var ids []logic.TupleID
+	for m := n; m.parent != nil; m = m.parent {
+		ids = append(ids, m.trig)
+	}
+	out := make([]Trigger, len(ids))
+	replay := NewNullFactory(StructuralNaming)
+	ren := make(map[logic.TermID]logic.Term)
+	for i := range ids {
+		id := ids[len(ids)-1-i]
+		tup := s.trig.Tuple(id)
+		tgd := int(tup[0])
+		ct := &s.ct[tgd]
+		h := logic.NewSubstitution()
+		for j, v := range ct.bodyVars {
+			tid := logic.TermID(tup[j+1])
+			t := s.itab.Term(tid)
+			if t.IsNull() {
+				if r, ok := ren[tid]; ok {
+					t = r
+				}
+			}
+			h[v] = t
+		}
+		tr := Trigger{TGDIndex: tgd, TGD: s.set.TGDs[tgd], H: h}
+		// Mirror the replay factory's inventions for this step: Result
+		// mints nulls for the existential variables in sorted order, which
+		// is exactly ct.existVars order.
+		for k, x := range ct.existVars {
+			ren[s.nullFor(id, k)] = replay.NullFor(tr, x)
+		}
+		out[i] = tr
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package chase
+
+// Benchmarks for the ∀∃ derivation search: the fingerprint-memoised
+// subsystem (search.go) against the preserved string-memoised reference
+// (exists_ref_test.go). The stage-grid family yields 3^n distinct states
+// (each fact advances independently through P → +Q → +R), so the search
+// must sweep nearly the whole space before the full state — the only
+// fixpoint — is expanded: a pure states/sec measurement. BENCH_exists.json
+// records the measured numbers.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"airct/internal/parser"
+)
+
+// stageGrid builds the n-fact two-stage program: 3^n reachable states.
+func stageGrid(n int) *parser.Program {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "P(c%d).\n", i)
+	}
+	b.WriteString("s1: P(X) -> Q(X).\n")
+	b.WriteString("s2: Q(X) -> R(X).\n")
+	return parser.MustParse(b.String())
+}
+
+// nullGrid is the existential variant: each fact invents a null on its way,
+// exercising structural-null fingerprinting on every state.
+func nullGrid(n int) *parser.Program {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "P(c%d).\n", i)
+	}
+	b.WriteString("s1: P(X) -> Q(X,Y).\n")
+	b.WriteString("s2: Q(X,Y) -> R(Y).\n")
+	return parser.MustParse(b.String())
+}
+
+func BenchmarkExistsSearch(b *testing.B) {
+	cases := []struct {
+		name      string
+		prog      *parser.Program
+		maxStates int
+	}{
+		{"stage-grid-8", stageGrid(8), 8000}, // 3^8 = 6561 states
+		{"null-grid-7", nullGrid(7), 3000},   // 3^7 = 2187 states
+		{"order-sensitive", parser.MustParse(`
+			R(a,b).
+			grow: R(X,Y) -> R(Y,Z).
+			swap: R(X,Y) -> R(Y,X).
+		`), 5000},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name+"/interned-fp", func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				res := ExistsTerminatingDerivation(tc.prog.Database, tc.prog.TGDs, tc.maxStates, 0)
+				if !res.Found {
+					b.Fatalf("must find a fixpoint: %+v", res)
+				}
+				states = res.StatesVisited
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+		})
+		b.Run(tc.name+"/reference-strings", func(b *testing.B) {
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				res := referenceExistsTerminatingDerivation(tc.prog.Database, tc.prog.TGDs, tc.maxStates, 0)
+				if !res.Found {
+					b.Fatalf("must find a fixpoint: %+v", res)
+				}
+				states = res.StatesVisited
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+		})
+	}
+}

@@ -46,6 +46,59 @@ func (tr Trigger) String() string {
 	return fmt.Sprintf("(%s, %s)", tr.TGD.Label, tr.H.Restrict(tr.TGD.BodyVars()))
 }
 
+// CompareTriggers orders triggers canonically: by TGD index, then by
+// componentwise comparison of the body bindings (Substitution.Compare). It
+// is the no-allocation replacement for comparing Key() strings.
+func CompareTriggers(a, b Trigger) int {
+	if a.TGDIndex != b.TGDIndex {
+		if a.TGDIndex < b.TGDIndex {
+			return -1
+		}
+		return 1
+	}
+	return a.H.Compare(b.H)
+}
+
+// TriggerInterner interns symbolic triggers to dense IDs by their
+// (TGD index, body binding) identity — the ID plane of Trigger.Key(). One
+// interner serves one TGD set (TGD indexes key the sorted-body-variable
+// cache) and has a single writer. Dense IDs are minted from 0 in first-seen
+// order, so callers index side tables with plain slices.
+type TriggerInterner struct {
+	tab  *logic.Interner
+	tup  *logic.TupleTable
+	vars map[int][]logic.Term // sorted body variables per TGD index
+	buf  []uint32
+}
+
+// NewTriggerInterner returns an empty trigger interner.
+func NewTriggerInterner() *TriggerInterner {
+	return &TriggerInterner{
+		tab:  logic.NewInterner(),
+		tup:  logic.NewTupleTable(16),
+		vars: make(map[int][]logic.Term),
+	}
+}
+
+// Intern returns the dense ID of the trigger's identity and whether it was
+// new — the "seen before?" answer, with no key string built.
+func (ti *TriggerInterner) Intern(tr Trigger) (logic.TupleID, bool) {
+	vars, ok := ti.vars[tr.TGDIndex]
+	if !ok {
+		vars = tr.TGD.BodyVars().Sorted()
+		ti.vars[tr.TGDIndex] = vars
+	}
+	ti.buf = ti.buf[:0]
+	ti.buf = append(ti.buf, uint32(tr.TGDIndex))
+	for _, v := range vars {
+		ti.buf = append(ti.buf, uint32(ti.tab.InternTerm(tr.H.ApplyTerm(v))))
+	}
+	return ti.tup.Intern(ti.buf)
+}
+
+// Len returns how many distinct triggers have been interned.
+func (ti *TriggerInterner) Len() int { return ti.tup.Len() }
+
 // NullNaming selects how result(σ,h) names the fresh nulls it invents for
 // existentially quantified variables.
 type NullNaming uint8
@@ -63,10 +116,13 @@ const (
 
 // NullFactory creates the nulls for trigger results under a naming policy.
 // It is owned by a single engine run and is not safe for concurrent use.
+// StructuralNaming identity is interned — (trigger ID, variable ID) keys via
+// a TriggerInterner — so NullFor renders no strings.
 type NullFactory struct {
 	naming NullNaming
 	namer  *logic.FreshNamer
-	intern map[string]logic.Term
+	trigs  *TriggerInterner
+	byKey  map[uint64]logic.Term // (trigger TupleID << 32 | var TermID) -> null
 }
 
 // NewNullFactory returns a factory with the given policy.
@@ -74,7 +130,8 @@ func NewNullFactory(naming NullNaming) *NullFactory {
 	return &NullFactory{
 		naming: naming,
 		namer:  logic.NewFreshNamer("n"),
-		intern: make(map[string]logic.Term),
+		trigs:  NewTriggerInterner(),
+		byKey:  make(map[uint64]logic.Term),
 	}
 }
 
@@ -85,12 +142,14 @@ func (f *NullFactory) NullFor(tr Trigger, x logic.Term) logic.Term {
 	if f.naming == CounterNaming {
 		return f.namer.NextNull()
 	}
-	key := tr.Key() + "|" + x.Name
-	if n, ok := f.intern[key]; ok {
+	tid, _ := f.trigs.Intern(tr)
+	xid := f.trigs.tab.InternTerm(x)
+	key := uint64(uint32(tid))<<32 | uint64(uint32(xid))
+	if n, ok := f.byKey[key]; ok {
 		return n
 	}
 	n := f.namer.NextNull()
-	f.intern[key] = n
+	f.byKey[key] = n
 	return n
 }
 
@@ -207,7 +266,7 @@ func ActiveTriggers(set *tgds.Set, src logic.AtomSource) []Trigger {
 // when a new atom arrives.
 func TriggersInvolving(set *tgds.Set, src logic.AtomSource, atom logic.Atom) []Trigger {
 	var out []Trigger
-	seen := make(map[string]struct{})
+	seen := NewTriggerInterner()
 	for i, t := range set.TGDs {
 		for j, bodyAtom := range t.Body {
 			if bodyAtom.Pred != atom.Pred {
@@ -235,11 +294,9 @@ func TriggersInvolving(set *tgds.Set, src logic.AtomSource, atom logic.Atom) []T
 			logic.SortSubstitutions(homs)
 			for _, h := range homs {
 				tr := NewTrigger(i, t, h)
-				key := tr.Key()
-				if _, dup := seen[key]; dup {
+				if _, isNew := seen.Intern(tr); !isNew {
 					continue
 				}
-				seen[key] = struct{}{}
 				out = append(out, tr)
 			}
 		}

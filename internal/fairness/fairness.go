@@ -22,6 +22,7 @@ package fairness
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"airct/internal/chase"
 	"airct/internal/etypes"
@@ -230,32 +231,52 @@ func Fairize(db *instance.Database, set *tgds.Set, pick Picker, horizon int) ([]
 	return triggers, report, nil
 }
 
-// FairHorizon returns the largest K such that every trigger that first
-// became active before step K of the replayed prefix is non-active at its
-// end. K = len(triggers)+1 means no starved trigger at all.
-func FairHorizon(db *instance.Database, set *tgds.Set, triggers []chase.Trigger) (int, error) {
+// activityLog replays a prefix while recording, per distinct trigger (by
+// interned (TGD index, binding) identity — no Key() strings), the first step
+// at which it was active. Triggers are stored densely in first-seen order;
+// within one step the active list is canonically ordered, so ID order is
+// (first step, canonical order) — the deterministic order the callers need.
+type activityLog struct {
+	trigs     *chase.TriggerInterner
+	byID      []chase.Trigger
+	firstStep []int
+}
+
+// replayRecording replays the prefix on a fresh derivation, recording first
+// activations before step 0 and after every step, and returns the final
+// derivation and the log.
+func replayRecording(db *instance.Database, set *tgds.Set, triggers []chase.Trigger) (*chase.Derivation, *activityLog, error) {
 	d := chase.NewDerivation(db, set)
-	firstActive := make(map[string]int)
-	byKey := make(map[string]chase.Trigger)
+	log := &activityLog{trigs: chase.NewTriggerInterner()}
 	record := func(step int) {
 		for _, tr := range d.Active() {
-			key := tr.Key()
-			if _, seen := firstActive[key]; !seen {
-				firstActive[key] = step
-				byKey[key] = tr
+			if _, isNew := log.trigs.Intern(tr); isNew {
+				log.byID = append(log.byID, tr)
+				log.firstStep = append(log.firstStep, step)
 			}
 		}
 	}
 	record(0)
 	for i, tr := range triggers {
 		if err := d.Apply(tr); err != nil {
-			return 0, fmt.Errorf("fairness: step %d: %w", i, err)
+			return nil, nil, fmt.Errorf("fairness: step %d: %w", i, err)
 		}
 		record(i + 1)
 	}
+	return d, log, nil
+}
+
+// FairHorizon returns the largest K such that every trigger that first
+// became active before step K of the replayed prefix is non-active at its
+// end. K = len(triggers)+1 means no starved trigger at all.
+func FairHorizon(db *instance.Database, set *tgds.Set, triggers []chase.Trigger) (int, error) {
+	d, log, err := replayRecording(db, set, triggers)
+	if err != nil {
+		return 0, err
+	}
 	min := len(triggers) + 1
-	for key, step := range firstActive {
-		if chase.IsActive(byKey[key], d.Instance()) && step < min {
+	for id, tr := range log.byID {
+		if step := log.firstStep[id]; step < min && chase.IsActive(tr, d.Instance()) {
 			min = step
 		}
 	}
@@ -264,37 +285,25 @@ func FairHorizon(db *instance.Database, set *tgds.Set, triggers []chase.Trigger)
 
 // earliestPersistentlyActive replays the prefix and returns the trigger
 // that becomes active earliest and is still active on the final instance,
-// together with the step index at which it first became active.
+// together with the step index at which it first became active. Ties on the
+// first-activation step resolve to the canonically least trigger — which is
+// ID order, since IDs are minted from canonically ordered Active() lists.
 func earliestPersistentlyActive(db *instance.Database, set *tgds.Set, triggers []chase.Trigger) (chase.Trigger, int, bool, error) {
-	d := chase.NewDerivation(db, set)
-	firstActive := make(map[string]int)
-	byKey := make(map[string]chase.Trigger)
-	record := func(step int) {
-		for _, tr := range d.Active() {
-			key := tr.Key()
-			if _, seen := firstActive[key]; !seen {
-				firstActive[key] = step
-				byKey[key] = tr
-			}
-		}
-	}
-	record(0)
-	for i, tr := range triggers {
-		if err := d.Apply(tr); err != nil {
-			return chase.Trigger{}, 0, false, fmt.Errorf("fairness: step %d: %w", i, err)
-		}
-		record(i + 1)
+	d, log, err := replayRecording(db, set, triggers)
+	if err != nil {
+		return chase.Trigger{}, 0, false, err
 	}
 	bestStep := -1
 	var best chase.Trigger
-	var bestKey string
-	for key, step := range firstActive {
-		if !chase.IsActive(byKey[key], d.Instance()) {
+	for id, tr := range log.byID {
+		step := log.firstStep[id]
+		if bestStep != -1 && step >= bestStep {
 			continue
 		}
-		if bestStep == -1 || step < bestStep || (step == bestStep && key < bestKey) {
-			bestStep, best, bestKey = step, byKey[key], key
+		if !chase.IsActive(tr, d.Instance()) {
+			continue
 		}
+		bestStep, best = step, tr
 	}
 	if bestStep == -1 {
 		return chase.Trigger{}, 0, false, nil
@@ -364,34 +373,17 @@ func CheckLemma44(db *instance.Database, set *tgds.Set, triggers []chase.Trigger
 // the replayed prefix and are still active at its end — the obstructions to
 // fairness that Fairize eliminates.
 func UnfairWitnesses(db *instance.Database, set *tgds.Set, triggers []chase.Trigger) ([]chase.Trigger, error) {
-	d := chase.NewDerivation(db, set)
-	seen := make(map[string]chase.Trigger)
-	for _, tr := range d.Active() {
-		seen[tr.Key()] = tr
-	}
-	for i, tr := range triggers {
-		if err := d.Apply(tr); err != nil {
-			return nil, fmt.Errorf("fairness: step %d: %w", i, err)
-		}
-		for _, a := range d.Active() {
-			if _, ok := seen[a.Key()]; !ok {
-				seen[a.Key()] = a
-			}
-		}
+	d, log, err := replayRecording(db, set, triggers)
+	if err != nil {
+		return nil, err
 	}
 	var out []chase.Trigger
-	for _, tr := range seen {
+	for _, tr := range log.byID {
 		if chase.IsActive(tr, d.Instance()) {
 			out = append(out, tr)
 		}
 	}
 	// Deterministic order for tests.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j].Key() < out[i].Key() {
-				out[i], out[j] = out[j], out[i]
-			}
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return chase.CompareTriggers(out[i], out[j]) < 0 })
 	return out, nil
 }

@@ -2,7 +2,6 @@ package guarded
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"airct/internal/acyclicity"
@@ -134,17 +133,16 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 // (Appendix C.2's remote-side-parent service).
 func GenerateSeeds(set *tgds.Set, maxSeeds int) []*instance.Database {
 	var out []*instance.Database
-	seen := make(map[string]bool)
+	seen := make(map[logic.Fingerprint]bool)
 	add := func(db *instance.Database) {
 		if len(out) >= maxSeeds {
 			return
 		}
-		keys := make([]string, 0, db.Len())
-		for _, a := range canonicalizeAtoms(db.Atoms()) {
-			keys = append(keys, a.Key())
-		}
-		sort.Strings(keys)
-		key := strings.Join(keys, ";")
+		// Isomorphism-insensitive dedup: canonicalise, then take the
+		// order-independent set fingerprint — no key strings rendered or
+		// sorted. canonicalizeAtoms renames injectively, so the canonical
+		// slice is duplicate-free as FingerprintAtoms requires.
+		key := logic.FingerprintAtoms(canonicalizeAtoms(db.Atoms()))
 		if seen[key] {
 			return
 		}
@@ -237,12 +235,13 @@ func unifications(body []logic.Atom) [][]logic.Atom {
 // abstract join tree, i.e. genuine divergence.
 func DivergenceEvidence(run *chase.Run) (string, bool) {
 	type info struct {
-		step      int
-		parentKey string // guard image atom key
-		sig       string
+		step     int
+		parentFP logic.Fingerprint // guard image atom hash
+		sig      string
+		fresh    bool // produced atom invents a null at this step
 	}
 	infos := make([]info, len(run.Steps))
-	producedBy := make(map[string]int) // atom key -> producing step
+	producedBy := make(map[logic.Fingerprint]int) // atom hash -> producing step
 	for i, step := range run.Steps {
 		tr := step.Trigger
 		guard, ok := tr.TGD.Guard()
@@ -252,36 +251,67 @@ func DivergenceEvidence(run *chase.Run) (string, bool) {
 		guardImage := guard.Apply(tr.H)
 		produced := step.Result[0]
 		infos[i] = info{
-			step:      i,
-			parentKey: guardImage.Key(),
-			sig:       stepSignature(tr.TGDIndex, produced, guardImage),
+			step:     i,
+			parentFP: logic.HashAtom(guardImage),
+			sig:      stepSignature(tr.TGDIndex, produced, guardImage),
+			fresh:    introducesFreshNull(produced, guardImage),
 		}
 		for _, a := range step.Added {
-			if _, dup := producedBy[a.Key()]; !dup {
-				producedBy[a.Key()] = i
+			h := logic.HashAtom(a)
+			if _, dup := producedBy[h]; !dup {
+				producedBy[h] = i
 			}
 		}
 	}
 	// Walk guard chains from each step upward, looking for a repeated
-	// signature.
+	// signature whose steps invent fresh nulls — a repetition of a
+	// null-free signature cannot grow the term set and is no pump (a
+	// terminating cycle closed by a frontier-free existential TGD would
+	// otherwise be misread as divergence).
 	for i := len(run.Steps) - 1; i >= 0; i-- {
 		seenSigs := map[string]int{infos[i].sig: i}
 		cur := i
 		for {
-			parentStep, ok := producedBy[infos[cur].parentKey]
+			parentStep, ok := producedBy[infos[cur].parentFP]
 			if !ok || parentStep >= cur {
 				break
 			}
-			if first, dup := seenSigs[infos[parentStep].sig]; dup {
+			if first, dup := seenSigs[infos[parentStep].sig]; dup && infos[parentStep].fresh && infos[first].fresh {
 				tr := run.Steps[parentStep].Trigger
 				return fmt.Sprintf("guard-chain pump: %s repeats signature between steps %d and %d (period %d)",
 					tr.TGD.Label, parentStep, first, first-parentStep), true
 			}
-			seenSigs[infos[parentStep].sig] = parentStep
+			if _, dup := seenSigs[infos[parentStep].sig]; !dup {
+				seenSigs[infos[parentStep].sig] = parentStep
+			}
 			cur = parentStep
 		}
 	}
 	return "", false
+}
+
+// introducesFreshNull reports whether the produced atom carries a null that
+// does not occur in its guard image. In a guarded TGD the guard contains
+// every body variable, so every propagated term of the result appears among
+// the guard image's arguments — a null absent from them was invented by
+// this very step.
+func introducesFreshNull(produced, guardImage logic.Atom) bool {
+	for _, t := range produced.Args {
+		if !t.IsNull() {
+			continue
+		}
+		inGuard := false
+		for _, u := range guardImage.Args {
+			if t == u {
+				inGuard = true
+				break
+			}
+		}
+		if !inGuard {
+			return true
+		}
+	}
+	return false
 }
 
 // stepSignature abstracts a produced atom to its Λ_T letter: the TGD, the

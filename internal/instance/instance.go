@@ -27,13 +27,15 @@ import (
 // indexed for fast trigger and homomorphism search. The zero value is not
 // usable; call New.
 type Instance struct {
-	tab   *logic.Interner   // term/pred IDs; owned by this instance
+	tab   *logic.Interner   // term/pred IDs; owned or shared (NewWithInterner)
 	atoms *logic.TupleTable // (PredID, TermID...) identity; TupleID = insertion index
 	order []logic.Atom      // insertion order, no duplicates
 
 	byPred  map[logic.Predicate][]logic.Atom // interface index for the generic search
 	predIdx map[logic.PredID][]int32         // insertion indices per predicate
 	ptIdx   map[uint64][]int32               // packed (pred, pos, term) -> insertion indices
+
+	fp logic.Fingerprint // order-independent set fingerprint, maintained on insert
 
 	tupbuf []uint32 // scratch for tuple probes; single-writer
 }
@@ -46,8 +48,19 @@ func ptPack(p logic.PredID, pos int, t logic.TermID) uint64 {
 
 // New returns an empty instance.
 func New() *Instance {
+	return NewWithInterner(logic.NewInterner())
+}
+
+// NewWithInterner returns an empty instance whose identity tables are the
+// given interner, shared with the caller. Sharing one interner across many
+// instances makes their TermIDs directly comparable — the ∀∃ search keys
+// every explored chase state on one interner so triggers, nulls and
+// fingerprint caches agree across states. The single-writer contract covers
+// the interner and every instance sharing it together: one writer at a
+// time across the whole group.
+func NewWithInterner(tab *logic.Interner) *Instance {
 	return &Instance{
-		tab:     logic.NewInterner(),
+		tab:     tab,
 		atoms:   logic.NewTupleTable(16),
 		byPred:  make(map[logic.Predicate][]logic.Atom),
 		predIdx: make(map[logic.PredID][]int32),
@@ -115,6 +128,7 @@ func (in *Instance) insert(pid logic.PredID, tuple []uint32, a logic.Atom) (int3
 	if !isNew {
 		return idx, false
 	}
+	in.fp = in.fp.Merge(in.tab.HashAtomIDs(pid, tuple[1:]))
 	in.order = append(in.order, a)
 	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
 	in.predIdx[pid] = append(in.predIdx[pid], idx)
@@ -182,6 +196,17 @@ func (in *Instance) HasTuple(pid logic.PredID, args []logic.TermID) bool {
 
 // Len returns the number of (distinct) atoms.
 func (in *Instance) Len() int { return len(in.order) }
+
+// Fingerprint returns the 128-bit order-independent fingerprint of the atom
+// set in O(1): it is maintained incrementally on every insert (Add, AddTuple,
+// AddAll). Two instances holding the same atoms have equal fingerprints
+// regardless of insertion order or interner — including across Clone —
+// provided their interners hash terms alike; term-hash overrides installed
+// via logic.Interner.InternTermWithHash (null canonicalisation) do not carry
+// over to Clone's fresh interner (see Clone). Callers treating fingerprint
+// equality as set equality accept the 128-bit collision probability (see
+// logic.Fingerprint).
+func (in *Instance) Fingerprint() logic.Fingerprint { return in.fp }
 
 // Atoms returns the atoms in insertion order. The returned slice is a copy.
 func (in *Instance) Atoms() []logic.Atom {
@@ -261,6 +286,11 @@ func (in *Instance) Schema() *logic.Schema {
 // terms in atom-argument appearance order, while the original's writer may
 // have interned them in another order (the engine interns nulls before the
 // atoms that carry them). Never compare TermIDs across instances.
+//
+// The clone owns a fresh interner with content hashes only: term-hash
+// overrides installed on the original's interner (null canonicalisation) do
+// not carry over, so Fingerprint() of the clone can differ when overrides
+// were in play. The ∀∃ search, which installs overrides, never clones.
 func (in *Instance) Clone() *Instance {
 	out := New()
 	for _, a := range in.order {

@@ -34,6 +34,13 @@ type Interner struct {
 	termID map[Term]TermID
 	preds  []Predicate
 	predID map[Predicate]PredID
+
+	// Per-ID fingerprint caches: the content hash (HashTerm/HashPred) is
+	// computed once at interning time, so instance fingerprints never hash
+	// a name twice. termHash[i] may be an override installed through
+	// InternTermWithHash (null canonicalisation).
+	termHash []Fingerprint
+	predHash []Fingerprint
 }
 
 // NewInterner returns an empty interner.
@@ -51,8 +58,48 @@ func (in *Interner) InternTerm(t Term) TermID {
 	}
 	id := TermID(len(in.terms))
 	in.terms = append(in.terms, t)
+	in.termHash = append(in.termHash, HashTerm(t))
 	in.termID[t] = id
 	return id
+}
+
+// InternTermWithHash interns t with an explicit fingerprint instead of the
+// content hash — the null-canonicalisation hook: the ∀∃ search hashes each
+// invented null by its structural invention identity (trigger + existential
+// variable), so states whose nulls differ only in counter names fingerprint
+// equal. The override must be installed at first interning: it panics if t
+// is already interned under a different hash (atoms fingerprinted with the
+// old hash could never be reconciled).
+func (in *Interner) InternTermWithHash(t Term, h Fingerprint) TermID {
+	if id, ok := in.termID[t]; ok {
+		if in.termHash[id] != h {
+			panic("logic: InternTermWithHash after the term was interned with a different hash")
+		}
+		return id
+	}
+	id := TermID(len(in.terms))
+	in.terms = append(in.terms, t)
+	in.termHash = append(in.termHash, h)
+	in.termID[t] = id
+	return id
+}
+
+// TermHash returns the cached fingerprint of the term with the given ID.
+func (in *Interner) TermHash(id TermID) Fingerprint { return in.termHash[id] }
+
+// PredHash returns the cached fingerprint of the predicate with the given ID.
+func (in *Interner) PredHash(id PredID) Fingerprint { return in.predHash[id] }
+
+// HashAtomIDs returns the hash of the ground atom (pid, args...) from the
+// cached per-term fingerprints; args holds TermID values in the arena's raw
+// uint32 form. It agrees with HashAtom on the materialised atom unless a
+// term-hash override is installed.
+func (in *Interner) HashAtomIDs(pid PredID, args []uint32) Fingerprint {
+	h := in.predHash[pid]
+	for _, a := range args {
+		h = h.Mix(in.termHash[a])
+	}
+	return h
 }
 
 // LookupTerm returns the ID for t without interning; ok is false when t has
@@ -75,6 +122,7 @@ func (in *Interner) InternPred(p Predicate) PredID {
 	}
 	id := PredID(len(in.preds))
 	in.preds = append(in.preds, p)
+	in.predHash = append(in.predHash, HashPred(p))
 	in.predID[p] = id
 	return id
 }

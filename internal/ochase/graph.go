@@ -14,8 +14,6 @@
 package ochase
 
 import (
-	"fmt"
-
 	"airct/internal/chase"
 	"airct/internal/instance"
 	"airct/internal/logic"
@@ -66,6 +64,14 @@ type Graph struct {
 	// construction reached a fixpoint within the bounds.
 	Complete bool
 	nulls    *chase.NullFactory
+
+	// (σ, h, parent tuple) identities, interned: [tgdIdx, binding TermIDs
+	// in sorted-body-variable order, parent node IDs]. One table probe
+	// answers "spawned before?" — no per-candidate key strings.
+	itab     *logic.Interner
+	seen     *logic.TupleTable
+	seenBuf  []uint32
+	bodyVars [][]logic.Term // sorted body variables per TGD index
 }
 
 // Build materialises ochase(D,T) up to the given bounds.
@@ -76,11 +82,16 @@ func Build(db *instance.Database, set *tgds.Set, opts BuildOptions) *Graph {
 		byPred:   make(map[logic.Predicate][]*Node),
 		children: make(map[NodeID][]NodeID),
 		nulls:    chase.NewNullFactory(chase.StructuralNaming),
+		itab:     logic.NewInterner(),
+		seen:     logic.NewTupleTable(64),
+		bodyVars: make([][]logic.Term, len(set.TGDs)),
+	}
+	for i, t := range set.TGDs {
+		g.bodyVars[i] = t.BodyVars().Sorted()
 	}
 	for _, fact := range db.Atoms() {
 		g.addNode(fact, nil, nil)
 	}
-	seen := make(map[string]struct{}) // (σ, h, parent tuple) identities
 	frontierStart := 0
 	for {
 		if len(g.nodes) >= opts.maxNodes() {
@@ -88,7 +99,7 @@ func Build(db *instance.Database, set *tgds.Set, opts BuildOptions) *Graph {
 			return g
 		}
 		next := len(g.nodes)
-		added := g.expand(seen, frontierStart, opts)
+		added := g.expand(frontierStart, opts)
 		frontierStart = next
 		if !added {
 			g.Complete = len(g.nodes) < opts.maxNodes()
@@ -122,7 +133,7 @@ func (g *Graph) addNode(atom logic.Atom, tr *chase.Trigger, parents []NodeID) *N
 // expand performs one closure round: every (σ, h, parent-tuple) with at
 // least one parent in the latest frontier (or any tuple in the first round)
 // spawns a node. It reports whether any node was added.
-func (g *Graph) expand(seen map[string]struct{}, frontierStart int, opts BuildOptions) bool {
+func (g *Graph) expand(frontierStart int, opts BuildOptions) bool {
 	added := false
 	limit := len(g.nodes) // only match against pre-round nodes
 	for idx, t := range g.Set.TGDs {
@@ -150,15 +161,18 @@ func (g *Graph) expand(seen map[string]struct{}, frontierStart int, opts BuildOp
 					return true
 				}
 			}
-			tr := chase.NewTrigger(idx, t, h)
-			key := tr.Key()
-			for _, p := range parents {
-				key += fmt.Sprintf("|%d", p)
+			g.seenBuf = g.seenBuf[:0]
+			g.seenBuf = append(g.seenBuf, uint32(idx))
+			for _, v := range g.bodyVars[idx] {
+				g.seenBuf = append(g.seenBuf, uint32(g.itab.InternTerm(h.ApplyTerm(v))))
 			}
-			if _, dup := seen[key]; dup {
+			for _, p := range parents {
+				g.seenBuf = append(g.seenBuf, uint32(p))
+			}
+			if _, isNew := g.seen.Intern(g.seenBuf); !isNew {
 				return true
 			}
-			seen[key] = struct{}{}
+			tr := chase.NewTrigger(idx, t, h)
 			result := chase.Result(tr, g.nulls)
 			// Definition 3.3 is stated for single-head TGDs; for multi-head
 			// sets we add one node per head atom sharing the parent tuple.
