@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -141,6 +142,70 @@ func TestTermcheckExistsSearch(t *testing.T) {
 	}
 }
 
+func TestTermcheckExistsParallelWorkers(t *testing.T) {
+	bin := binary(t, "termcheck")
+	// The parallel search must reach the same verdict as the sequential one
+	// and report its worker count in the stats line.
+	for _, workers := range []string{"1", "4"} {
+		out, code := run(t, bin, "-exists", "-workers", workers, "testdata/exampleB1.chase")
+		if code != 0 {
+			t.Fatalf("workers=%s: exit = %d, want 0\n%s", workers, code, out)
+		}
+		if !strings.Contains(out, "workers="+workers) {
+			t.Errorf("workers=%s: stats line lacks worker count:\n%s", workers, out)
+		}
+		if !strings.Contains(out, "finite derivation exists") {
+			t.Errorf("workers=%s: missing witness banner:\n%s", workers, out)
+		}
+	}
+	// Invalid worker counts are a usage error.
+	if _, code := run(t, bin, "-exists", "-workers", "0", "testdata/exampleB1.chase"); code != 3 {
+		t.Error("-workers 0 must exit 3")
+	}
+}
+
+// documentedFlags mirrors docs/CLI.md: every flag documented there, per
+// command. TestCLIHelpMatchesDocs asserts each appears both in the
+// command's -h output and in the doc file, so the three stay in sync.
+var documentedFlags = map[string][]string{
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers"},
+	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
+	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
+	"experiments": {"-only", "-quick"},
+}
+
+func TestCLIHelpMatchesDocs(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/CLI.md")
+	if err != nil {
+		t.Fatalf("docs/CLI.md must exist: %v", err)
+	}
+	docs := string(docBytes)
+	for cmd, flags := range documentedFlags {
+		out, _ := run(t, binary(t, cmd), "-h")
+		for _, flag := range flags {
+			// flag's usage output prints "-name" (one dash).
+			if !strings.Contains(out, "\n  "+flag+" ") && !strings.Contains(out, "\n  "+flag+"\n") {
+				t.Errorf("%s -h does not mention documented flag %s:\n%s", cmd, flag, out)
+			}
+			if !strings.Contains(docs, "`"+flag+"`") {
+				t.Errorf("docs/CLI.md does not document %s's flag %s", cmd, flag)
+			}
+		}
+		// Reverse direction: every flag the command actually declares must be
+		// in documentedFlags (and hence, by the loop above, in docs/CLI.md) —
+		// adding a flag without documenting it fails here.
+		documented := make(map[string]bool, len(flags))
+		for _, f := range flags {
+			documented[f] = true
+		}
+		for _, m := range regexp.MustCompile(`(?m)^  (-[a-z][a-z0-9-]*)`).FindAllStringSubmatch(out, -1) {
+			if !documented[m[1]] {
+				t.Errorf("%s declares flag %s that docs/CLI.md and documentedFlags do not cover", cmd, m[1])
+			}
+		}
+	}
+}
+
 func TestTermcheckRejectsBadInput(t *testing.T) {
 	bin := binary(t, "termcheck")
 	bad := filepath.Join(t.TempDir(), "bad.chase")
@@ -229,6 +294,7 @@ func TestBenchgenRoundTripsThroughTermcheck(t *testing.T) {
 		{"swap-intro", 0},
 		{"linear-cycle", 1},
 		{"sticky-relay", 1},
+		{"stage-grid", 0},
 	} {
 		out, code := run(t, gen, "-family", tc.family, "-n", "3")
 		if code != 0 {

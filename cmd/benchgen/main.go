@@ -3,8 +3,11 @@
 //	benchgen -family NAME [-n N] [-db KIND] [-size N] [-seed N]
 //
 // Families: datalog-chain, existential-chain, linear-cycle, swap-intro,
-// guarded-ladder, sticky-join, sticky-relay, exchange, ontology.
-// Database kinds (appended as facts): none, star, chain, random.
+// guarded-ladder, sticky-join, sticky-relay, exchange, ontology, stage-grid.
+// Database kinds (appended as facts): none, star, chain, random. The
+// exchange, ontology and stage-grid families generate their own facts
+// (stage-grid is the 3^n-state ∀∃ search workload; feed it to
+// `termcheck -exists -workers=N`).
 package main
 
 import (
@@ -31,6 +34,9 @@ func main() {
 		return
 	case "ontology":
 		fmt.Print(parser.Print(workload.Ontology(*size, *seed)))
+		return
+	case "stage-grid":
+		fmt.Print(parser.Print(workload.StageGrid(*n)))
 		return
 	}
 

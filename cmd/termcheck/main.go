@@ -11,9 +11,11 @@
 // CT^res_∀∃ on the *given* database: does some trigger order reach a
 // fixpoint? The fingerprint-memoised derivation search runs with the
 // -exists-states/-exists-atoms budgets and the -exists-strategy frontier
-// discipline. Exit status: 0 a finite derivation exists (and a witness is
-// printed), 1 the bounded space was exhausted (every derivation is
-// infinite), 2 a budget stopped the search, 3 error.
+// discipline; -workers N shards the search across N parallel workers, each
+// with a private interner (verdicts are worker-count invariant). Exit
+// status: 0 a finite derivation exists (and a witness is printed), 1 the
+// bounded space was exhausted (every derivation is infinite), 2 a budget
+// stopped the search, 3 error.
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	existsStates := flag.Int("exists-states", 10000, "state budget for the -exists search")
 	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
 	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
+	workers := flag.Int("workers", 1, "parallel workers for the -exists search (1 = sequential)")
 	flag.Parse()
 
 	src, err := readInput(flag.Arg(0))
@@ -50,7 +53,7 @@ func main() {
 		fail(fmt.Errorf("no TGDs in input"))
 	}
 	if *exists {
-		runExists(prog, *existsStates, *existsAtoms, *existsStrategy)
+		runExists(prog, *existsStates, *existsAtoms, *existsStrategy, *workers)
 		return
 	}
 	if prog.Database.Len() > 0 {
@@ -77,9 +80,12 @@ func main() {
 
 // runExists runs the ∀∃ derivation search on the program's database and
 // exits with the search's verdict.
-func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string) {
+func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, workers int) {
 	if prog.Database.Len() == 0 {
 		fail(fmt.Errorf("-exists needs facts in the input (the question is per-database)"))
+	}
+	if workers < 1 {
+		fail(fmt.Errorf("-workers must be at least 1"))
 	}
 	strat, err := chase.ParseSearchStrategy(strategy)
 	if err != nil {
@@ -89,9 +95,10 @@ func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string) {
 		MaxStates: maxStates,
 		MaxAtoms:  maxAtoms,
 		Strategy:  strat,
+		Workers:   workers,
 	})
-	fmt.Printf("exists-search: strategy=%s states=%d expanded=%d memo-hits=%d peak-frontier=%d\n",
-		strat, res.StatesVisited, res.Stats.StatesExpanded, res.Stats.MemoHits, res.Stats.PeakFrontier)
+	fmt.Printf("exists-search: strategy=%s workers=%d states=%d expanded=%d memo-hits=%d peak-frontier=%d\n",
+		strat, workers, res.StatesVisited, res.Stats.StatesExpanded, res.Stats.MemoHits, res.Stats.PeakFrontier)
 	switch {
 	case res.Found:
 		fmt.Printf("finite derivation exists: %d steps\n", len(res.Derivation))

@@ -3,6 +3,9 @@
 // query over the target with certain-answer semantics.
 //
 //	go run ./examples/dataexchange
+//
+// Expect the weak-acyclicity check to pass, a ~60-atom universal solution,
+// 12 certain answers, and a successful universality (embedding) check.
 package main
 
 import (

@@ -4,6 +4,10 @@
 // counterexample (Example B.1) collapses the derivation to a fixpoint,
 // showing why the theorem needs single-head TGDs.
 //
+// Expect the starved trigger listing, a "fair up to step N of N" repair
+// report for the single-head set, and the multi-head repair ending early
+// at a fixpoint.
+//
 //	go run ./examples/fairness
 package main
 

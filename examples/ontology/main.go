@@ -4,6 +4,10 @@
 // ontology-based-data-access workflow the paper's introduction motivates.
 //
 //	go run ./examples/ontology
+//
+// Expect "termination: true", a materialised ABox closure with certain
+// answers for the mentor query, and a "diverges" verdict once the
+// Org(X) -> Person(X) axiom is added.
 package main
 
 import (

@@ -3,6 +3,10 @@
 // chase.
 //
 //	go run ./examples/quickstart
+//
+// Expect a class checklist ([x] guarded, [x] sticky, ...), the verdict
+// "terminates" with the deciding conditions, and the 4-atom universal
+// model of the Example 3.2 program.
 package main
 
 import (

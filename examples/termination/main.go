@@ -3,6 +3,9 @@
 // "downstream user" view of the library's headline capability.
 //
 //	go run ./examples/termination
+//
+// Expect one row per corpus program (classes, ground truth, verdict,
+// deciding method); every verdict must match its ground-truth column.
 package main
 
 import (

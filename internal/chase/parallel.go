@@ -1,0 +1,528 @@
+package chase
+
+// The sharded parallel ∀∃ search: W workers, each an expander over a
+// PRIVATE interner, explore the derivation space together. Nothing ID-like
+// ever crosses a worker boundary — the concurrency contract of
+// docs/ARCHITECTURE.md (one writer per interner, no internal locking) is
+// preserved by exchanging states *symbolically* and re-interning on the
+// receiving side:
+//
+//   - The fingerprint memo is partitioned into shards routed by the
+//     fingerprint's low bits, each a mutex-striped map from fingerprint to
+//     the state's record. Claiming a fingerprint (the atomic "seen
+//     before?" insert) is the only cross-worker synchronisation on the hot
+//     path; the interners themselves take no locks.
+//   - A state record is a compact symbolic delta: a link to the parent
+//     state's record plus the trigger that produced it — the TGD index and
+//     the body bindings encoded as logic.SymTerm (shared-prefix IDs for
+//     constants, canonical 128-bit structural identities for nulls). The
+//     new atoms need not be shipped at all: the receiving worker recomputes
+//     result(σ,h) from its own compiled patterns when it materialises the
+//     state, re-interning boundary nulls by fingerprint (expander.resolveNull).
+//   - Every worker interns the same startup vocabulary in the same order
+//     (newExpander), so shared-prefix IDs and all fingerprints agree across
+//     workers by construction; a state's fingerprint is the same no matter
+//     which worker computes it, which is what makes the sharded memo sound.
+//
+// Work distribution: a claimed state enters the frontier of the worker that
+// generated it, every frontier is a strategy-ordered heap, and idle workers
+// steal from victims in a seeded rotation — the sharded priority frontier.
+// Generators keep the local delta of each state they claim (workerCache),
+// so expanding own work re-adds interned tuples exactly like the sequential
+// searcher; only states that crossed a steal boundary (and their foreign
+// ancestors) pay the symbolic re-interning decode. SmallestFirst therefore
+// approximates the sequential global smallest-first order;
+// BreadthFirst/DepthFirst order by a global atomic generation counter and
+// are likewise approximate. Verdicts (Found / Exhausted on decisive runs)
+// are invariant across worker counts and seeds; witnesses, stats and
+// budget-cut outcomes may vary by schedule, exactly as they may vary across
+// strategies.
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// stateRec is one explored chase state in interner-independent form: the
+// memo value and the unit of cross-worker exchange. The full instance is
+// recomputed on demand (database + the trigger chain up to the root, via
+// the parent links), so records stay small no matter how large states
+// grow. Records are immutable after being claimed into the state table —
+// which is what makes the lock-free parent-chain walk safe.
+type stateRec struct {
+	fp     logic.Fingerprint // this state's fingerprint (memo key)
+	parent *stateRec         // parent state's record; nil at the root
+	// bindings are the producing trigger's body-slot bindings, symbolically.
+	bindings []logic.SymTerm
+	tgd      int32  // producing TGD index; -1 at the root
+	size     int32  // instance atom count (heap priority under SmallestFirst)
+	seq      uint64 // global generation counter; heap tie-break and bfs/dfs order
+}
+
+// claimStatus is the outcome of stateTable.claim.
+type claimStatus uint8
+
+const (
+	claimNew  claimStatus = iota // fingerprint was unseen; record inserted
+	claimDup                     // fingerprint already memoised
+	claimOver                    // state budget exhausted; record not inserted
+)
+
+// memoShard is one stripe of the sharded fingerprint memo.
+type memoShard struct {
+	mu sync.Mutex
+	m  map[logic.Fingerprint]*stateRec
+}
+
+// stateTable is the sharded fingerprint memo: the parallel twin of the
+// sequential searcher's map[Fingerprint]struct{}, with the state records as
+// values. Records link to their parents directly (immutable pointers, no
+// lock needed to walk a chain); the table's job is the atomic claim and
+// keeping every record reachable. Shards are routed by the fingerprint's
+// low bits; the global state count enforces MaxStates exactly
+// (compare-and-swap under the shard lock, so the budget is never
+// overshot).
+type stateTable struct {
+	shards []memoShard
+	mask   uint64
+	count  atomic.Int64
+	max    int64
+}
+
+func newStateTable(shardCount int, maxStates int) *stateTable {
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	t := &stateTable{shards: make([]memoShard, n), mask: uint64(n - 1), max: int64(maxStates)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[logic.Fingerprint]*stateRec)
+	}
+	return t
+}
+
+func (t *stateTable) shard(fp logic.Fingerprint) *memoShard {
+	return &t.shards[fp.Lo&t.mask]
+}
+
+// claim atomically answers "was fp seen before?" and, if not and the budget
+// allows, inserts the record built by mk. The record is only built when it
+// will be inserted, so duplicate successors (the majority, under
+// memoisation) allocate nothing.
+func (t *stateTable) claim(fp logic.Fingerprint, mk func() *stateRec) claimStatus {
+	sh := t.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[fp]; ok {
+		return claimDup
+	}
+	for {
+		c := t.count.Load()
+		if c >= t.max {
+			return claimOver
+		}
+		if t.count.CompareAndSwap(c, c+1) {
+			break
+		}
+	}
+	sh.m[fp] = mk()
+	return claimNew
+}
+
+// recHeap is the strategy-ordered container/heap implementation over state
+// records — the same frontier disciplines as searchFrontier, sharing
+// frontierLess so the ordering logic exists once.
+type recHeap struct {
+	nodes []*stateRec
+	strat SearchStrategy
+}
+
+func (h *recHeap) Len() int { return len(h.nodes) }
+
+func (h *recHeap) Less(i, j int) bool {
+	a, b := h.nodes[i], h.nodes[j]
+	return frontierLess(h.strat, int64(a.size), int64(a.seq), int64(b.size), int64(b.seq))
+}
+
+func (h *recHeap) Swap(i, j int) { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+
+func (h *recHeap) Push(x any) { h.nodes = append(h.nodes, x.(*stateRec)) }
+
+func (h *recHeap) Pop() any {
+	n := len(h.nodes) - 1
+	x := h.nodes[n]
+	h.nodes[n] = nil
+	h.nodes = h.nodes[:n]
+	return x
+}
+
+// workFrontier is one worker's share of the sharded priority frontier.
+// Owners push routed states; idle workers steal from the top.
+type workFrontier struct {
+	mu sync.Mutex
+	h  recHeap
+}
+
+func (f *workFrontier) push(r *stateRec) {
+	f.mu.Lock()
+	heap.Push(&f.h, r)
+	f.mu.Unlock()
+}
+
+func (f *workFrontier) pop() *stateRec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.h.nodes) == 0 {
+		return nil
+	}
+	return heap.Pop(&f.h).(*stateRec)
+}
+
+// ParallelSearch is the coordinator of the sharded ∀∃ search: it owns the
+// sharded fingerprint memo, the per-worker frontiers, and the shared atomic
+// counters, and assembles the ExistsResult when the workers finish. Built
+// by SearchTerminatingDerivation when SearchOptions.Workers > 1.
+type ParallelSearch struct {
+	db   *instance.Database
+	set  *tgds.Set
+	opts SearchOptions
+
+	table  *stateTable
+	fronts []*workFrontier
+
+	pending  atomic.Int64 // states claimed but not yet fully expanded
+	frontLen atomic.Int64
+	peak     atomic.Int64
+	seq      atomic.Uint64
+
+	expanded atomic.Int64
+	memoHits atomic.Int64
+
+	exhausted atomic.Bool // starts true; cleared by budget cuts, like the sequential flag
+	done      atomic.Bool
+
+	winMu  sync.Mutex
+	winner *stateRec
+}
+
+// newParallelSearch builds the coordinator; opts.MaxStates/MaxAtoms are
+// already normalised by SearchTerminatingDerivation.
+func newParallelSearch(db *instance.Database, set *tgds.Set, opts SearchOptions) *ParallelSearch {
+	w := opts.Workers
+	ps := &ParallelSearch{
+		db:     db,
+		set:    set,
+		opts:   opts,
+		table:  newStateTable(4*w, opts.MaxStates),
+		fronts: make([]*workFrontier, w),
+	}
+	for i := range ps.fronts {
+		ps.fronts[i] = &workFrontier{h: recHeap{strat: opts.Strategy}}
+	}
+	ps.exhausted.Store(true)
+	return ps
+}
+
+// Run executes the search and assembles the result.
+func (ps *ParallelSearch) Run() *ExistsResult {
+	w := ps.opts.Workers
+	workers := make([]*parallelWorker, w)
+	var build sync.WaitGroup
+	for i := 0; i < w; i++ {
+		build.Add(1)
+		go func(i int) {
+			defer build.Done()
+			workers[i] = &parallelWorker{id: i, ps: ps, e: newExpander(ps.db, ps.set),
+				cache: make(map[logic.Fingerprint][]uint32),
+				rng:   rand.New(rand.NewSource(ps.opts.Seed + int64(i)*0x9E3779B9))}
+		}(i)
+	}
+	build.Wait()
+
+	root := &stateRec{fp: workers[0].e.rootFp, tgd: -1, size: int32(workers[0].e.rootSize)}
+	ps.table.claim(root.fp, func() *stateRec { return root })
+	ps.dispatch(0, root)
+
+	var run sync.WaitGroup
+	for _, wk := range workers {
+		run.Add(1)
+		go func(wk *parallelWorker) {
+			defer run.Done()
+			wk.run()
+		}(wk)
+	}
+	run.Wait()
+
+	res := &ExistsResult{
+		Exhausted:     ps.exhausted.Load(),
+		StatesVisited: int(ps.table.count.Load()),
+	}
+	res.Stats.StatesExpanded = int(ps.expanded.Load())
+	res.Stats.MemoHits = int(ps.memoHits.Load())
+	res.Stats.PeakFrontier = int(ps.peak.Load())
+	if ps.winner != nil {
+		res.Found = true
+		res.Derivation = ps.buildWitness(workers[0].e, ps.winner)
+	}
+	return res
+}
+
+// dispatch enqueues a freshly claimed state on the frontier of the worker
+// that generated it (locality: the generator caches the state's local
+// delta); load balance comes from stealing.
+func (ps *ParallelSearch) dispatch(owner int, r *stateRec) {
+	ps.pending.Add(1)
+	ps.fronts[owner].push(r)
+	n := ps.frontLen.Add(1)
+	for {
+		p := ps.peak.Load()
+		if n <= p || ps.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+}
+
+// announce records the first fixpoint state found and stops the search.
+func (ps *ParallelSearch) announce(r *stateRec) {
+	ps.winMu.Lock()
+	if ps.winner == nil {
+		ps.winner = r
+	}
+	ps.winMu.Unlock()
+	ps.done.Store(true)
+}
+
+// buildWitness rebuilds the winning trigger sequence from the symbolic
+// record chain, renaming nulls replay-consistently exactly as the
+// sequential searcher.path does: a fresh structural factory is driven as
+// Derivation.Apply's replay will drive it, and each canonical null identity
+// maps to the name that replay will mint. Any expander's interner resolves
+// the shared-prefix IDs — they agree across workers by construction.
+func (ps *ParallelSearch) buildWitness(e *expander, win *stateRec) []Trigger {
+	var chain []*stateRec
+	for r := win; r.tgd >= 0; r = r.parent {
+		chain = append(chain, r)
+	}
+	out := make([]Trigger, 0, len(chain))
+	replay := NewNullFactory(StructuralNaming)
+	ren := make(map[logic.Fingerprint]logic.Term)
+	var hashes []logic.Fingerprint
+	for i := len(chain) - 1; i >= 0; i-- {
+		r := chain[i]
+		ct := &e.ct[r.tgd]
+		h := logic.NewSubstitution()
+		hashes = hashes[:0]
+		for j, v := range ct.bodyVars {
+			st := r.bindings[j]
+			hashes = append(hashes, e.itab.SymTermHash(st))
+			if st.IsNull {
+				h[v] = ren[st.NullFP]
+			} else {
+				h[v] = e.itab.Term(logic.TermID(st.Shared))
+			}
+		}
+		tr := Trigger{TGDIndex: int(r.tgd), TGD: ps.set.TGDs[r.tgd], H: h}
+		for k, x := range ct.existVars {
+			ren[nullIdentity(uint32(r.tgd), hashes, k)] = replay.NullFor(tr, x)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// parallelWorker is one search worker: an expander over a private interner
+// plus scheduling scratch. All of its state is single-writer; the only
+// shared structures it touches are the state table, the frontiers and the
+// coordinator's atomics.
+type parallelWorker struct {
+	id  int
+	ps  *ParallelSearch
+	e   *expander
+	rng *rand.Rand
+
+	// cache holds the flattened local-ID delta ([pid, args...]*) of every
+	// state this worker generated, keyed by fingerprint: the fast
+	// materialisation path for own work. States claimed by other workers
+	// (reached here only across a steal boundary) miss and decode
+	// symbolically instead.
+	cache map[logic.Fingerprint][]uint32
+
+	chain []*stateRec
+	bt    []uint32 // scratch: [tgd, resolved body TermIDs...]
+}
+
+// run is the worker loop: pop the own frontier, steal when empty, expand,
+// and detect global termination when the last pending state drains.
+func (w *parallelWorker) run() {
+	idle := 0
+	for {
+		if w.ps.done.Load() {
+			return
+		}
+		rec := w.ps.fronts[w.id].pop()
+		if rec == nil {
+			rec = w.steal()
+		}
+		if rec == nil {
+			if w.ps.pending.Load() == 0 {
+				w.ps.done.Store(true)
+				return
+			}
+			idle++
+			if idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		w.ps.frontLen.Add(-1)
+		w.expand(rec)
+		if w.ps.pending.Add(-1) == 0 {
+			w.ps.done.Store(true)
+			return
+		}
+	}
+}
+
+// steal pops one state from another worker's frontier, visiting victims in
+// a seeded rotation.
+func (w *parallelWorker) steal() *stateRec {
+	n := len(w.ps.fronts)
+	start := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == w.id {
+			continue
+		}
+		if r := w.ps.fronts[v].pop(); r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// expand materialises the state, enumerates its active triggers, and claims
+// each successor into the sharded memo — the parallel twin of the
+// sequential searcher's loop body plus generate.
+func (w *parallelWorker) expand(rec *stateRec) {
+	e := w.e
+	inst := w.materialise(rec)
+	e.collectActive(inst)
+	w.ps.expanded.Add(1)
+	if len(e.actOff) == 0 {
+		w.ps.announce(rec)
+		return
+	}
+	if int(rec.size) >= w.ps.opts.MaxAtoms {
+		w.ps.exhausted.Store(false)
+		return
+	}
+	for _, off := range e.actOff {
+		if w.ps.done.Load() {
+			return
+		}
+		tgd := int(e.actBuf[off])
+		ct := &e.ct[tgd]
+		trigTup := e.actBuf[off : off+int32(ct.nBody)+1]
+		trigID, _ := e.trig.Intern(trigTup)
+
+		childFp, added := e.childState(inst, rec.fp, trigID, tgd, trigTup[1:])
+		var child *stateRec
+		switch w.ps.table.claim(childFp, func() *stateRec {
+			bindings := make([]logic.SymTerm, ct.nBody)
+			for j, b := range trigTup[1:] {
+				bindings[j] = e.itab.EncodeTermSym(logic.TermID(b), e.nShared)
+			}
+			child = &stateRec{
+				fp:       childFp,
+				parent:   rec,
+				bindings: bindings,
+				tgd:      int32(tgd),
+				size:     rec.size + int32(added),
+				seq:      w.ps.seq.Add(1),
+			}
+			return child
+		}) {
+		case claimDup:
+			w.ps.memoHits.Add(1)
+		case claimOver:
+			w.ps.exhausted.Store(false)
+			return
+		case claimNew:
+			w.cache[childFp] = append([]uint32(nil), e.deltaBuf...)
+			w.ps.dispatch(w.id, child)
+		}
+	}
+}
+
+// materialise rebuilds the state's instance on the worker's private
+// interner: the database atoms, then each chain record root-first — from
+// the worker's own delta cache when this worker generated the record, and
+// otherwise by re-applying the record's trigger through the worker's own
+// compiled patterns. Boundary nulls re-intern by canonical fingerprint, so
+// a state first explored on another worker rebuilds here with identical
+// membership and fingerprint, and the two per-record paths may mix freely
+// along one chain.
+func (w *parallelWorker) materialise(rec *stateRec) *instance.Instance {
+	w.chain = w.chain[:0]
+	for r := rec; r.tgd >= 0; r = r.parent {
+		w.chain = append(w.chain, r)
+	}
+	inst := instance.NewWithInternerHint(w.e.itab, int(rec.size))
+	w.e.addRootTo(inst)
+	for i := len(w.chain) - 1; i >= 0; i-- {
+		r := w.chain[i]
+		if d, ok := w.cache[r.fp]; ok {
+			w.e.addDeltaTo(inst, d)
+		} else {
+			w.applyRec(inst, r)
+		}
+	}
+	return inst
+}
+
+// applyRec re-applies one record's trigger to the instance: bindings
+// resolve to local IDs (shared prefix verbatim, nulls by fingerprint), the
+// trigger tuple is interned locally, and result(σ,h) is recomputed from the
+// compiled head — the symbolic-delta decode step.
+func (w *parallelWorker) applyRec(inst *instance.Instance, r *stateRec) {
+	e := w.e
+	ct := &e.ct[r.tgd]
+	w.bt = w.bt[:0]
+	w.bt = append(w.bt, uint32(r.tgd))
+	for _, st := range r.bindings {
+		if st.IsNull {
+			w.bt = append(w.bt, uint32(e.resolveNull(st.NullFP)))
+		} else {
+			w.bt = append(w.bt, st.Shared)
+		}
+	}
+	trigID, _ := e.trig.Intern(w.bt)
+	bt := w.bt[1:]
+	for _, ca := range ct.head.Atoms {
+		e.argbuf = e.argbuf[:0]
+		for _, a := range ca.Args {
+			var id logic.TermID
+			switch {
+			case a.Slot < 0:
+				id = a.ID
+			case int(a.Slot) < ct.nBody:
+				id = logic.TermID(bt[a.Slot])
+			default:
+				id = e.nullFor(trigID, int(a.Slot)-ct.nBody)
+			}
+			e.argbuf = append(e.argbuf, id)
+		}
+		inst.AddTuple(ca.Pred, e.argbuf)
+	}
+}

@@ -1,0 +1,194 @@
+package chase
+
+// Determinism and agreement tests for the sharded parallel ∀∃ search
+// (parallel.go): verdicts must be invariant across worker counts and
+// scheduling seeds, witnesses must replay through Derivation.Apply no matter
+// which workers their states crossed, and exhaustive sweeps must visit
+// exactly the states the sequential search visits. The -race CI job runs
+// all of these, which is what pins the no-locks-in-the-interner contract.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"airct/internal/logic"
+
+	"airct/internal/parser"
+)
+
+var parallelWorkerCounts = []int{2, 3, 4, 8}
+
+// replayWitness applies the derivation step by step and fails the test if
+// any step is refused or the final instance is not a fixpoint. It returns
+// the fixpoint size.
+func replayWitness(t *testing.T, prog *parser.Program, deriv []Trigger, label string) int {
+	t.Helper()
+	d := NewDerivation(prog.Database, prog.TGDs)
+	for i, tr := range deriv {
+		if err := d.Apply(tr); err != nil {
+			t.Fatalf("%s: witness step %d does not replay: %v", label, i, err)
+		}
+	}
+	if !d.IsFixpoint() {
+		t.Fatalf("%s: witness does not end in a fixpoint", label)
+	}
+	return d.Instance().Len()
+}
+
+// TestParallelSearchMatchesSequential pins the sharded search against the
+// sequential one on the differential corpus, across worker counts and
+// scheduling seeds: identical Found; identical Exhausted when nothing was
+// found; identical StatesVisited on decisive not-found sweeps (a full sweep
+// visits a schedule-independent closure); and replayable witnesses.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	for _, tc := range differentialExistsPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := parser.MustParse(tc.src)
+			seq := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+				MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms,
+			})
+			if seq.Found {
+				replayWitness(t, prog, seq.Derivation, "sequential")
+			}
+			for _, w := range parallelWorkerCounts {
+				for _, seed := range []int64{1, 7, 42} {
+					par := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+						MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Workers: w, Seed: seed,
+					})
+					if par.Found != seq.Found {
+						t.Fatalf("w=%d seed=%d: Found = %v, sequential %v", w, seed, par.Found, seq.Found)
+					}
+					if !par.Found && par.Exhausted != seq.Exhausted {
+						t.Errorf("w=%d seed=%d: Exhausted = %v, sequential %v", w, seed, par.Exhausted, seq.Exhausted)
+					}
+					if !seq.Found && seq.Exhausted && par.StatesVisited != seq.StatesVisited {
+						t.Errorf("w=%d seed=%d: StatesVisited = %d, sequential %d (full sweeps are schedule-independent)",
+							w, seed, par.StatesVisited, seq.StatesVisited)
+					}
+					if par.Found {
+						// The witness (and even the fixpoint it reaches — a
+						// program can have several) may differ from the
+						// sequential one: any fixpoint ends the race. What
+						// must hold is that it replays to *a* fixpoint.
+						replayWitness(t, prog, par.Derivation, tc.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStrategiesAgreeOnVerdicts mirrors
+// TestSearchStrategiesAgreeOnVerdicts under parallelism: on decisive runs
+// the frontier discipline (now only approximately ordered) must not change
+// the verdict, and witnesses must replay.
+func TestParallelStrategiesAgreeOnVerdicts(t *testing.T) {
+	for _, tc := range differentialExistsPrograms {
+		prog := parser.MustParse(tc.src)
+		base := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+			MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Strategy: SmallestFirst,
+		})
+		if !base.Exhausted && !base.Found {
+			continue // budget-cut: verdicts may legitimately differ per order
+		}
+		for _, strat := range []SearchStrategy{SmallestFirst, BreadthFirst, DepthFirst} {
+			res := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+				MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Strategy: strat, Workers: 4,
+			})
+			if res.Found != base.Found {
+				t.Errorf("%s/%v: Found = %v, sequential smallest-first %v", tc.name, strat, res.Found, base.Found)
+			}
+			if res.Found {
+				replayWitness(t, prog, res.Derivation, tc.name+"/"+strat.String())
+			}
+		}
+	}
+}
+
+// TestParallelQuickDatalogAgreement is the property-level pin: on random
+// terminating datalog programs the parallel search always finds a finite
+// derivation, agrees with the sequential verdict, and returns a replayable
+// witness. Run under -race this also stress-tests the sharded memo and the
+// symbolic boundary exchange.
+func TestParallelQuickDatalogAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomDatalog(seed % 5000)
+		seq := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{MaxStates: 4000})
+		par := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+			MaxStates: 4000, Workers: 4, Seed: seed,
+		})
+		if par.Found != seq.Found {
+			return false
+		}
+		if par.Found {
+			d := NewDerivation(prog.Database, prog.TGDs)
+			for _, tr := range par.Derivation {
+				if err := d.Apply(tr); err != nil {
+					return false
+				}
+			}
+			return d.IsFixpoint()
+		}
+		return par.Exhausted == seq.Exhausted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelStateBudgetExact: the sharded memo's claim path must enforce
+// MaxStates exactly (CAS under the shard lock), never overshooting the way
+// a naive post-increment would under contention.
+func TestParallelStateBudgetExact(t *testing.T) {
+	prog := parser.MustParse(`
+		S(a).
+		grow: S(X) -> R(X,Y).
+		next: R(X,Y) -> S(Y).
+	`)
+	for _, w := range parallelWorkerCounts {
+		res := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+			MaxStates: 100, MaxAtoms: 30, Workers: w,
+		})
+		if res.Found {
+			t.Fatalf("w=%d: ladder has no finite derivation", w)
+		}
+		if res.Exhausted {
+			t.Errorf("w=%d: budget must have cut the infinite search", w)
+		}
+		if res.StatesVisited > 100 {
+			t.Errorf("w=%d: StatesVisited = %d overshoots MaxStates = 100", w, res.StatesVisited)
+		}
+	}
+}
+
+// TestExpanderSharedPrefix pins the invariant the symbolic exchange relies
+// on: expanders built independently over the same inputs intern an identical
+// startup vocabulary (same shared-prefix size, same root fingerprint), and a
+// shared ID round-trips through the symbolic encoding unchanged.
+func TestExpanderSharedPrefix(t *testing.T) {
+	prog := parser.MustParse(`
+		E(a,b). E(b,c).
+		t: E(X,Y), E(Y,Z) -> E(X,Z).
+		w: E(X,Y) -> N(Y,W).
+	`)
+	e1 := newExpander(prog.Database, prog.TGDs)
+	e2 := newExpander(prog.Database, prog.TGDs)
+	if e1.rootFp != e2.rootFp {
+		t.Fatalf("root fingerprints differ: %v vs %v", e1.rootFp, e2.rootFp)
+	}
+	if e1.nShared != e2.nShared {
+		t.Fatalf("shared-prefix sizes differ: %d vs %d", e1.nShared, e2.nShared)
+	}
+	for id := 0; id < e1.nShared; id++ {
+		if e1.itab.Term(logic.TermID(id)) != e2.itab.Term(logic.TermID(id)) {
+			t.Fatalf("shared ID %d resolves differently", id)
+		}
+		st := e1.itab.EncodeTermSym(logic.TermID(id), e1.nShared)
+		if st.IsNull {
+			t.Fatalf("shared ID %d encoded as a null", id)
+		}
+		if e2.itab.Term(logic.TermID(st.Shared)) != e1.itab.Term(logic.TermID(id)) {
+			t.Fatalf("shared ID %d does not round-trip", id)
+		}
+	}
+}

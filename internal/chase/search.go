@@ -28,6 +28,13 @@ package chase
 // (FIFO among equals), replacing the previous implementation's full-queue
 // sort.SliceStable per pop; BreadthFirst and DepthFirst are the plain
 // queue/stack disciplines.
+//
+// The single-state expansion step (intern the vocabulary, enumerate active
+// triggers, compute a successor's fingerprint and delta, invent nulls by
+// structural identity) lives in the expander type so the sequential searcher
+// below and the sharded parallel coordinator (parallel.go) share it: a
+// parallel worker is an expander over a private interner, exchanging states
+// symbolically at the boundary.
 
 import (
 	"container/heap"
@@ -89,6 +96,17 @@ type SearchOptions struct {
 	MaxAtoms int
 	// Strategy selects the frontier discipline.
 	Strategy SearchStrategy
+	// Workers sets the number of parallel search workers; 0 or 1 run the
+	// sequential search. With W > 1 the fingerprint memo is sharded and each
+	// worker owns a private interner (see parallel.go); verdicts are
+	// invariant in W, frontier ordering under BreadthFirst/DepthFirst is
+	// approximate, and SmallestFirst keeps per-worker priority frontiers
+	// with work-stealing.
+	Workers int
+	// Seed seeds scheduling tie-breaks of the parallel search (the
+	// work-stealing victim order). Verdicts are seed-invariant; schedules,
+	// witnesses and stats need not be. Ignored by the sequential search.
+	Seed int64
 }
 
 // SearchStats counts the search's work.
@@ -97,7 +115,9 @@ type SearchStats struct {
 	StatesExpanded int
 	// MemoHits counts generated successors that merged into a visited state.
 	MemoHits int
-	// PeakFrontier is the largest frontier size reached.
+	// PeakFrontier is the largest frontier size reached. Under parallelism
+	// it is the peak of the atomically tracked total across all per-worker
+	// frontiers — approximate, since pushes and pops race.
 	PeakFrontier int
 }
 
@@ -112,6 +132,24 @@ type searchNode struct {
 	seq    int // generation counter; heap tie-break
 }
 
+// frontierLess is the one definition of the frontier disciplines, shared by
+// the sequential searchFrontier and the parallel recHeap so the two can
+// never drift: SmallestFirst orders by (size, seq), BreadthFirst by seq
+// ascending, DepthFirst by seq descending.
+func frontierLess(strat SearchStrategy, sizeA, seqA, sizeB, seqB int64) bool {
+	switch strat {
+	case BreadthFirst:
+		return seqA < seqB
+	case DepthFirst:
+		return seqA > seqB
+	default: // SmallestFirst
+		if sizeA != sizeB {
+			return sizeA < sizeB
+		}
+		return seqA < seqB
+	}
+}
+
 // searchFrontier is the heap of pending states.
 type searchFrontier struct {
 	nodes []*searchNode
@@ -122,17 +160,7 @@ func (f *searchFrontier) Len() int { return len(f.nodes) }
 
 func (f *searchFrontier) Less(i, j int) bool {
 	a, b := f.nodes[i], f.nodes[j]
-	switch f.strat {
-	case BreadthFirst:
-		return a.seq < b.seq
-	case DepthFirst:
-		return a.seq > b.seq
-	default: // SmallestFirst
-		if a.size != b.size {
-			return a.size < b.size
-		}
-		return a.seq < b.seq
-	}
+	return frontierLess(f.strat, int64(a.size), int64(a.seq), int64(b.size), int64(b.seq))
 }
 
 func (f *searchFrontier) Swap(i, j int) { f.nodes[i], f.nodes[j] = f.nodes[j], f.nodes[i] }
@@ -151,21 +179,50 @@ func (f *searchFrontier) Pop() any {
 // from every term content hash by construction (those pass through fnv64).
 var nullIdentitySeed = logic.Fingerprint{Hi: 0x9d39247e33776d41, Lo: 0x2af7398005aaa5c7}
 
-// searcher is the search's engine-like state. Single writer, single run.
-type searcher struct {
-	set  *tgds.Set
-	opts SearchOptions
+// nullIdentity is the canonical fingerprint of the null c^{σ,h}_x: the TGD
+// index σ, the body-binding term hashes of h in slot order, and the
+// existential index of x, mixed order-sensitively from nullIdentitySeed.
+// Binding hashes are content hashes for constants and canonical fingerprints
+// for nulls, so the identity is interner-independent — the property the
+// parallel search's symbolic state exchange relies on. Every code path that
+// invents or renames nulls (expander.nullFor, the witness rebuilders) must
+// go through this one function.
+func nullIdentity(tgd uint32, bindingHashes []logic.Fingerprint, k int) logic.Fingerprint {
+	h := nullIdentitySeed.MixUint64(uint64(tgd))
+	for _, b := range bindingHashes {
+		h = h.Mix(b)
+	}
+	return h.MixUint64(uint64(k))
+}
 
-	itab *logic.Interner // shared identity of every explored state
+// expander is the reusable single-state expansion step of the ∀∃ search: a
+// private interner holding the deterministic startup vocabulary (compiled
+// patterns first, then database atoms — so shared-prefix IDs agree across
+// expanders built from the same inputs), active-trigger enumeration over a
+// materialised instance, successor fingerprint/delta computation, and null
+// invention by structural identity. The sequential searcher owns one; each
+// parallel worker owns one. Single writer, no internal locking — the
+// interner is never shared across expanders (see the concurrency contract in
+// docs/ARCHITECTURE.md).
+type expander struct {
+	set *tgds.Set
+
+	itab *logic.Interner // private identity of every state this expander touches
 	ct   []compiledTGD
 
-	trig        *logic.TupleTable       // trigger identity: [tgd, body TermIDs...]
-	structNulls map[uint64]logic.TermID // (trigger ID, exist index) -> null
+	trig        *logic.TupleTable                  // trigger identity: [tgd, body TermIDs...]
+	structNulls map[uint64]logic.TermID            // (trigger ID, exist index) -> null
+	nullByFp    map[logic.Fingerprint]logic.TermID // canonical identity -> local null
 	namer       *logic.FreshNamer
 
-	memo  map[logic.Fingerprint]struct{}
-	front searchFrontier
-	seq   int
+	// nShared is the size of the startup vocabulary: IDs below it are the
+	// shared prefix (identical across expanders over the same db and set),
+	// IDs at or above it are invented nulls. See logic.SymTerm.
+	nShared int
+
+	rootDelta []uint32 // the database atoms, flattened [pid, args...]*
+	rootFp    logic.Fingerprint
+	rootSize  int
 
 	ss logic.SlotSearch
 	ds discSorter
@@ -178,7 +235,215 @@ type searcher struct {
 	argbuf   []logic.TermID
 	argraw   []uint32
 	deltaBuf []uint32
-	chain    []*searchNode
+	hashBuf  []logic.Fingerprint
+}
+
+// newExpander builds an expander for the database and set, interning the
+// startup vocabulary in the canonical order: compiled patterns, then the
+// database atoms. Two expanders over the same inputs mint identical shared
+// IDs and an identical root fingerprint.
+func newExpander(db *instance.Database, set *tgds.Set) *expander {
+	e := &expander{
+		set:         set,
+		itab:        logic.NewInterner(),
+		trig:        logic.NewTupleTable(64),
+		structNulls: make(map[uint64]logic.TermID),
+		nullByFp:    make(map[logic.Fingerprint]logic.TermID),
+		namer:       logic.NewFreshNamer("n"),
+	}
+	e.ct = compileSet(set, e.itab)
+	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
+	for _, a := range db.Atoms() {
+		pid := e.itab.InternPred(a.Pred)
+		off := len(e.rootDelta)
+		e.rootDelta = append(e.rootDelta, uint32(pid))
+		for _, t := range a.Args {
+			e.rootDelta = append(e.rootDelta, uint32(e.itab.InternTerm(t)))
+		}
+		// Databases are duplicate-free sets, so each atom merges once.
+		e.rootFp = e.rootFp.Merge(e.itab.HashAtomIDs(pid, e.rootDelta[off+1:]))
+	}
+	e.rootSize = db.Len()
+	e.nShared = e.itab.NumTerms()
+	return e
+}
+
+// addRootTo inserts the database atoms into the instance.
+func (e *expander) addRootTo(inst *instance.Instance) {
+	e.addDeltaTo(inst, e.rootDelta)
+}
+
+// addDeltaTo inserts a flattened [pid, args...]* delta of local IDs.
+func (e *expander) addDeltaTo(inst *instance.Instance, d []uint32) {
+	for j := 0; j < len(d); {
+		pid := logic.PredID(d[j])
+		ar := e.itab.Pred(pid).Arity
+		e.argbuf = e.argbuf[:0]
+		for k := 0; k < ar; k++ {
+			e.argbuf = append(e.argbuf, logic.TermID(d[j+1+k]))
+		}
+		inst.AddTuple(pid, e.argbuf)
+		j += 1 + ar
+	}
+}
+
+// collectActive enumerates the active triggers on inst into actBuf/actOff,
+// per TGD in canonical order — the slot-search equivalent of
+// ActiveTriggers(set, inst).
+func (e *expander) collectActive(inst *instance.Instance) {
+	e.actBuf = e.actBuf[:0]
+	e.actOff = e.actOff[:0]
+	for i := range e.ct {
+		ct := &e.ct[i]
+		e.discBuf = e.discBuf[:0]
+		e.sortBuf = e.sortBuf[:0]
+		e.ss.Reset(ct.body)
+		e.ss.ForEach(ct.body, inst, func(bind []logic.TermID) bool {
+			e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
+			e.discBuf = append(e.discBuf, uint32(i))
+			for k := 0; k < ct.nBody; k++ {
+				e.discBuf = append(e.discBuf, uint32(bind[k]))
+			}
+			return true
+		})
+		if len(e.sortBuf) > 1 {
+			e.ds.stride = int32(ct.nBody) + 1
+			sort.Sort(&e.ds)
+		}
+		for _, off := range e.sortBuf {
+			tup := e.discBuf[off : off+int32(ct.nBody)+1]
+			if e.isActive(i, tup[1:], inst) {
+				e.actOff = append(e.actOff, int32(len(e.actBuf)))
+				e.actBuf = append(e.actBuf, tup...)
+			}
+		}
+	}
+}
+
+// isActive mirrors engine.isActive against the given instance.
+func (e *expander) isActive(tgd int, bt []uint32, inst *instance.Instance) bool {
+	ct := &e.ct[tgd]
+	e.ss.Reset(ct.head)
+	for _, sl := range ct.frontierSlots {
+		e.ss.Bind[sl] = logic.TermID(bt[sl])
+	}
+	found := false
+	e.ss.ForEach(ct.head, inst, func([]logic.TermID) bool {
+		found = true
+		return false
+	})
+	return !found
+}
+
+// childState computes the successor of the state (inst, fp) under the
+// active trigger trigID of TGD tgd with body bindings bt: the result atoms
+// not already present merge into the returned fingerprint, the flattened new
+// atoms are left in e.deltaBuf ([pid, args...]*), and added counts them.
+// Nulls are invented (or reused) by structural identity, so the returned
+// fingerprint is the same no matter which expander computes it.
+func (e *expander) childState(inst *instance.Instance, fp logic.Fingerprint, trigID logic.TupleID, tgd int, bt []uint32) (logic.Fingerprint, int) {
+	ct := &e.ct[tgd]
+	e.deltaBuf = e.deltaBuf[:0]
+	added := 0
+	for _, ca := range ct.head.Atoms {
+		e.argbuf = e.argbuf[:0]
+		e.argraw = e.argraw[:0]
+		for _, a := range ca.Args {
+			var id logic.TermID
+			switch {
+			case a.Slot < 0: // rigid pattern term (constant-free TGDs never hit this)
+				id = a.ID
+			case int(a.Slot) < ct.nBody:
+				id = logic.TermID(bt[a.Slot])
+			default:
+				id = e.nullFor(trigID, int(a.Slot)-ct.nBody)
+			}
+			e.argbuf = append(e.argbuf, id)
+			e.argraw = append(e.argraw, uint32(id))
+		}
+		if inst.HasTuple(ca.Pred, e.argbuf) || e.deltaHas(ca.Pred, e.argraw) {
+			continue
+		}
+		e.deltaBuf = append(e.deltaBuf, uint32(ca.Pred))
+		e.deltaBuf = append(e.deltaBuf, e.argraw...)
+		fp = fp.Merge(e.itab.HashAtomIDs(ca.Pred, e.argraw))
+		added++
+	}
+	return fp, added
+}
+
+// deltaHas reports whether the atom (pid, raw...) is already in deltaBuf —
+// a multi-head result can instantiate two head atoms identically.
+func (e *expander) deltaHas(pid logic.PredID, raw []uint32) bool {
+	d := e.deltaBuf
+	for i := 0; i < len(d); {
+		p := logic.PredID(d[i])
+		ar := e.itab.Pred(p).Arity
+		if p == pid {
+			same := true
+			for k := 0; k < ar; k++ {
+				if d[i+1+k] != raw[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		i += 1 + ar
+	}
+	return false
+}
+
+// nullFor returns the interned null for the trigger's k-th existential
+// variable, inventing it on first use under its canonical identity
+// (nullIdentity over the trigger's content — the paper's c^{σ,h}_x) rather
+// than its arbitrary counter name. Well-founded: every binding term was
+// interned (and hashed) before the null it helps invent. The (trigger, k)
+// cache makes repeats a single map probe; the fingerprint-keyed table
+// (resolveNull) additionally unifies nulls that first arrived through a
+// symbolic boundary exchange.
+func (e *expander) nullFor(trigID logic.TupleID, k int) logic.TermID {
+	key := uint64(uint32(trigID))<<32 | uint64(uint32(k))
+	if id, ok := e.structNulls[key]; ok {
+		return id
+	}
+	tup := e.trig.Tuple(trigID)
+	e.hashBuf = e.hashBuf[:0]
+	for _, b := range tup[1:] {
+		e.hashBuf = append(e.hashBuf, e.itab.TermHash(logic.TermID(b)))
+	}
+	id := e.resolveNull(nullIdentity(tup[0], e.hashBuf, k))
+	e.structNulls[key] = id
+	return id
+}
+
+// resolveNull returns the local TermID of the null with the given canonical
+// fingerprint, minting a fresh local name (with the fingerprint installed as
+// its hash override) on first sight. This is the re-interning boundary of
+// the parallel search: a null that crossed from another worker arrives as
+// its fingerprint and leaves as a local ID.
+func (e *expander) resolveNull(h logic.Fingerprint) logic.TermID {
+	if id, ok := e.nullByFp[h]; ok {
+		return id
+	}
+	id := e.itab.InternTermWithHash(e.namer.NextNull(), h)
+	e.nullByFp[h] = id
+	return id
+}
+
+// searcher is the sequential search's engine-like state. Single writer,
+// single run.
+type searcher struct {
+	*expander
+	opts SearchOptions
+
+	memo  map[logic.Fingerprint]struct{}
+	front searchFrontier
+	seq   int
+
+	chain []*searchNode
 
 	res *ExistsResult
 }
@@ -186,7 +451,10 @@ type searcher struct {
 // SearchTerminatingDerivation searches the space of restricted chase
 // derivations of D w.r.t. T for one that reaches a fixpoint — the ∀∃ side
 // of the paper's open question (3). See ExistsTerminatingDerivation for the
-// semantics; this entry point exposes the strategy and budgets.
+// semantics; this entry point exposes the strategy, budgets and worker
+// count. With Workers > 1 the search runs on the sharded parallel
+// coordinator (parallel.go); verdicts are identical, witnesses and stats
+// may differ by schedule.
 func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts SearchOptions) *ExistsResult {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 10_000
@@ -194,33 +462,17 @@ func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts Sear
 	if opts.MaxAtoms <= 0 {
 		opts.MaxAtoms = 200
 	}
+	if opts.Workers > 1 {
+		return newParallelSearch(db, set, opts).Run()
+	}
 	s := &searcher{
-		set:         set,
-		opts:        opts,
-		itab:        logic.NewInterner(),
-		trig:        logic.NewTupleTable(64),
-		structNulls: make(map[uint64]logic.TermID),
-		namer:       logic.NewFreshNamer("n"),
-		memo:        make(map[logic.Fingerprint]struct{}),
-		front:       searchFrontier{strat: opts.Strategy},
-		res:         &ExistsResult{Exhausted: true},
+		expander: newExpander(db, set),
+		opts:     opts,
+		memo:     make(map[logic.Fingerprint]struct{}),
+		front:    searchFrontier{strat: opts.Strategy},
+		res:      &ExistsResult{Exhausted: true},
 	}
-	s.ct = compileSet(set, s.itab)
-	s.ds = discSorter{itab: s.itab, disc: &s.discBuf, idx: &s.sortBuf}
-
-	var rootDelta []uint32
-	var rootFp logic.Fingerprint
-	for _, a := range db.Atoms() {
-		pid := s.itab.InternPred(a.Pred)
-		off := len(rootDelta)
-		rootDelta = append(rootDelta, uint32(pid))
-		for _, t := range a.Args {
-			rootDelta = append(rootDelta, uint32(s.itab.InternTerm(t)))
-		}
-		// Databases are duplicate-free sets, so each atom merges once.
-		rootFp = rootFp.Merge(s.itab.HashAtomIDs(pid, rootDelta[off+1:]))
-	}
-	root := &searchNode{trig: -1, delta: rootDelta, size: db.Len(), fp: rootFp}
+	root := &searchNode{trig: -1, delta: s.rootDelta, size: s.rootSize, fp: s.rootFp}
 	s.memo[root.fp] = struct{}{}
 	heap.Push(&s.front, root)
 	s.loop()
@@ -260,32 +512,8 @@ func (s *searcher) generate(cur *searchNode, inst *instance.Instance) {
 		ct := &s.ct[tgd]
 		trigTup := s.actBuf[off : off+int32(ct.nBody)+1]
 		trigID, _ := s.trig.Intern(trigTup)
-		bt := trigTup[1:]
 
-		childFp := cur.fp
-		s.deltaBuf = s.deltaBuf[:0]
-		added := 0
-		for _, ca := range ct.head.Atoms {
-			s.argbuf = s.argbuf[:0]
-			s.argraw = s.argraw[:0]
-			for _, a := range ca.Args {
-				var id logic.TermID
-				if int(a.Slot) < ct.nBody {
-					id = logic.TermID(bt[a.Slot])
-				} else {
-					id = s.nullFor(trigID, int(a.Slot)-ct.nBody)
-				}
-				s.argbuf = append(s.argbuf, id)
-				s.argraw = append(s.argraw, uint32(id))
-			}
-			if inst.HasTuple(ca.Pred, s.argbuf) || s.deltaHas(ca.Pred, s.argraw) {
-				continue
-			}
-			s.deltaBuf = append(s.deltaBuf, uint32(ca.Pred))
-			s.deltaBuf = append(s.deltaBuf, s.argraw...)
-			childFp = childFp.Merge(s.itab.HashAtomIDs(ca.Pred, s.argraw))
-			added++
-		}
+		childFp, added := s.childState(inst, cur.fp, trigID, tgd, trigTup[1:])
 		if _, dup := s.memo[childFp]; dup {
 			s.res.Stats.MemoHits++
 			continue
@@ -315,114 +543,11 @@ func (s *searcher) materialise(n *searchNode) *instance.Instance {
 	for m := n; m != nil; m = m.parent {
 		s.chain = append(s.chain, m)
 	}
-	inst := instance.NewWithInterner(s.itab)
+	inst := instance.NewWithInternerHint(s.itab, n.size)
 	for i := len(s.chain) - 1; i >= 0; i-- {
-		d := s.chain[i].delta
-		for j := 0; j < len(d); {
-			pid := logic.PredID(d[j])
-			ar := s.itab.Pred(pid).Arity
-			s.argbuf = s.argbuf[:0]
-			for k := 0; k < ar; k++ {
-				s.argbuf = append(s.argbuf, logic.TermID(d[j+1+k]))
-			}
-			inst.AddTuple(pid, s.argbuf)
-			j += 1 + ar
-		}
+		s.addDeltaTo(inst, s.chain[i].delta)
 	}
 	return inst
-}
-
-// collectActive enumerates the active triggers on inst into actBuf/actOff,
-// per TGD in canonical order — the slot-search equivalent of
-// ActiveTriggers(set, inst).
-func (s *searcher) collectActive(inst *instance.Instance) {
-	s.actBuf = s.actBuf[:0]
-	s.actOff = s.actOff[:0]
-	for i := range s.ct {
-		ct := &s.ct[i]
-		s.discBuf = s.discBuf[:0]
-		s.sortBuf = s.sortBuf[:0]
-		s.ss.Reset(ct.body)
-		s.ss.ForEach(ct.body, inst, func(bind []logic.TermID) bool {
-			s.sortBuf = append(s.sortBuf, int32(len(s.discBuf)))
-			s.discBuf = append(s.discBuf, uint32(i))
-			for k := 0; k < ct.nBody; k++ {
-				s.discBuf = append(s.discBuf, uint32(bind[k]))
-			}
-			return true
-		})
-		if len(s.sortBuf) > 1 {
-			s.ds.stride = int32(ct.nBody) + 1
-			sort.Sort(&s.ds)
-		}
-		for _, off := range s.sortBuf {
-			tup := s.discBuf[off : off+int32(ct.nBody)+1]
-			if s.isActive(i, tup[1:], inst) {
-				s.actOff = append(s.actOff, int32(len(s.actBuf)))
-				s.actBuf = append(s.actBuf, tup...)
-			}
-		}
-	}
-}
-
-// isActive mirrors engine.isActive against the given instance.
-func (s *searcher) isActive(tgd int, bt []uint32, inst *instance.Instance) bool {
-	ct := &s.ct[tgd]
-	s.ss.Reset(ct.head)
-	for _, sl := range ct.frontierSlots {
-		s.ss.Bind[sl] = logic.TermID(bt[sl])
-	}
-	found := false
-	s.ss.ForEach(ct.head, inst, func([]logic.TermID) bool {
-		found = true
-		return false
-	})
-	return !found
-}
-
-// deltaHas reports whether the atom (pid, raw...) is already in deltaBuf —
-// a multi-head result can instantiate two head atoms identically.
-func (s *searcher) deltaHas(pid logic.PredID, raw []uint32) bool {
-	d := s.deltaBuf
-	for i := 0; i < len(d); {
-		p := logic.PredID(d[i])
-		ar := s.itab.Pred(p).Arity
-		if p == pid {
-			same := true
-			for k := 0; k < ar; k++ {
-				if d[i+1+k] != raw[k] {
-					same = false
-					break
-				}
-			}
-			if same {
-				return true
-			}
-		}
-		i += 1 + ar
-	}
-	return false
-}
-
-// nullFor returns the interned null for the trigger's k-th existential
-// variable, inventing it on first use with a structural hash: the hash of
-// (TGD index, body binding term hashes, k) — the content of c^{σ,h}_x —
-// rather than of the null's arbitrary counter name. Well-founded: every
-// binding term was interned (and hashed) before the null it helps invent.
-func (s *searcher) nullFor(trigID logic.TupleID, k int) logic.TermID {
-	key := uint64(uint32(trigID))<<32 | uint64(uint32(k))
-	if id, ok := s.structNulls[key]; ok {
-		return id
-	}
-	tup := s.trig.Tuple(trigID)
-	h := nullIdentitySeed.MixUint64(uint64(tup[0]))
-	for _, b := range tup[1:] {
-		h = h.Mix(s.itab.TermHash(logic.TermID(b)))
-	}
-	h = h.MixUint64(uint64(k))
-	id := s.itab.InternTermWithHash(s.namer.NextNull(), h)
-	s.structNulls[key] = id
-	return id
 }
 
 // path rebuilds the witnessing trigger sequence by walking parent pointers,

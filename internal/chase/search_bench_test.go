@@ -14,9 +14,12 @@ import (
 	"testing"
 
 	"airct/internal/parser"
+	"airct/internal/workload"
 )
 
-// stageGrid builds the n-fact two-stage program: 3^n reachable states.
+// stageGrid builds the n-fact two-stage program: 3^n reachable states. It
+// is the same program workload.StageGrid generates (and `benchgen -family
+// stage-grid` emits); TestStageGridMatchesWorkload pins the two together.
 func stageGrid(n int) *parser.Program {
 	var b strings.Builder
 	for i := 0; i < n; i++ {
@@ -25,6 +28,14 @@ func stageGrid(n int) *parser.Program {
 	b.WriteString("s1: P(X) -> Q(X).\n")
 	b.WriteString("s2: Q(X) -> R(X).\n")
 	return parser.MustParse(b.String())
+}
+
+func TestStageGridMatchesWorkload(t *testing.T) {
+	want := parser.Print(stageGrid(5))
+	got := parser.Print(workload.StageGrid(5))
+	if want != got {
+		t.Errorf("workload.StageGrid drifted from the benchmark grid:\n%s\nvs\n%s", got, want)
+	}
 }
 
 // nullGrid is the existential variant: each fact invents a null on its way,
@@ -78,5 +89,69 @@ func BenchmarkExistsSearch(b *testing.B) {
 			}
 			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
 		})
+	}
+}
+
+// ladderGrid builds the diverging branching workload for the full-sweep
+// throughput benchmark: n independent facts, each starting an infinite
+// P → ∃Y R(X,Y) → P(Y) ladder. Every state has ~n active triggers and no
+// fixpoint is ever reachable, so a search with MaxStates = m visits exactly
+// m distinct states before the budget cuts it — a deterministic,
+// schedule-independent amount of work.
+func ladderGrid(n int) *parser.Program {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "P(c%d).\n", i)
+	}
+	b.WriteString("step: P(X) -> R(X,Y).\n")
+	b.WriteString("next: R(X,Y) -> P(Y).\n")
+	return parser.MustParse(b.String())
+}
+
+// BenchmarkParallelExistsSearch measures the sharded parallel search across
+// worker counts; workers-1 runs the sequential searcher — the baseline the
+// speedups in BENCH_parallel.json are computed against. Two workload
+// shapes:
+//
+//   - stage-grid-{8,10} (3^8 = 6561 and 3^10 = 59049 reachable states; the
+//     larger one is `benchgen -family stage-grid -n 10`): time-to-verdict
+//     on a space with a single fixpoint. StatesVisited is
+//     schedule-dependent here — sharded frontiers legitimately reach the
+//     fixpoint having swept less of the space than global smallest-first —
+//     so compare ns/op (the verdict latency), not states/sec.
+//   - sweep-ladder-16: a diverging branching space cut at exactly
+//     MaxStates = 6561 distinct states. The work is schedule-independent,
+//     making states/sec a pure state-processing throughput metric.
+func BenchmarkParallelExistsSearch(b *testing.B) {
+	cases := []struct {
+		name      string
+		prog      *parser.Program
+		maxStates int
+		maxAtoms  int
+		wantFound bool
+	}{
+		{"stage-grid-8", stageGrid(8), 8000, 24, true},             // 3^8 = 6561 states
+		{"stage-grid-10", workload.StageGrid(10), 70000, 30, true}, // 3^10 = 59049 states
+		{"sweep-ladder-16", ladderGrid(16), 6561, 1000, false},     // exactly 6561 states
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", tc.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var states int
+				for i := 0; i < b.N; i++ {
+					res := SearchTerminatingDerivation(tc.prog.Database, tc.prog.TGDs, SearchOptions{
+						MaxStates: tc.maxStates,
+						MaxAtoms:  tc.maxAtoms,
+						Workers:   workers,
+					})
+					if res.Found != tc.wantFound {
+						b.Fatalf("Found = %v, want %v: %+v", res.Found, tc.wantFound, res)
+					}
+					states = res.StatesVisited
+				}
+				b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/sec")
+			})
+		}
 	}
 }

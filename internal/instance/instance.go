@@ -59,12 +59,24 @@ func New() *Instance {
 // the interner and every instance sharing it together: one writer at a
 // time across the whole group.
 func NewWithInterner(tab *logic.Interner) *Instance {
+	return NewWithInternerHint(tab, 16)
+}
+
+// NewWithInternerHint is NewWithInterner with a capacity hint: the identity
+// table and indexes are presized for about atomsHint atoms. The ∀∃ search
+// materialises one instance per expanded state with a known final size, so
+// presizing removes the rehash-while-growing cost from the hottest loop.
+func NewWithInternerHint(tab *logic.Interner, atomsHint int) *Instance {
+	if atomsHint < 16 {
+		atomsHint = 16
+	}
 	return &Instance{
 		tab:     tab,
-		atoms:   logic.NewTupleTable(16),
+		atoms:   logic.NewTupleTable(atomsHint),
+		order:   make([]logic.Atom, 0, atomsHint),
 		byPred:  make(map[logic.Predicate][]logic.Atom),
 		predIdx: make(map[logic.PredID][]int32),
-		ptIdx:   make(map[uint64][]int32),
+		ptIdx:   make(map[uint64][]int32, 2*atomsHint),
 	}
 }
 

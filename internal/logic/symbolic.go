@@ -1,0 +1,57 @@
+package logic
+
+// Symbolic term encoding for crossing interner boundaries. IDs minted by one
+// Interner are meaningless under another (see the ownership contract in
+// intern.go), so parallel work that partitions state across workers — each
+// owning a private interner — must exchange terms in an interner-independent
+// form and re-intern at the boundary. The ∀∃ search's sharded coordinator
+// (internal/chase/parallel.go) is the consumer.
+//
+// The encoding exploits the shared-prefix convention: every worker interns
+// the same fixed vocabulary (compiled patterns, then database atoms) in the
+// same deterministic order at startup, so the first NumTerms() IDs agree
+// across workers by construction, and every later ID is an invented null.
+// A SymTerm is therefore either a shared-prefix ID (constants and pattern
+// rigids — identical everywhere, no translation needed) or, for a null, its
+// 128-bit canonical fingerprint: the structural invention identity installed
+// via InternTermWithHash, which is interner-independent by design. The
+// receiving side re-interns nulls by fingerprint (minting a local name on
+// first sight) and uses shared IDs verbatim.
+
+// SymTerm is the interner-independent encoding of a term under the
+// shared-prefix convention: a shared interning-order ID for terms in the
+// common startup vocabulary, or the canonical 128-bit fingerprint for an
+// invented null. The zero value encodes shared ID 0.
+type SymTerm struct {
+	// NullFP is the null's canonical fingerprint (its structural invention
+	// identity); meaningful only when IsNull.
+	NullFP Fingerprint
+	// Shared is the term's shared-prefix ID; meaningful only when !IsNull.
+	Shared uint32
+	// IsNull distinguishes the two encodings.
+	IsNull bool
+}
+
+// EncodeTermSym encodes an interned term symbolically: IDs below sharedLimit
+// (the size of the deterministic startup vocabulary) pass through as shared
+// IDs, anything above is a null encoded by its canonical fingerprint (the
+// per-ID hash, which for nulls is the structural override installed at
+// interning). The caller guarantees every ID ≥ sharedLimit is a null with an
+// installed override — the ∀∃ search's invariant.
+func (in *Interner) EncodeTermSym(id TermID, sharedLimit int) SymTerm {
+	if int(id) < sharedLimit {
+		return SymTerm{Shared: uint32(id)}
+	}
+	return SymTerm{NullFP: in.termHash[id], IsNull: true}
+}
+
+// SymTermHash returns the content fingerprint of a symbolic term without
+// resolving it to a local ID: a null's canonical fingerprint, or the cached
+// hash of the shared term. Shared hashes are content hashes, so the result
+// is identical under every interner holding the same shared prefix.
+func (in *Interner) SymTermHash(st SymTerm) Fingerprint {
+	if st.IsNull {
+		return st.NullFP
+	}
+	return in.termHash[st.Shared]
+}

@@ -279,3 +279,24 @@ func Ontology(n int, seed int64) *parser.Program {
 	}
 	return prog
 }
+
+// StageGrid builds the ∀∃ search's scaling workload: n independent facts
+// P(c_i), each advancing through two datalog stages (P → +Q → +R), so the
+// reachable state space has exactly 3^n distinct instances and a single
+// fixpoint — the full closure. A derivation search must sweep essentially
+// the whole space before the fixpoint is expanded, making the family a pure
+// states/sec measurement for the exists-search benchmarks
+// (BENCH_parallel.json). Terminating; weakly acyclic.
+func StageGrid(n int) *parser.Program {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "P(c%d).\n", i)
+	}
+	b.WriteString("s1: P(X) -> Q(X).\n")
+	b.WriteString("s2: Q(X) -> R(X).\n")
+	prog, err := parser.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

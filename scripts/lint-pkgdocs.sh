@@ -1,0 +1,21 @@
+#!/bin/sh
+# lint-pkgdocs.sh — fail when an internal package lacks a godoc package
+# comment. `go doc <pkg>` prints the package clause, a blank line, then the
+# package comment; a missing comment means line 3 does not start with
+# "Package". Run from the repo root (CI does).
+set -u
+fail=0
+for pkg in $(go list ./internal/...); do
+	summary=$(go doc "$pkg" 2>/dev/null | sed -n '3p')
+	case "$summary" in
+	Package*) ;;
+	*)
+		echo "lint-pkgdocs: $pkg has no package comment (go doc shows: '$summary')" >&2
+		fail=1
+		;;
+	esac
+done
+if [ "$fail" -ne 0 ]; then
+	echo "lint-pkgdocs: every internal/* package needs a 'Package <name> ...' doc comment" >&2
+fi
+exit "$fail"
