@@ -164,11 +164,40 @@ func TestTermcheckExistsParallelWorkers(t *testing.T) {
 	}
 }
 
+func TestTermcheckProfiles(t *testing.T) {
+	bin := binary(t, "termcheck")
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	// Profiles must be written (and flushed: exits funnel through the
+	// deferred writers) for both questions; non-empty files suffice here —
+	// pprof validity is go tool pprof's business.
+	out, code := run(t, bin, "-exists", "-cpuprofile", cpu, "-memprofile", mem, "testdata/exampleB1.chase")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if out, code = run(t, bin, "-memprofile", mem, "testdata/intro.chase"); code != 0 {
+		t.Fatalf("∀ question with -memprofile: exit = %d\n%s", code, out)
+	}
+	if st, err := os.Stat(mem); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile not rewritten for the ∀ question (err=%v)", err)
+	}
+}
+
 // documentedFlags mirrors docs/CLI.md: every flag documented there, per
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers", "-cpuprofile", "-memprofile"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},

@@ -16,6 +16,11 @@
 // status: 0 a finite derivation exists (and a witness is printed), 1 the
 // bounded space was exhausted (every derivation is infinite), 2 a budget
 // stopped the search, 3 error.
+//
+// -cpuprofile/-memprofile write pprof profiles of whichever question was
+// asked, so hot-spot claims about the decision procedures and the search
+// (like the trigger-index numbers in BENCH_delta.json) are reproducible
+// straight from the CLI: `go tool pprof termcheck cpu.out`.
 package main
 
 import (
@@ -23,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"airct/internal/chase"
 	"airct/internal/core"
@@ -39,57 +46,96 @@ func main() {
 	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
 	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
 	workers := flag.Int("workers", 1, "parallel workers for the -exists search (1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to the file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to the file before exiting")
 	flag.Parse()
 
+	// All exits funnel through this point so the deferred profile writers
+	// run: os.Exit anywhere deeper would silently truncate the profiles. A
+	// failed heap-profile write overrides the verdict code with 3, matching
+	// the -cpuprofile error contract.
+	os.Exit(func() (code int) {
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				return fail(err)
+			}
+			defer pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			defer func() {
+				if err := writeHeapProfile(*memprofile); err != nil {
+					code = fail(err)
+				}
+			}()
+		}
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *workers)
+	}())
+}
+
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialise the retained heap before snapshotting
+	return pprof.WriteHeapProfile(f)
+}
+
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, workers int) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	prog, err := parser.Parse(src)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if prog.TGDs.Len() == 0 {
-		fail(fmt.Errorf("no TGDs in input"))
+		return fail(fmt.Errorf("no TGDs in input"))
 	}
-	if *exists {
-		runExists(prog, *existsStates, *existsAtoms, *existsStrategy, *workers)
-		return
+	if exists {
+		return runExists(prog, existsStates, existsAtoms, existsStrategy, workers)
 	}
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
 	}
 	rep, err := core.Analyze(prog.TGDs, core.Options{
-		GuardedOptions: guarded.DecideOptions{MaxSteps: *guardedBudget},
-		StickyOptions:  sticky.DecideOptions{MaxStates: *stickyStates},
+		GuardedOptions: guarded.DecideOptions{MaxSteps: guardedBudget},
+		StickyOptions:  sticky.DecideOptions{MaxStates: stickyStates},
 	})
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
 	fmt.Print(rep.Summary())
 	switch rep.Conclusion {
 	case core.Terminates:
-		os.Exit(0)
+		return 0
 	case core.Diverges:
-		os.Exit(1)
+		return 1
 	default:
-		os.Exit(2)
+		return 2
 	}
 }
 
 // runExists runs the ∀∃ derivation search on the program's database and
-// exits with the search's verdict.
-func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, workers int) {
+// returns the search's verdict as an exit code.
+func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, workers int) int {
 	if prog.Database.Len() == 0 {
-		fail(fmt.Errorf("-exists needs facts in the input (the question is per-database)"))
+		return fail(fmt.Errorf("-exists needs facts in the input (the question is per-database)"))
 	}
 	if workers < 1 {
-		fail(fmt.Errorf("-workers must be at least 1"))
+		return fail(fmt.Errorf("-workers must be at least 1"))
 	}
 	strat, err := chase.ParseSearchStrategy(strategy)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	res := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, chase.SearchOptions{
 		MaxStates: maxStates,
@@ -99,19 +145,21 @@ func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, w
 	})
 	fmt.Printf("exists-search: strategy=%s workers=%d states=%d expanded=%d memo-hits=%d peak-frontier=%d\n",
 		strat, workers, res.StatesVisited, res.Stats.StatesExpanded, res.Stats.MemoHits, res.Stats.PeakFrontier)
+	fmt.Printf("trigger-index: repairs=%d rebuilds=%d activity-rechecks=%d\n",
+		res.Stats.IndexRepairs, res.Stats.IndexRebuilds, res.Stats.ActivityRechecks)
 	switch {
 	case res.Found:
 		fmt.Printf("finite derivation exists: %d steps\n", len(res.Derivation))
 		for i, tr := range res.Derivation {
 			fmt.Printf("  %d: %s\n", i, tr)
 		}
-		os.Exit(0)
+		return 0
 	case res.Exhausted:
 		fmt.Println("no finite derivation: the bounded space is exhausted (every derivation is infinite)")
-		os.Exit(1)
+		return 1
 	default:
 		fmt.Println("unknown: the search budget was reached before exhausting the space")
-		os.Exit(2)
+		return 2
 	}
 }
 
@@ -124,7 +172,7 @@ func readInput(path string) (string, error) {
 	return string(b), err
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "termcheck:", err)
-	os.Exit(3)
+	return 3
 }

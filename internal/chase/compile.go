@@ -18,9 +18,8 @@ type compiledTGD struct {
 	bodyVars  []logic.Term // sorted; slot i holds bodyVars[i]
 	existVars []logic.Term // sorted; slot nBody+k holds existVars[k]
 
-	body      *logic.CPattern   // all body atoms
-	bodyMinus []*logic.CPattern // body atoms excluding atom j, for semi-naive discovery
-	head      *logic.CPattern   // head atoms: activity pattern and result template
+	body *logic.CPattern // all body atoms
+	head *logic.CPattern // head atoms: activity pattern and result template
 
 	// frontierSlots are the body slots of frontier variables, ascending
 	// (equivalently: frontier variables in sorted order).
@@ -55,13 +54,6 @@ func compileTGD(t tgds.TGD, in *logic.Interner) compiledTGD {
 	total := ct.nBody + len(ct.existVars)
 	ct.body = logic.CompilePattern(t.Body, total, slotOf, in)
 	ct.head = logic.CompilePattern(t.Head, total, slotOf, in)
-	ct.bodyMinus = make([]*logic.CPattern, len(t.Body))
-	for j := range t.Body {
-		rest := make([]logic.CAtom, 0, len(t.Body)-1)
-		rest = append(rest, ct.body.Atoms[:j]...)
-		rest = append(rest, ct.body.Atoms[j+1:]...)
-		ct.bodyMinus[j] = &logic.CPattern{Atoms: rest, NSlots: total}
-	}
 	frontier := t.Frontier()
 	for i, v := range ct.bodyVars {
 		if frontier.Has(v) {

@@ -439,33 +439,30 @@ func (e *engine) apply(id int32, tgd int, bt []uint32) {
 
 // discover finds every trigger whose body uses the atom at insertion index
 // ai at some body-atom position and enqueues the new ones, in the canonical
-// order TriggersInvolving produces.
+// order TriggersInvolving produces. The per-position enumeration is the
+// shared delta primitive logic.SlotSearch.ForEachPinnedAtom — the same core
+// the search's trigger index repairs with — pinning body atom j onto the new
+// atom and ranging the remaining atoms over the whole instance (conflicting
+// repeated variables rule a position out inside the pin's match).
 func (e *engine) discover(ai int32) {
 	pred := e.inst.AtomPredID(ai)
-	args := e.inst.AtomArgIDs(ai)
 	for i := range e.ct {
 		ct := &e.ct[i]
 		for j := range ct.body.Atoms {
-			ba := &ct.body.Atoms[j]
-			if ba.Pred != pred {
+			if ct.body.Atoms[j].Pred != pred {
 				continue
 			}
-			// Pin the body atom onto the new atom; conflicting repeated
-			// variables rule the position out.
+			e.discBuf = e.discBuf[:0]
+			e.sortBuf = e.sortBuf[:0]
 			e.ss.Reset(ct.body)
-			ok := true
-			for k, a := range ba.Args {
-				v := logic.TermID(args[k])
-				if b := e.ss.Bind[a.Slot]; b != logic.NoTermID && b != v {
-					ok = false
-					break
+			e.ss.ForEachPinnedAtom(ct.body, e.inst, j, ai, func(bind []logic.TermID) bool {
+				e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
+				e.discBuf = append(e.discBuf, uint32(i))
+				for s := 0; s < ct.nBody; s++ {
+					e.discBuf = append(e.discBuf, uint32(bind[s]))
 				}
-				e.ss.Bind[a.Slot] = v
-			}
-			if !ok {
-				continue
-			}
-			e.collectTriggers(i, ct.bodyMinus[j])
+				return true
+			})
 			e.enqueueDiscovered(ct)
 		}
 	}

@@ -26,11 +26,17 @@ package chase
 //
 // Work distribution: a claimed state enters the frontier of the worker that
 // generated it, every frontier is a strategy-ordered heap, and idle workers
-// steal from victims in a seeded rotation — the sharded priority frontier.
+// steal half of a victim's frontier per steal (one lock round-trip per
+// batch) in a seeded rotation — the sharded priority frontier.
 // Generators keep the local delta of each state they claim (workerCache),
 // so expanding own work re-adds interned tuples exactly like the sequential
 // searcher; only states that crossed a steal boundary (and their foreign
-// ancestors) pay the symbolic re-interning decode. SmallestFirst therefore
+// ancestors) pay the symbolic re-interning decode. The active-trigger index
+// (triggerindex.go) is likewise worker-local derived state: a worker that
+// expanded a state's parent inherits and delta-repairs the parent's index,
+// and a state that crossed a steal boundary rebuilds its index
+// deterministically from the decoded instance, so the exchange format
+// carries no index data. SmallestFirst therefore
 // approximates the sequential global smallest-first order;
 // BreadthFirst/DepthFirst order by a global atomic generation counter and
 // are likewise approximate. Verdicts (Found / Exhausted on decisive runs)
@@ -186,6 +192,34 @@ func (f *workFrontier) pop() *stateRec {
 	return heap.Pop(&f.h).(*stateRec)
 }
 
+// popHalf pops up to half of the frontier (rounding up, at least one state)
+// in ONE lock round-trip — the steal-half batching: a thief pays one
+// victim-lock acquisition per batch instead of one per state. The
+// best-priority record is returned for immediate expansion; the rest are
+// appended to out, in pop (priority) order, for the thief to carry home.
+func (f *workFrontier) popHalf(out *[]*stateRec) *stateRec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.h.nodes)
+	if n == 0 {
+		return nil
+	}
+	first := heap.Pop(&f.h).(*stateRec)
+	for take := (n + 1) / 2; take > 1; take-- {
+		*out = append(*out, heap.Pop(&f.h).(*stateRec))
+	}
+	return first
+}
+
+// pushAll pushes a batch under one lock round-trip.
+func (f *workFrontier) pushAll(recs []*stateRec) {
+	f.mu.Lock()
+	for _, r := range recs {
+		heap.Push(&f.h, r)
+	}
+	f.mu.Unlock()
+}
+
 // ParallelSearch is the coordinator of the sharded ∀∃ search: it owns the
 // sharded fingerprint memo, the per-worker frontiers, and the shared atomic
 // counters, and assembles the ExistsResult when the workers finish. Built
@@ -205,6 +239,10 @@ type ParallelSearch struct {
 
 	expanded atomic.Int64
 	memoHits atomic.Int64
+
+	indexRepairs  atomic.Int64
+	indexRebuilds atomic.Int64
+	rechecks      atomic.Int64
 
 	exhausted atomic.Bool // starts true; cleared by budget cuts, like the sequential flag
 	done      atomic.Bool
@@ -241,8 +279,10 @@ func (ps *ParallelSearch) Run() *ExistsResult {
 		go func(i int) {
 			defer build.Done()
 			workers[i] = &parallelWorker{id: i, ps: ps, e: newExpander(ps.db, ps.set),
-				cache: make(map[logic.Fingerprint][]uint32),
-				rng:   rand.New(rand.NewSource(ps.opts.Seed + int64(i)*0x9E3779B9))}
+				cache:    make(map[logic.Fingerprint][]uint32),
+				idxCache: make(map[logic.Fingerprint]*trigIndex),
+				kids:     make(map[logic.Fingerprint]int),
+				rng:      rand.New(rand.NewSource(ps.opts.Seed + int64(i)*0x9E3779B9))}
 		}(i)
 	}
 	build.Wait()
@@ -268,6 +308,9 @@ func (ps *ParallelSearch) Run() *ExistsResult {
 	res.Stats.StatesExpanded = int(ps.expanded.Load())
 	res.Stats.MemoHits = int(ps.memoHits.Load())
 	res.Stats.PeakFrontier = int(ps.peak.Load())
+	res.Stats.IndexRepairs = int(ps.indexRepairs.Load())
+	res.Stats.IndexRebuilds = int(ps.indexRebuilds.Load())
+	res.Stats.ActivityRechecks = int(ps.rechecks.Load())
 	if ps.winner != nil {
 		res.Found = true
 		res.Derivation = ps.buildWitness(workers[0].e, ps.winner)
@@ -355,8 +398,27 @@ type parallelWorker struct {
 	// symbolically instead.
 	cache map[logic.Fingerprint][]uint32
 
-	chain []*stateRec
-	bt    []uint32 // scratch: [tgd, resolved body TermIDs...]
+	// idxCache holds the active-trigger index of states this worker
+	// expanded, keyed by fingerprint. A popped state whose parent was
+	// expanded here repairs the parent's index with the delta; a state whose
+	// parent was expanded on another worker (a steal boundary) rebuilds its
+	// index deterministically from the decoded instance — the index is
+	// derived state and never crosses a worker boundary, so the symbolic
+	// exchange format is unchanged. TupleIDs in cached indexes are local to
+	// this worker's trig table.
+	//
+	// kids counts, per cached fingerprint, the children dispatched locally
+	// whose expansion may still repair from that entry: when the count
+	// drains (or a state dispatches no local children at all) the entry is
+	// evicted, so the cache tracks the live repair frontier instead of
+	// every state ever expanded. Stolen children never drain their parent's
+	// count — those entries are retained conservatively.
+	idxCache map[logic.Fingerprint]*trigIndex
+	kids     map[logic.Fingerprint]int
+
+	chain    []*stateRec
+	bt       []uint32    // scratch: [tgd, resolved body TermIDs...]
+	stealBuf []*stateRec // scratch: batch carried home by a half-steal
 }
 
 // run is the worker loop: pop the own frontier, steal when empty, expand,
@@ -394,8 +456,13 @@ func (w *parallelWorker) run() {
 	}
 }
 
-// steal pops one state from another worker's frontier, visiting victims in
-// a seeded rotation.
+// steal transfers half of a victim's frontier in one lock round-trip per
+// side, visiting victims in a seeded rotation: the best-priority stolen
+// record is returned for immediate expansion and the remainder of the batch
+// is re-queued on the thief's own frontier. The moved states stay pending
+// and stay in a frontier throughout, so the termination accounting
+// (pending/frontLen) is untouched; verdict invariance across worker counts
+// and seeds is pinned by the parallel_test.go matrix.
 func (w *parallelWorker) steal() *stateRec {
 	n := len(w.ps.fronts)
 	start := w.rng.Intn(n)
@@ -404,22 +471,66 @@ func (w *parallelWorker) steal() *stateRec {
 		if v == w.id {
 			continue
 		}
-		if r := w.ps.fronts[v].pop(); r != nil {
+		if r := w.ps.fronts[v].popHalf(&w.stealBuf); r != nil {
+			if len(w.stealBuf) > 0 {
+				w.ps.fronts[w.id].pushAll(w.stealBuf)
+				w.stealBuf = w.stealBuf[:0]
+			}
 			return r
 		}
 	}
 	return nil
 }
 
-// expand materialises the state, enumerates its active triggers, and claims
-// each successor into the sharded memo — the parallel twin of the
-// sequential searcher's loop body plus generate.
+// expand materialises the state, computes its active-trigger index
+// (inherited and delta-repaired when this worker expanded the parent,
+// rebuilt deterministically after a symbolic steal-boundary decode
+// otherwise), and claims each successor into the sharded memo — the
+// parallel twin of the sequential searcher's loop body plus generate.
 func (w *parallelWorker) expand(rec *stateRec) {
 	e := w.e
 	inst := w.materialise(rec)
-	e.collectActive(inst)
+	var par *trigIndex
+	if !w.ps.opts.fullRescan && rec.parent != nil {
+		par = w.idxCache[rec.parent.fp]
+	}
+	deltaLo := int32(0)
+	if rec.parent != nil {
+		deltaLo = rec.parent.size
+	}
+	before := e.nRechecks
+	idx, repaired := e.stateIndex(par, inst, deltaLo)
+	w.idxCache[rec.fp] = idx
+	// This expansion consumed one locally-dispatched child of the parent;
+	// evict the parent's index once its last local child has repaired.
+	if rec.parent != nil {
+		if n, ok := w.kids[rec.parent.fp]; ok {
+			if n <= 1 {
+				delete(w.kids, rec.parent.fp)
+				delete(w.idxCache, rec.parent.fp)
+			} else {
+				w.kids[rec.parent.fp] = n - 1
+			}
+		}
+	}
+	// On every exit below, either register how many local children may
+	// still repair from this state's index, or evict it right away.
+	kidsDispatched := 0
+	defer func() {
+		if kidsDispatched > 0 {
+			w.kids[rec.fp] = kidsDispatched
+		} else {
+			delete(w.idxCache, rec.fp)
+		}
+	}()
+	w.ps.rechecks.Add(int64(e.nRechecks - before))
+	if repaired {
+		w.ps.indexRepairs.Add(1)
+	} else {
+		w.ps.indexRebuilds.Add(1)
+	}
 	w.ps.expanded.Add(1)
-	if len(e.actOff) == 0 {
+	if idx.total == 0 {
 		w.ps.announce(rec)
 		return
 	}
@@ -427,40 +538,41 @@ func (w *parallelWorker) expand(rec *stateRec) {
 		w.ps.exhausted.Store(false)
 		return
 	}
-	for _, off := range e.actOff {
-		if w.ps.done.Load() {
-			return
-		}
-		tgd := int(e.actBuf[off])
+	for tgd := range idx.perTGD {
 		ct := &e.ct[tgd]
-		trigTup := e.actBuf[off : off+int32(ct.nBody)+1]
-		trigID, _ := e.trig.Intern(trigTup)
+		for _, trigID := range idx.perTGD[tgd] {
+			if w.ps.done.Load() {
+				return
+			}
+			trigTup := e.trig.Tuple(trigID)
 
-		childFp, added := e.childState(inst, rec.fp, trigID, tgd, trigTup[1:])
-		var child *stateRec
-		switch w.ps.table.claim(childFp, func() *stateRec {
-			bindings := make([]logic.SymTerm, ct.nBody)
-			for j, b := range trigTup[1:] {
-				bindings[j] = e.itab.EncodeTermSym(logic.TermID(b), e.nShared)
+			childFp, added := e.childState(inst, rec.fp, trigID, tgd, trigTup[1:])
+			var child *stateRec
+			switch w.ps.table.claim(childFp, func() *stateRec {
+				bindings := make([]logic.SymTerm, ct.nBody)
+				for j, b := range trigTup[1:] {
+					bindings[j] = e.itab.EncodeTermSym(logic.TermID(b), e.nShared)
+				}
+				child = &stateRec{
+					fp:       childFp,
+					parent:   rec,
+					bindings: bindings,
+					tgd:      int32(tgd),
+					size:     rec.size + int32(added),
+					seq:      w.ps.seq.Add(1),
+				}
+				return child
+			}) {
+			case claimDup:
+				w.ps.memoHits.Add(1)
+			case claimOver:
+				w.ps.exhausted.Store(false)
+				return
+			case claimNew:
+				w.cache[childFp] = append([]uint32(nil), e.deltaBuf...)
+				kidsDispatched++
+				w.ps.dispatch(w.id, child)
 			}
-			child = &stateRec{
-				fp:       childFp,
-				parent:   rec,
-				bindings: bindings,
-				tgd:      int32(tgd),
-				size:     rec.size + int32(added),
-				seq:      w.ps.seq.Add(1),
-			}
-			return child
-		}) {
-		case claimDup:
-			w.ps.memoHits.Add(1)
-		case claimOver:
-			w.ps.exhausted.Store(false)
-			return
-		case claimNew:
-			w.cache[childFp] = append([]uint32(nil), e.deltaBuf...)
-			w.ps.dispatch(w.id, child)
 		}
 	}
 }
@@ -478,7 +590,7 @@ func (w *parallelWorker) materialise(rec *stateRec) *instance.Instance {
 	for r := rec; r.tgd >= 0; r = r.parent {
 		w.chain = append(w.chain, r)
 	}
-	inst := instance.NewWithInternerHint(w.e.itab, int(rec.size))
+	inst := w.e.scratchInstance(int(rec.size))
 	w.e.addRootTo(inst)
 	for i := len(w.chain) - 1; i >= 0; i-- {
 		r := w.chain[i]

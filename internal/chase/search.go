@@ -29,17 +29,17 @@ package chase
 // sort.SliceStable per pop; BreadthFirst and DepthFirst are the plain
 // queue/stack disciplines.
 //
-// The single-state expansion step (intern the vocabulary, enumerate active
-// triggers, compute a successor's fingerprint and delta, invent nulls by
-// structural identity) lives in the expander type so the sequential searcher
-// below and the sharded parallel coordinator (parallel.go) share it: a
-// parallel worker is an expander over a private interner, exchanging states
-// symbolically at the boundary.
+// The single-state expansion step (intern the vocabulary, compute the
+// state's active-trigger index — inherited from the parent and repaired
+// with the delta, see triggerindex.go — compute a successor's fingerprint
+// and delta, invent nulls by structural identity) lives in the expander
+// type so the sequential searcher below and the sharded parallel
+// coordinator (parallel.go) share it: a parallel worker is an expander over
+// a private interner, exchanging states symbolically at the boundary.
 
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"airct/internal/instance"
 	"airct/internal/logic"
@@ -107,6 +107,21 @@ type SearchOptions struct {
 	// work-stealing victim order). Verdicts are seed-invariant; schedules,
 	// witnesses and stats need not be. Ignored by the sequential search.
 	Seed int64
+
+	// fullRescan disables the delta-maintained trigger index and rebuilds
+	// every popped state's active-trigger set by full re-enumeration — the
+	// pre-index behaviour. Deliberately unexported: it exists so in-package
+	// benchmarks can measure the index against its baseline and so the
+	// differential tests can pin the two paths bit-identical; it is not a
+	// supported mode.
+	fullRescan bool
+
+	// onExpand, when set, observes every sequential expansion right after
+	// the state's index is computed, receiving the materialised instance and
+	// the index's triggers in enumeration order — the differential tests'
+	// hook for pinning the index against ActiveTriggers ground truth.
+	// Unexported; test-only, sequential search only.
+	onExpand func(inst *instance.Instance, active []Trigger)
 }
 
 // SearchStats counts the search's work.
@@ -119,6 +134,15 @@ type SearchStats struct {
 	// it is the peak of the atomically tracked total across all per-worker
 	// frontiers — approximate, since pushes and pops race.
 	PeakFrontier int
+	// IndexRepairs counts expanded states whose active-trigger index was
+	// inherited from the parent and repaired with the delta; IndexRebuilds
+	// counts full re-enumerations (the root, parallel steal boundaries, and
+	// every state when the index is disabled).
+	IndexRepairs  int
+	IndexRebuilds int
+	// ActivityRechecks counts delta-pinned activity re-checks of inherited
+	// candidates — the repair path's work currency.
+	ActivityRechecks int
 }
 
 // searchNode is one chase state: the delta against its parent plus the
@@ -129,7 +153,9 @@ type searchNode struct {
 	delta  []uint32      // flattened new atoms: [pid, args...]* (arity from pid)
 	size   int           // instance atom count
 	fp     logic.Fingerprint
-	seq    int // generation counter; heap tie-break
+	seq    int        // generation counter; heap tie-break
+	idx    *trigIndex // active-trigger index, set when the node is expanded
+	kids   int        // frontier children that may still repair from idx
 }
 
 // frontierLess is the one definition of the frontier disciplines, shared by
@@ -198,9 +224,9 @@ func nullIdentity(tgd uint32, bindingHashes []logic.Fingerprint, k int) logic.Fi
 // expander is the reusable single-state expansion step of the ∀∃ search: a
 // private interner holding the deterministic startup vocabulary (compiled
 // patterns first, then database atoms — so shared-prefix IDs agree across
-// expanders built from the same inputs), active-trigger enumeration over a
-// materialised instance, successor fingerprint/delta computation, and null
-// invention by structural identity. The sequential searcher owns one; each
+// expanders built from the same inputs), the delta-maintained active-trigger
+// index over a reused scratch instance (triggerindex.go), successor
+// fingerprint/delta computation, and null invention by structural identity. The sequential searcher owns one; each
 // parallel worker owns one. Single writer, no internal locking — the
 // interner is never shared across expanders (see the concurrency contract in
 // docs/ARCHITECTURE.md).
@@ -224,14 +250,26 @@ type expander struct {
 	rootFp    logic.Fingerprint
 	rootSize  int
 
+	// deps/predMark/predEpoch/nRechecks serve the delta-maintained trigger
+	// index (triggerindex.go); nRechecks counts delta-pinned activity
+	// re-checks and is drained into SearchStats by the owner.
+	deps      *deltaDeps
+	predMark  []uint32
+	predEpoch uint32
+	nRechecks int
+
 	ss logic.SlotSearch
 	ds discSorter
+
+	// scratch is the reusable materialisation arena: every popped state is
+	// rebuilt into this one instance (Reset between states), so
+	// materialisation allocates no maps or tables in steady state. Callers
+	// must not retain the instance across expansions.
+	scratch *instance.Instance
 
 	// scratch; see the engine's twins
 	discBuf  []uint32
 	sortBuf  []int32
-	actBuf   []uint32 // flat active trigger tuples, stride per TGD
-	actOff   []int32
 	argbuf   []logic.TermID
 	argraw   []uint32
 	deltaBuf []uint32
@@ -252,6 +290,7 @@ func newExpander(db *instance.Database, set *tgds.Set) *expander {
 		namer:       logic.NewFreshNamer("n"),
 	}
 	e.ct = compileSet(set, e.itab)
+	e.deps = newDeltaDeps(e.ct)
 	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
 	for _, a := range db.Atoms() {
 		pid := e.itab.InternPred(a.Pred)
@@ -273,6 +312,19 @@ func (e *expander) addRootTo(inst *instance.Instance) {
 	e.addDeltaTo(inst, e.rootDelta)
 }
 
+// scratchInstance returns the expander's reusable materialisation arena,
+// emptied: a lite (ID-plane-only) instance — the slot search, activity
+// checks and delta repairs read only identity tuples, posting lists and the
+// fingerprint. The previous expansion's instance contents become invalid.
+func (e *expander) scratchInstance(sizeHint int) *instance.Instance {
+	if e.scratch == nil {
+		e.scratch = instance.NewScratch(e.itab, sizeHint)
+	} else {
+		e.scratch.Reset()
+	}
+	return e.scratch
+}
+
 // addDeltaTo inserts a flattened [pid, args...]* delta of local IDs.
 func (e *expander) addDeltaTo(inst *instance.Instance, d []uint32) {
 	for j := 0; j < len(d); {
@@ -284,39 +336,6 @@ func (e *expander) addDeltaTo(inst *instance.Instance, d []uint32) {
 		}
 		inst.AddTuple(pid, e.argbuf)
 		j += 1 + ar
-	}
-}
-
-// collectActive enumerates the active triggers on inst into actBuf/actOff,
-// per TGD in canonical order — the slot-search equivalent of
-// ActiveTriggers(set, inst).
-func (e *expander) collectActive(inst *instance.Instance) {
-	e.actBuf = e.actBuf[:0]
-	e.actOff = e.actOff[:0]
-	for i := range e.ct {
-		ct := &e.ct[i]
-		e.discBuf = e.discBuf[:0]
-		e.sortBuf = e.sortBuf[:0]
-		e.ss.Reset(ct.body)
-		e.ss.ForEach(ct.body, inst, func(bind []logic.TermID) bool {
-			e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
-			e.discBuf = append(e.discBuf, uint32(i))
-			for k := 0; k < ct.nBody; k++ {
-				e.discBuf = append(e.discBuf, uint32(bind[k]))
-			}
-			return true
-		})
-		if len(e.sortBuf) > 1 {
-			e.ds.stride = int32(ct.nBody) + 1
-			sort.Sort(&e.ds)
-		}
-		for _, off := range e.sortBuf {
-			tup := e.discBuf[off : off+int32(ct.nBody)+1]
-			if e.isActive(i, tup[1:], inst) {
-				e.actOff = append(e.actOff, int32(len(e.actBuf)))
-				e.actBuf = append(e.actBuf, tup...)
-			}
-		}
 	}
 }
 
@@ -433,6 +452,25 @@ func (e *expander) resolveNull(h logic.Fingerprint) logic.TermID {
 	return id
 }
 
+// triggersOf materialises the index's public Trigger forms, in enumeration
+// order (TGD ascending, canonical bindings within). Only the onExpand test
+// hook calls this; the search itself never leaves interned identity.
+func (s *searcher) triggersOf(idx *trigIndex) []Trigger {
+	out := make([]Trigger, 0, idx.total)
+	for tgd := range idx.perTGD {
+		ct := &s.ct[tgd]
+		for _, id := range idx.perTGD[tgd] {
+			tup := s.trig.Tuple(id)
+			h := logic.NewSubstitution()
+			for i, v := range ct.bodyVars {
+				h[v] = s.itab.Term(logic.TermID(tup[i+1]))
+			}
+			out = append(out, Trigger{TGDIndex: tgd, TGD: s.set.TGDs[tgd], H: h})
+		}
+	}
+	return out
+}
+
 // searcher is the sequential search's engine-like state. Single writer,
 // single run.
 type searcher struct {
@@ -486,64 +524,104 @@ func (s *searcher) loop() {
 		}
 		cur := heap.Pop(&s.front).(*searchNode)
 		inst := s.materialise(cur)
-		s.collectActive(inst)
+		// Inherit-and-repair the parent's active-trigger index; the parent
+		// always has one (a child is generated only while its parent is being
+		// expanded), so the rebuild path is the root's and fullRescan's.
+		var par *trigIndex
+		if !s.opts.fullRescan && cur.parent != nil {
+			par = cur.parent.idx
+		}
+		deltaLo := int32(0)
+		if cur.parent != nil {
+			deltaLo = int32(cur.parent.size)
+		}
+		idx, repaired := s.stateIndex(par, inst, deltaLo)
+		cur.idx = idx
+		// Mirror the parallel worker's eviction: this expansion consumed one
+		// of the parent's pending repairs; a drained (or childless) index is
+		// dead weight and is dropped so the node graph doesn't pin every
+		// expanded state's trigger list for the whole run.
+		if cur.parent != nil && cur.parent.kids > 0 {
+			if cur.parent.kids--; cur.parent.kids == 0 {
+				cur.parent.idx = nil
+			}
+		}
+		if repaired {
+			s.res.Stats.IndexRepairs++
+		} else {
+			s.res.Stats.IndexRebuilds++
+		}
+		if s.opts.onExpand != nil {
+			s.opts.onExpand(inst, s.triggersOf(idx))
+		}
 		s.res.Stats.StatesExpanded++
-		if len(s.actOff) == 0 {
+		if idx.total == 0 {
 			s.res.Found = true
 			s.res.Derivation = s.path(cur)
-			s.res.StatesVisited = len(s.memo)
+			s.finish()
 			return
 		}
-		if cur.size >= s.opts.MaxAtoms {
+		if cur.size < s.opts.MaxAtoms {
+			s.generate(cur, inst, idx)
+		} else {
 			s.res.Exhausted = false
-			continue
 		}
-		s.generate(cur, inst)
+		if cur.kids == 0 {
+			cur.idx = nil
+		}
 	}
-	s.res.StatesVisited = len(s.memo)
+	s.finish()
 }
 
-// generate creates the successor of cur under every active trigger
-// (s.actBuf/actOff): a delta node with an incrementally merged fingerprint.
-// Memoised and over-budget successors are dropped without allocating.
-func (s *searcher) generate(cur *searchNode, inst *instance.Instance) {
-	for _, off := range s.actOff {
-		tgd := int(s.actBuf[off])
-		ct := &s.ct[tgd]
-		trigTup := s.actBuf[off : off+int32(ct.nBody)+1]
-		trigID, _ := s.trig.Intern(trigTup)
+func (s *searcher) finish() {
+	s.res.StatesVisited = len(s.memo)
+	s.res.Stats.ActivityRechecks = s.nRechecks
+}
 
-		childFp, added := s.childState(inst, cur.fp, trigID, tgd, trigTup[1:])
-		if _, dup := s.memo[childFp]; dup {
-			s.res.Stats.MemoHits++
-			continue
+// generate creates the successor of cur under every active trigger of its
+// index, in canonical order (TGD ascending, bindings canonical within): a
+// delta node with an incrementally merged fingerprint. Memoised and
+// over-budget successors are dropped without allocating.
+func (s *searcher) generate(cur *searchNode, inst *instance.Instance, idx *trigIndex) {
+	for tgd := range idx.perTGD {
+		for _, trigID := range idx.perTGD[tgd] {
+			trigTup := s.trig.Tuple(trigID)
+
+			childFp, added := s.childState(inst, cur.fp, trigID, tgd, trigTup[1:])
+			if _, dup := s.memo[childFp]; dup {
+				s.res.Stats.MemoHits++
+				continue
+			}
+			if len(s.memo) >= s.opts.MaxStates {
+				s.res.Exhausted = false
+				return
+			}
+			s.memo[childFp] = struct{}{}
+			child := &searchNode{
+				parent: cur,
+				trig:   trigID,
+				delta:  append([]uint32(nil), s.deltaBuf...),
+				size:   cur.size + added,
+				fp:     childFp,
+				seq:    s.seq,
+			}
+			s.seq++
+			cur.kids++
+			heap.Push(&s.front, child)
 		}
-		if len(s.memo) >= s.opts.MaxStates {
-			s.res.Exhausted = false
-			return
-		}
-		s.memo[childFp] = struct{}{}
-		child := &searchNode{
-			parent: cur,
-			trig:   trigID,
-			delta:  append([]uint32(nil), s.deltaBuf...),
-			size:   cur.size + added,
-			fp:     childFp,
-			seq:    s.seq,
-		}
-		s.seq++
-		heap.Push(&s.front, child)
 	}
 }
 
 // materialise builds the node's instance — database plus ancestor deltas,
-// root first — on the shared interner. Called once per expanded node.
+// root first — into the expander's reused scratch arena on the shared
+// interner. Called once per expanded node; the returned instance is valid
+// until the next materialise.
 func (s *searcher) materialise(n *searchNode) *instance.Instance {
 	s.chain = s.chain[:0]
 	for m := n; m != nil; m = m.parent {
 		s.chain = append(s.chain, m)
 	}
-	inst := instance.NewWithInternerHint(s.itab, n.size)
+	inst := s.scratchInstance(n.size)
 	for i := len(s.chain) - 1; i >= 0; i-- {
 		s.addDeltaTo(inst, s.chain[i].delta)
 	}

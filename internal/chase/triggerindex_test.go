@@ -1,0 +1,282 @@
+package chase
+
+// Differential and property tests for the delta-maintained trigger index
+// (triggerindex.go). Two angles:
+//
+//   - ground truth at every expansion: the onExpand hook pins the index's
+//     trigger list — order included — against the public
+//     ActiveTriggers(set, inst) enumeration on the very instance being
+//     expanded, across strategies and workloads;
+//   - the fullRescan baseline: with the index disabled the search runs the
+//     pre-index full re-enumeration, and the two modes must agree
+//     bit-identically on verdicts, StatesVisited, expansion counts and the
+//     witness itself (sequentially) and on verdicts/full-sweep closures
+//     (parallel, any worker count) — the acceptance bar of ISSUE 4;
+//   - inheritance/repair as a property: along random derivation walks of
+//     random TGD sets (datalog and existential), repairing the parent's
+//     index with the delta must equal rebuilding from scratch, step after
+//     step.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"airct/internal/instance"
+	"airct/internal/logic"
+	"airct/internal/parser"
+	"airct/internal/workload"
+)
+
+// indexGroundTruthPrograms: the differential corpus plus the deep stage
+// grids the benchmarks run on (kept small enough for an every-expansion
+// comparison against the quadratic public enumeration).
+func indexGroundTruthPrograms() []struct {
+	name      string
+	src       string
+	maxStates int
+	maxAtoms  int
+} {
+	progs := append([]struct {
+		name      string
+		src       string
+		maxStates int
+		maxAtoms  int
+	}{}, differentialExistsPrograms...)
+	progs = append(progs, struct {
+		name      string
+		src       string
+		maxStates int
+		maxAtoms  int
+	}{"stage-grid-5", parser.Print(workload.StageGrid(5)), 0, 0})
+	return progs
+}
+
+// TestTriggerIndexMatchesActiveTriggersGroundTruth pins the index against
+// ActiveTriggers(set, inst) at every expansion, across strategies and the
+// corpus: same triggers, same canonical order.
+func TestTriggerIndexMatchesActiveTriggersGroundTruth(t *testing.T) {
+	for _, tc := range indexGroundTruthPrograms() {
+		for _, strat := range []SearchStrategy{SmallestFirst, BreadthFirst, DepthFirst} {
+			t.Run(tc.name+"/"+strat.String(), func(t *testing.T) {
+				prog := parser.MustParse(tc.src)
+				expansions := 0
+				opts := SearchOptions{
+					MaxStates: tc.maxStates,
+					MaxAtoms:  tc.maxAtoms,
+					Strategy:  strat,
+					onExpand: func(inst *instance.Instance, active []Trigger) {
+						expansions++
+						want := ActiveTriggers(prog.TGDs, inst)
+						if len(active) != len(want) {
+							t.Fatalf("expansion %d: %d active triggers, ground truth %d\nindex: %s\ntruth: %s",
+								expansions, len(active), len(want), FormatTriggers(active), FormatTriggers(want))
+						}
+						for i := range want {
+							if CompareTriggers(active[i], want[i]) != 0 {
+								t.Fatalf("expansion %d, position %d: index has %s, ground truth %s",
+									expansions, i, active[i], want[i])
+							}
+						}
+					},
+				}
+				res := SearchTerminatingDerivation(prog.Database, prog.TGDs, opts)
+				if expansions != res.Stats.StatesExpanded {
+					t.Fatalf("hook saw %d expansions, stats counted %d", expansions, res.Stats.StatesExpanded)
+				}
+				if res.Stats.IndexRebuilds != 1 {
+					t.Errorf("sequential search must rebuild only the root index, got %d rebuilds", res.Stats.IndexRebuilds)
+				}
+				if res.Stats.IndexRepairs != res.Stats.StatesExpanded-1 {
+					t.Errorf("repairs = %d, want %d (every non-root expansion)",
+						res.Stats.IndexRepairs, res.Stats.StatesExpanded-1)
+				}
+			})
+		}
+	}
+}
+
+// TestSearchDeltaIndexMatchesFullRescan pins the delta-maintained index
+// against the full re-enumeration baseline bit-identically: sequentially the
+// two modes must produce the same verdict, the same StatesVisited and
+// expansion counts, and the very same witness (the sequential search is
+// deterministic); in parallel, verdicts must agree across worker counts and
+// full-sweep closures must match, and every witness must replay.
+func TestSearchDeltaIndexMatchesFullRescan(t *testing.T) {
+	for _, tc := range indexGroundTruthPrograms() {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := parser.MustParse(tc.src)
+			for _, strat := range []SearchStrategy{SmallestFirst, BreadthFirst, DepthFirst} {
+				base := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+					MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Strategy: strat, fullRescan: true,
+				})
+				delta := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+					MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Strategy: strat,
+				})
+				if delta.Found != base.Found || delta.Exhausted != base.Exhausted {
+					t.Fatalf("%v: verdict drifted: (%v,%v) vs baseline (%v,%v)",
+						strat, delta.Found, delta.Exhausted, base.Found, base.Exhausted)
+				}
+				if delta.StatesVisited != base.StatesVisited {
+					t.Errorf("%v: StatesVisited = %d, baseline %d", strat, delta.StatesVisited, base.StatesVisited)
+				}
+				if delta.Stats.StatesExpanded != base.Stats.StatesExpanded {
+					t.Errorf("%v: StatesExpanded = %d, baseline %d",
+						strat, delta.Stats.StatesExpanded, base.Stats.StatesExpanded)
+				}
+				if len(delta.Derivation) != len(base.Derivation) {
+					t.Fatalf("%v: witness lengths differ: %d vs %d", strat, len(delta.Derivation), len(base.Derivation))
+				}
+				for i := range delta.Derivation {
+					if CompareTriggers(delta.Derivation[i], base.Derivation[i]) != 0 {
+						t.Fatalf("%v: witness step %d differs: %s vs %s",
+							strat, i, delta.Derivation[i], base.Derivation[i])
+					}
+				}
+				if delta.Found {
+					replayWitness(t, prog, delta.Derivation, tc.name)
+				}
+			}
+			// Parallel: verdict invariance between the two modes at every
+			// worker count; full-sweep closures are schedule-independent.
+			seqBase := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+				MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms,
+			})
+			for _, w := range []int{2, 4} {
+				for _, rescan := range []bool{false, true} {
+					par := SearchTerminatingDerivation(prog.Database, prog.TGDs, SearchOptions{
+						MaxStates: tc.maxStates, MaxAtoms: tc.maxAtoms, Workers: w, Seed: 11, fullRescan: rescan,
+					})
+					if par.Found != seqBase.Found {
+						t.Fatalf("w=%d rescan=%v: Found = %v, sequential %v", w, rescan, par.Found, seqBase.Found)
+					}
+					if !par.Found && par.Exhausted != seqBase.Exhausted {
+						t.Errorf("w=%d rescan=%v: Exhausted = %v, sequential %v", w, rescan, par.Exhausted, seqBase.Exhausted)
+					}
+					if !seqBase.Found && seqBase.Exhausted && par.StatesVisited != seqBase.StatesVisited {
+						t.Errorf("w=%d rescan=%v: full-sweep StatesVisited = %d, sequential %d",
+							w, rescan, par.StatesVisited, seqBase.StatesVisited)
+					}
+					if par.Found {
+						replayWitness(t, prog, par.Derivation, fmt.Sprintf("%s/w=%d", tc.name, w))
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomExistentialProgram generates a random single-head TGD set with
+// existential variables plus a database, deterministically from the seed —
+// the index-repair property's workload generator alongside randomDatalog.
+func randomExistentialProgram(seed int64) *parser.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nPreds := 2 + rng.Intn(3)
+	arity := func(p int) int { return 1 + (p % 2) }
+	var b strings.Builder
+	vars := []string{"X", "Y"}
+	exist := []string{"V", "W"}
+	nRules := 2 + rng.Intn(3)
+	for r := 0; r < nRules; r++ {
+		bp := rng.Intn(nPreds)
+		hp := rng.Intn(nPreds)
+		bodyArgs := make([]string, arity(bp))
+		for i := range bodyArgs {
+			bodyArgs[i] = vars[rng.Intn(len(vars))]
+		}
+		headArgs := make([]string, arity(hp))
+		usedBody := false
+		for i := range headArgs {
+			if !usedBody || rng.Intn(2) == 0 {
+				// Frontier variable: must occur in the body.
+				headArgs[i] = bodyArgs[rng.Intn(len(bodyArgs))]
+				usedBody = true
+			} else {
+				headArgs[i] = exist[rng.Intn(len(exist))]
+			}
+		}
+		fmt.Fprintf(&b, "r%d: P%d(%s) -> P%d(%s).\n", r, bp, strings.Join(bodyArgs, ","), hp, strings.Join(headArgs, ","))
+	}
+	nFacts := 1 + rng.Intn(3)
+	for f := 0; f < nFacts; f++ {
+		p := rng.Intn(nPreds)
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = fmt.Sprintf("c%d", rng.Intn(3))
+		}
+		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
+	}
+	return parser.MustParse(b.String())
+}
+
+// walkAndCheckRepairs drives an expander along a random derivation walk of
+// the program, repairing the index at each step and comparing it against a
+// from-scratch rebuild: identical per-TGD trigger IDs (the trig table dedups
+// tuples, so equal tuples mean equal IDs), identical totals.
+func walkAndCheckRepairs(t testing.TB, prog *parser.Program, rng *rand.Rand, maxSteps int) bool {
+	e := newExpander(prog.Database, prog.TGDs)
+	inst := instance.NewWithInterner(e.itab)
+	e.addRootTo(inst)
+	idx := e.buildIndex(inst)
+	for step := 0; step < maxSteps; step++ {
+		var all []logic.TupleID
+		for _, ids := range idx.perTGD {
+			all = append(all, ids...)
+		}
+		if len(all) == 0 {
+			return true // fixpoint
+		}
+		pick := all[rng.Intn(len(all))]
+		tup := e.trig.Tuple(pick)
+		tgd := int(tup[0])
+		e.childState(inst, logic.Fingerprint{}, pick, tgd, tup[1:])
+		deltaLo := int32(inst.Len())
+		e.addDeltaTo(inst, e.deltaBuf)
+		if int32(inst.Len()) == deltaLo {
+			t.Errorf("active trigger added no atoms — activity check broken")
+			return false
+		}
+		repaired := e.repairIndex(idx, inst, deltaLo)
+		rebuilt := e.buildIndex(inst)
+		if repaired.total != rebuilt.total {
+			t.Errorf("step %d: repaired total %d, rebuilt %d", step, repaired.total, rebuilt.total)
+			return false
+		}
+		for i := range repaired.perTGD {
+			a, b := repaired.perTGD[i], rebuilt.perTGD[i]
+			if len(a) != len(b) {
+				t.Errorf("step %d, TGD %d: repaired %d triggers, rebuilt %d", step, i, len(a), len(b))
+				return false
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Errorf("step %d, TGD %d, pos %d: repaired trigger %v, rebuilt %v",
+						step, i, k, e.trig.Tuple(a[k]), e.trig.Tuple(b[k]))
+					return false
+				}
+			}
+		}
+		idx = repaired
+	}
+	return true
+}
+
+// TestQuickIndexRepairMatchesRebuild is the inheritance/repair property:
+// across random TGD sets — pure datalog and existential — and random
+// derivation walks, the repaired index always equals the rebuilt one.
+func TestQuickIndexRepairMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomDatalog(seed % 5000)
+		if !walkAndCheckRepairs(t, prog, rng, 15) {
+			return false
+		}
+		prog = randomExistentialProgram(seed % 5000)
+		return walkAndCheckRepairs(t, prog, rng, 12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -2,7 +2,10 @@ package guarded
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"airct/internal/acyclicity"
 	"airct/internal/chase"
@@ -41,6 +44,12 @@ type DecideOptions struct {
 	MaxSeeds int
 	// ExtraSeeds adds caller-provided databases to the pool.
 	ExtraSeeds []*instance.Database
+	// Workers bounds the worker pool chasing seed databases (the per-seed
+	// chases are independent: each run owns its instance and interner).
+	// 0 uses GOMAXPROCS; 1 scans sequentially. The verdict — including
+	// Witness, Evidence and SeedsTried — is deterministic regardless of
+	// worker count: outcomes are combined in canonical seed order.
+	Workers int
 }
 
 func (o DecideOptions) maxSteps() int {
@@ -55,6 +64,13 @@ func (o DecideOptions) maxSeeds() int {
 		return 256
 	}
 	return o.MaxSeeds
+}
+
+func (o DecideOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // Decide decides CT^res_∀∀(G) for a single-head guarded set.
@@ -84,46 +100,105 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 	budget := opts.maxSteps()
 	seeds := GenerateSeeds(set, opts.maxSeeds())
 	seeds = append(seeds, opts.ExtraSeeds...)
-	tried := 0
-	for _, seed := range seeds {
-		tried++
-		for _, o := range []chase.Options{
-			{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget},
-			{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget},
-			{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: budget},
-		} {
-			run := chase.RunChase(seed, set, o)
-			if run.Terminated() {
-				continue
-			}
-			if ev, ok := DivergenceEvidence(run); ok {
-				return &Verdict{
-					Terminates: false,
-					Method:     "divergence-witness",
-					Witness:    seed,
-					Evidence:   ev,
-					SeedsTried: tried,
-					Budget:     budget,
-				}, nil
-			}
-			// Budget exhausted without a pump: report divergence with
-			// weaker evidence rather than silently claiming termination.
-			return &Verdict{
-				Terminates: false,
-				Method:     "budget-exhausted",
-				Witness:    seed,
-				Evidence:   fmt.Sprintf("no fixpoint after %d steps (no pump found)", budget),
-				SeedsTried: tried,
-				Budget:     budget,
-			}, nil
+	outcomes := chaseSeeds(set, seeds, budget, opts.workers())
+	for i, v := range outcomes {
+		if v == nil {
+			continue // seed chased quietly to fixpoint under every order
 		}
+		v.SeedsTried = i + 1
+		v.Budget = budget
+		return v, nil
 	}
 	return &Verdict{
 		Terminates: true,
 		Method:     "seed-exhaustion",
-		SeedsTried: tried,
+		SeedsTried: len(seeds),
 		Budget:     budget,
 	}, nil
+}
+
+// chaseSeed runs one seed's bounded restricted chases (fair FIFO plus
+// perturbed orders) and returns a divergence verdict, or nil when every
+// order saturated quietly. SeedsTried and Budget are filled by the caller.
+func chaseSeed(set *tgds.Set, seed *instance.Database, budget int) *Verdict {
+	for _, o := range []chase.Options{
+		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget},
+		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget},
+		{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: budget},
+	} {
+		run := chase.RunChase(seed, set, o)
+		if run.Terminated() {
+			continue
+		}
+		if ev, ok := DivergenceEvidence(run); ok {
+			return &Verdict{
+				Terminates: false,
+				Method:     "divergence-witness",
+				Witness:    seed,
+				Evidence:   ev,
+			}
+		}
+		// Budget exhausted without a pump: report divergence with weaker
+		// evidence rather than silently claiming termination.
+		return &Verdict{
+			Terminates: false,
+			Method:     "budget-exhausted",
+			Witness:    seed,
+			Evidence:   fmt.Sprintf("no fixpoint after %d steps (no pump found)", budget),
+		}
+	}
+	return nil
+}
+
+// chaseSeeds computes every seed's outcome on a bounded worker pool. The
+// per-seed chases are independent (each RunChase clones the seed into a
+// fresh instance with its own interner), so the pool may finish them in any
+// order; Decide then combines outcomes in canonical seed order, which keeps
+// the verdict bit-identical to a sequential scan. Seeds are claimed in
+// ascending index order and a worker stops once every remaining index lies
+// beyond the lowest diverging index found so far — those outcomes cannot
+// affect the combined verdict.
+func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int) []*Verdict {
+	out := make([]*Verdict, len(seeds))
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		for i, seed := range seeds {
+			out[i] = chaseSeed(set, seed, budget)
+			if out[i] != nil {
+				break
+			}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var best atomic.Int64 // lowest diverging seed index found so far
+	best.Store(int64(len(seeds)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(seeds) || int64(i) > best.Load() {
+					return
+				}
+				if v := chaseSeed(set, seeds[i], budget); v != nil {
+					out[i] = v
+					for {
+						b := best.Load()
+						if int64(i) >= b || best.CompareAndSwap(b, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // GenerateSeeds produces candidate databases for the search: every frozen

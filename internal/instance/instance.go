@@ -38,6 +38,26 @@ type Instance struct {
 	fp logic.Fingerprint // order-independent set fingerprint, maintained on insert
 
 	tupbuf []uint32 // scratch for tuple probes; single-writer
+
+	// termArena backs the []Term argument slices of atoms materialised by
+	// AddTuple, chunk-allocated so steady-state materialisation performs no
+	// per-atom allocation (full chunks stay referenced by their atoms; Reset
+	// reuses the current chunk).
+	termArena []logic.Term
+
+	// touched* record which index-map entries gained their first element
+	// since the last Reset, so Reset can truncate exactly those in O(atoms)
+	// — not O(every key ever) — while keeping the slices' capacity.
+	touchedBy   []logic.Predicate
+	touchedPred []logic.PredID
+	touchedPT   []uint64
+
+	// lite instances (NewScratch) maintain only the ID-plane state the slot
+	// search reads — identity table, posting lists, fingerprint — skipping
+	// materialised atoms and the interface-keyed byPred index. The atom-form
+	// read API stays correct by materialising on demand from the identity
+	// tuples; it allocates per call, which the hot paths never do.
+	lite bool
 }
 
 // ptPack packs a (PredID, 1-based position, TermID) triple into one map
@@ -80,6 +100,20 @@ func NewWithInternerHint(tab *logic.Interner, atomsHint int) *Instance {
 	}
 }
 
+// NewScratch returns an empty *lite* instance on the shared interner: the
+// ∀∃ search's reusable materialisation arena. A lite instance maintains
+// only what the ID-plane consumers (logic.IDSource/DeltaSource probes,
+// HasTuple, Fingerprint) read — no per-atom logic.Atom materialisation and
+// no byPred interface index — which is what makes Reset + refill the
+// allocation-free steady state of the search. The atom-form read API
+// (Atoms, AtomAt, AtomsByPredicate, ...) still works, materialising from
+// the identity tuples on demand.
+func NewScratch(tab *logic.Interner, atomsHint int) *Instance {
+	in := NewWithInternerHint(tab, atomsHint)
+	in.lite = true
+	return in
+}
+
 // FromAtoms returns an instance containing the given atoms (duplicates are
 // merged). It panics if any atom contains a variable.
 func FromAtoms(atoms ...logic.Atom) *Instance {
@@ -94,6 +128,34 @@ func FromAtoms(atoms ...logic.Atom) *Instance {
 // translate between terms and IDs; the single-writer contract extends to
 // it (interning through it counts as writing).
 func (in *Instance) Interner() *logic.Interner { return in.tab }
+
+// Reset empties the instance while keeping its interner and the allocated
+// capacity of every index — the ∀∃ search's scratch-instance path: each
+// searcher (or parallel worker) materialises every popped state into one
+// reused arena instead of allocating maps and tables per state. Index-map
+// entries are truncated in place (only the entries touched since the last
+// Reset, so the cost is O(atoms), and their capacity — like the term
+// arena's — carries over). The interner is untouched: TermIDs minted
+// through this instance stay valid. Atoms and slices previously returned by
+// the read API become invalid.
+func (in *Instance) Reset() {
+	in.atoms.Reset()
+	in.order = in.order[:0]
+	in.termArena = in.termArena[:0]
+	for _, p := range in.touchedBy {
+		in.byPred[p] = in.byPred[p][:0]
+	}
+	for _, p := range in.touchedPred {
+		in.predIdx[p] = in.predIdx[p][:0]
+	}
+	for _, k := range in.touchedPT {
+		in.ptIdx[k] = in.ptIdx[k][:0]
+	}
+	in.touchedBy = in.touchedBy[:0]
+	in.touchedPred = in.touchedPred[:0]
+	in.touchedPT = in.touchedPT[:0]
+	in.fp = logic.Fingerprint{}
+}
 
 // Add inserts the atom and reports whether it was new. It panics if the
 // atom contains a variable: instances hold ground atoms only, and inserting
@@ -125,28 +187,67 @@ func (in *Instance) AddTuple(pid logic.PredID, args []logic.TermID) (int32, bool
 	if idx, ok := in.atoms.Lookup(in.tupbuf); ok {
 		return idx, false
 	}
-	terms := make([]logic.Term, len(args))
-	for i, t := range args {
-		terms[i] = in.tab.Term(t)
+	var a logic.Atom
+	if !in.lite {
+		terms := in.allocTerms(len(args))
+		for i, t := range args {
+			terms[i] = in.tab.Term(t)
+		}
+		a = logic.Atom{Pred: in.tab.Pred(pid), Args: terms}
 	}
-	a := logic.Atom{Pred: in.tab.Pred(pid), Args: terms}
 	idx, _ := in.insert(pid, in.tupbuf, a)
 	return idx, true
 }
 
+// allocTerms hands out an n-term slice from the arena, growing it by chunks:
+// the dominant steady-state allocation of the interned engine (one []Term
+// per materialised atom) becomes amortised-free.
+func (in *Instance) allocTerms(n int) []logic.Term {
+	if len(in.termArena)+n > cap(in.termArena) {
+		c := 2 * cap(in.termArena)
+		if c < 256 {
+			c = 256
+		}
+		if c < n {
+			c = n
+		}
+		// The full chunk stays alive through the atoms that alias it.
+		in.termArena = make([]logic.Term, 0, c)
+	}
+	start := len(in.termArena)
+	in.termArena = in.termArena[:start+n]
+	return in.termArena[start : start+n : start+n]
+}
+
 // insert stores the atom under the prepared identity tuple (pid, args...).
+// First touches of an index entry since the last Reset are recorded so Reset
+// can truncate them in place.
 func (in *Instance) insert(pid logic.PredID, tuple []uint32, a logic.Atom) (int32, bool) {
 	idx, isNew := in.atoms.Intern(tuple)
 	if !isNew {
 		return idx, false
 	}
 	in.fp = in.fp.Merge(in.tab.HashAtomIDs(pid, tuple[1:]))
-	in.order = append(in.order, a)
-	in.byPred[a.Pred] = append(in.byPred[a.Pred], a)
-	in.predIdx[pid] = append(in.predIdx[pid], idx)
+	if !in.lite {
+		in.order = append(in.order, a)
+		lst := in.byPred[a.Pred]
+		if len(lst) == 0 {
+			in.touchedBy = append(in.touchedBy, a.Pred)
+		}
+		in.byPred[a.Pred] = append(lst, a)
+	}
+	lst := in.predIdx[pid]
+	if len(lst) == 0 {
+		in.touchedPred = append(in.touchedPred, pid)
+	}
+	in.predIdx[pid] = append(lst, idx)
 	for i, t := range tuple[1:] {
 		k := ptPack(pid, i+1, logic.TermID(t))
-		in.ptIdx[k] = append(in.ptIdx[k], idx)
+		lst := in.ptIdx[k]
+		if len(lst) == 0 {
+			in.touchedPT = append(in.touchedPT, k)
+		}
+		in.ptIdx[k] = append(lst, idx)
 	}
 	return idx, true
 }
@@ -207,7 +308,18 @@ func (in *Instance) HasTuple(pid logic.PredID, args []logic.TermID) bool {
 }
 
 // Len returns the number of (distinct) atoms.
-func (in *Instance) Len() int { return len(in.order) }
+func (in *Instance) Len() int { return in.atoms.Len() }
+
+// atomFromTuple materialises the atom at insertion index i from its
+// identity tuple — the lite instances' on-demand atom form. Allocates.
+func (in *Instance) atomFromTuple(i int32) logic.Atom {
+	tup := in.atoms.Tuple(i)
+	terms := make([]logic.Term, len(tup)-1)
+	for k, t := range tup[1:] {
+		terms[k] = in.tab.Term(logic.TermID(t))
+	}
+	return logic.Atom{Pred: in.tab.Pred(logic.PredID(tup[0])), Args: terms}
+}
 
 // Fingerprint returns the 128-bit order-independent fingerprint of the atom
 // set in O(1): it is maintained incrementally on every insert (Add, AddTuple,
@@ -222,16 +334,45 @@ func (in *Instance) Fingerprint() logic.Fingerprint { return in.fp }
 
 // Atoms returns the atoms in insertion order. The returned slice is a copy.
 func (in *Instance) Atoms() []logic.Atom {
+	if in.lite {
+		out := make([]logic.Atom, in.Len())
+		for i := range out {
+			out[i] = in.atomFromTuple(int32(i))
+		}
+		return out
+	}
 	out := make([]logic.Atom, len(in.order))
 	copy(out, in.order)
 	return out
 }
 
 // AtomAt returns the i-th inserted atom (0-based).
-func (in *Instance) AtomAt(i int) logic.Atom { return in.order[i] }
+func (in *Instance) AtomAt(i int) logic.Atom {
+	if in.lite {
+		return in.atomFromTuple(int32(i))
+	}
+	return in.order[i]
+}
 
 // AtomsByPredicate implements logic.AtomSource.
-func (in *Instance) AtomsByPredicate(p logic.Predicate) []logic.Atom { return in.byPred[p] }
+func (in *Instance) AtomsByPredicate(p logic.Predicate) []logic.Atom {
+	if in.lite {
+		pid, ok := in.tab.LookupPred(p)
+		if !ok {
+			return nil
+		}
+		ids := in.predIdx[pid]
+		if len(ids) == 0 {
+			return nil
+		}
+		out := make([]logic.Atom, len(ids))
+		for i, idx := range ids {
+			out[i] = in.atomFromTuple(idx)
+		}
+		return out
+	}
+	return in.byPred[p]
+}
 
 // AtomIndexesByPredicateTerm implements logic.IndexedSource: insertion
 // indices of atoms with predicate p whose (1-based) pos-th argument is t.
@@ -248,7 +389,7 @@ func (in *Instance) AtomIndexesByPredicateTerm(p logic.Predicate, pos int, t log
 }
 
 // AtomByIndex implements logic.IndexedSource.
-func (in *Instance) AtomByIndex(i int32) logic.Atom { return in.order[i] }
+func (in *Instance) AtomByIndex(i int32) logic.Atom { return in.AtomAt(int(i)) }
 
 // AtomArgIDs implements logic.IDSource: the raw interned argument tuple
 // (each element is a logic.TermID value) of the atom at insertion index i.
@@ -269,13 +410,26 @@ func (in *Instance) IdxByPredTerm(p logic.PredID, pos int, t logic.TermID) []int
 	return in.ptIdx[ptPack(p, pos, t)]
 }
 
+// IdxByPredSince implements logic.DeltaSource: the insertion indices >= lo
+// of atoms with predicate p. Posting lists are ascending (insertion order),
+// so this is a binary-searched suffix view — no copy. It is how the
+// delta-maintained trigger index reads the atoms a copy-on-write search
+// state added on top of its parent: the delta of a state materialised
+// parent-first is exactly the insertion-index range [parentLen, Len()).
+func (in *Instance) IdxByPredSince(p logic.PredID, lo int32) []int32 {
+	list := in.predIdx[p]
+	return list[logic.LowerBound(list, lo):]
+}
+
+var _ logic.DeltaSource = (*Instance)(nil)
+
 // Dom returns the active domain dom(I): every term occurring in the
 // instance.
 func (in *Instance) Dom() logic.TermSet {
 	s := make(logic.TermSet)
-	for _, a := range in.order {
-		for _, t := range a.Args {
-			s[t] = struct{}{}
+	for i := 0; i < in.Len(); i++ {
+		for _, t := range in.atoms.Tuple(int32(i))[1:] {
+			s[in.tab.Term(logic.TermID(t))] = struct{}{}
 		}
 	}
 	return s
@@ -284,6 +438,14 @@ func (in *Instance) Dom() logic.TermSet {
 // Schema returns the set of predicates occurring in the instance.
 func (in *Instance) Schema() *logic.Schema {
 	s := logic.NewSchema()
+	if in.lite {
+		for pid, ids := range in.predIdx {
+			if len(ids) > 0 {
+				s.Add(in.tab.Pred(pid))
+			}
+		}
+		return s
+	}
 	for p := range in.byPred {
 		if len(in.byPred[p]) > 0 {
 			s.Add(p)
@@ -305,8 +467,8 @@ func (in *Instance) Schema() *logic.Schema {
 // were in play. The ∀∃ search, which installs overrides, never clones.
 func (in *Instance) Clone() *Instance {
 	out := New()
-	for _, a := range in.order {
-		out.Add(a)
+	for i := 0; i < in.Len(); i++ {
+		out.Add(in.AtomAt(i))
 	}
 	return out
 }
@@ -321,8 +483,8 @@ func (in *Instance) Equal(other *Instance) bool {
 
 // ContainsAll reports whether every atom of other is present in in.
 func (in *Instance) ContainsAll(other *Instance) bool {
-	for _, a := range other.order {
-		if !in.Has(a) {
+	for i := 0; i < other.Len(); i++ {
+		if !in.Has(other.AtomAt(i)) {
 			return false
 		}
 	}
@@ -418,8 +580,8 @@ func (db *Database) String() string { return db.inst.String() }
 func Union(instances ...*Instance) *Instance {
 	out := New()
 	for _, in := range instances {
-		for _, a := range in.order {
-			out.Add(a)
+		for i := 0; i < in.Len(); i++ {
+			out.Add(in.AtomAt(i))
 		}
 	}
 	return out
@@ -428,8 +590,8 @@ func Union(instances ...*Instance) *Instance {
 // Diff returns the atoms of a that are not in b, in a's insertion order.
 func Diff(a, b *Instance) []logic.Atom {
 	var out []logic.Atom
-	for _, atom := range a.order {
-		if !b.Has(atom) {
+	for i := 0; i < a.Len(); i++ {
+		if atom := a.AtomAt(i); !b.Has(atom) {
 			out = append(out, atom)
 		}
 	}
@@ -440,9 +602,9 @@ func Diff(a, b *Instance) []logic.Atom {
 // deterministic comparisons in tests. This is a debug/test renderer: it
 // builds one string per atom.
 func (in *Instance) SortedKeys() []string {
-	keys := make([]string, 0, len(in.order))
-	for _, a := range in.order {
-		keys = append(keys, a.Key())
+	keys := make([]string, 0, in.Len())
+	for i := 0; i < in.Len(); i++ {
+		keys = append(keys, in.AtomAt(i).Key())
 	}
 	sort.Strings(keys)
 	return keys

@@ -27,6 +27,22 @@ type IDSource interface {
 	IdxByPredTerm(p PredID, pos int, t TermID) []int32
 }
 
+// DeltaSource extends IDSource with what the delta-pinned enumeration
+// (ForEachDelta, ForEachPinnedAtom) needs: each atom's predicate by
+// insertion index, and the suffix of a predicate's posting list starting at
+// a given insertion index — the delta's atoms, exposed without copying.
+// Posting lists are in insertion order (ascending indices), so the suffix
+// is a subslice.
+type DeltaSource interface {
+	IDSource
+	// AtomPredID returns the interned predicate of the atom at insertion
+	// index i.
+	AtomPredID(i int32) PredID
+	// IdxByPredSince returns the insertion indices >= lo of atoms with
+	// predicate p, a suffix view of IdxByPred(p).
+	IdxByPredSince(p PredID, lo int32) []int32
+}
+
 // CTerm is a compiled pattern term: either a variable slot (Slot >= 0) or a
 // ground interned term (Slot < 0, ID holds the TermID).
 type CTerm struct {
@@ -75,6 +91,11 @@ type SlotSearch struct {
 	Bind  []TermID
 	trail []int32
 	rem   []int32
+	// caps, when non-empty, holds one exclusive insertion-index bound per
+	// pattern atom (-1 = unbounded): candidates at or past the bound are
+	// skipped. Set only by the delta-pinned entry points; ForEach clears it.
+	caps []int32
+	base []TermID // snapshot of preset bindings for the delta entry points
 }
 
 // Reset sizes Bind for the pattern and clears every slot.
@@ -112,14 +133,49 @@ func (ss *SlotSearch) boundness(a CAtom) int {
 
 // candidates picks the posting list for the pattern atom exactly like the
 // generic search: the first argument position holding a ground-or-bound
-// term selects the positional index; otherwise the predicate index.
-func (ss *SlotSearch) candidates(a CAtom, src IDSource) []int32 {
+// term selects the positional index; otherwise the predicate index. When a
+// cap is set for the atom, the list is cut to insertion indices below it.
+func (ss *SlotSearch) candidates(a CAtom, patIdx int32, src IDSource) []int32 {
+	var list []int32
+	found := false
 	for i, t := range a.Args {
 		if v, ok := ss.value(t); ok {
-			return src.IdxByPredTerm(a.Pred, i+1, v)
+			list = src.IdxByPredTerm(a.Pred, i+1, v)
+			found = true
+			break
 		}
 	}
-	return src.IdxByPred(a.Pred)
+	if !found {
+		list = src.IdxByPred(a.Pred)
+	}
+	if len(ss.caps) > 0 {
+		if cap := ss.caps[patIdx]; cap >= 0 {
+			list = cutBefore(list, cap)
+		}
+	}
+	return list
+}
+
+// LowerBound returns the first index i of the ascending list with
+// list[i] >= bound (len(list) if none): the posting-list split point shared
+// by the delta entry points here and instance.IdxByPredSince.
+func LowerBound(list []int32, bound int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cutBefore returns the prefix of the ascending posting list whose entries
+// are below bound.
+func cutBefore(list []int32, bound int32) []int32 {
+	return list[:LowerBound(list, bound)]
 }
 
 // match extends Bind so the pattern atom maps onto the target tuple,
@@ -158,10 +214,83 @@ func (ss *SlotSearch) undo(to int) {
 func (ss *SlotSearch) ForEach(p *CPattern, src IDSource, yield func([]TermID) bool) bool {
 	ss.trail = ss.trail[:0]
 	ss.rem = ss.rem[:0]
+	ss.caps = ss.caps[:0]
 	for i := range p.Atoms {
 		ss.rem = append(ss.rem, int32(i))
 	}
 	return ss.rec(p, src, yield)
+}
+
+// ForEachDelta enumerates every homomorphism from the pattern into src that
+// extends the bindings preset in Bind (size Bind with Reset first) and whose
+// image uses at least one atom with insertion index >= deltaLo — the
+// semi-naive delta enumeration. Each qualifying homomorphism is yielded
+// exactly once: every pattern atom j is pinned, in turn, to each delta atom
+// of its predicate, with the atoms before j restricted to pre-delta atoms,
+// so a homomorphism is keyed by the first pattern atom it maps into the
+// delta. Enumeration stops early when yield returns false; the return value
+// and the Bind-ownership rules match ForEach.
+func (ss *SlotSearch) ForEachDelta(p *CPattern, src DeltaSource, deltaLo int32, yield func([]TermID) bool) bool {
+	ss.base = append(ss.base[:0], ss.Bind...)
+	defer copy(ss.Bind, ss.base)
+	for j := range p.Atoms {
+		if !ss.pinned(p, src, j, deltaLo, -1, deltaLo, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachPinnedAtom enumerates every homomorphism that extends the preset
+// bindings and maps pattern atom j onto the single instance atom at
+// insertion index atomIdx; the remaining atoms range over the whole source.
+// This is the engine's per-new-atom trigger discovery step. Yield and Bind
+// semantics match ForEach.
+func (ss *SlotSearch) ForEachPinnedAtom(p *CPattern, src DeltaSource, j int, atomIdx int32, yield func([]TermID) bool) bool {
+	ss.base = append(ss.base[:0], ss.Bind...)
+	defer copy(ss.Bind, ss.base)
+	return ss.pinned(p, src, j, atomIdx, atomIdx+1, -1, yield)
+}
+
+// pinned runs the shared core of the delta entry points: pattern atom j is
+// matched against each candidate atom with insertion index in [pinLo, pinHi)
+// (pinHi < 0: unbounded) of its predicate, and for each successful pin the
+// remaining atoms are enumerated with atoms before j capped to insertion
+// indices below oldMax (oldMax < 0: uncapped). ss.base holds the preset
+// bindings to restore between pins.
+func (ss *SlotSearch) pinned(p *CPattern, src DeltaSource, j int, pinLo, pinHi, oldMax int32, yield func([]TermID) bool) bool {
+	pat := p.Atoms[j]
+	ss.caps = ss.caps[:0]
+	for i := range p.Atoms {
+		c := int32(-1)
+		if oldMax >= 0 && i < j {
+			c = oldMax
+		}
+		ss.caps = append(ss.caps, c)
+	}
+	cont := true
+	for _, d := range src.IdxByPredSince(pat.Pred, pinLo) {
+		if pinHi >= 0 && d >= pinHi {
+			break
+		}
+		copy(ss.Bind, ss.base)
+		ss.trail = ss.trail[:0]
+		if !ss.match(pat, src.AtomArgIDs(d), 0) {
+			continue
+		}
+		ss.rem = ss.rem[:0]
+		for i := range p.Atoms {
+			if i != j {
+				ss.rem = append(ss.rem, int32(i))
+			}
+		}
+		if !ss.rec(p, src, yield) {
+			cont = false
+			break
+		}
+	}
+	ss.caps = ss.caps[:0]
+	return cont
 }
 
 func (ss *SlotSearch) rec(p *CPattern, src IDSource, yield func([]TermID) bool) bool {
@@ -183,7 +312,7 @@ func (ss *SlotSearch) rec(p *CPattern, src IDSource, yield func([]TermID) bool) 
 	ss.rem = ss.rem[:last]
 	pat := p.Atoms[patIdx]
 	cont := true
-	for _, ci := range ss.candidates(pat, src) {
+	for _, ci := range ss.candidates(pat, patIdx, src) {
 		start := len(ss.trail)
 		if !ss.match(pat, src.AtomArgIDs(ci), start) {
 			continue

@@ -1,0 +1,221 @@
+package logic
+
+// Tests for the delta-pinned slot-search entry points (ForEachDelta,
+// ForEachPinnedAtom): the semi-naive contract — exactly the homomorphisms
+// whose image touches the delta, each exactly once — checked against the
+// brute-force difference of two full enumerations, on seeded random
+// instances and patterns.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// deltaSliceSource extends idSliceSource to a DeltaSource for tests.
+type deltaSliceSource struct{ *idSliceSource }
+
+func (s deltaSliceSource) AtomPredID(i int32) PredID { return s.preds[i] }
+
+func (s deltaSliceSource) IdxByPredSince(p PredID, lo int32) []int32 {
+	list := s.byPred[p]
+	a, b := 0, len(list)
+	for a < b {
+		mid := (a + b) / 2
+		if list[mid] < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return list[a:]
+}
+
+// truncatedSource views only the first n atoms of a source — the "parent
+// instance" for the brute-force expectation.
+type truncatedSource struct {
+	deltaSliceSource
+	n int32
+}
+
+func (s truncatedSource) IdxByPred(p PredID) []int32 {
+	full := s.deltaSliceSource.IdxByPred(p)
+	cut := 0
+	for cut < len(full) && full[cut] < s.n {
+		cut++
+	}
+	return full[:cut]
+}
+
+func (s truncatedSource) IdxByPredTerm(p PredID, pos int, t TermID) []int32 {
+	full := s.deltaSliceSource.IdxByPredTerm(p, pos, t)
+	cut := 0
+	for cut < len(full) && full[cut] < s.n {
+		cut++
+	}
+	return full[:cut]
+}
+
+func bindKey(bind []TermID) string { return fmt.Sprint(bind) }
+
+// enumerate collects the set of full-enumeration bindings of the pattern.
+func enumerate(p *CPattern, src IDSource) map[string]int {
+	var ss SlotSearch
+	ss.Reset(p)
+	out := make(map[string]int)
+	ss.ForEach(p, src, func(bind []TermID) bool {
+		out[bindKey(bind)]++
+		return true
+	})
+	return out
+}
+
+// TestForEachDeltaIsSemiNaiveDifference: on random edge instances split into
+// old + delta, ForEachDelta must yield exactly ForEach(all) minus
+// ForEach(old), each binding once.
+func TestForEachDeltaIsSemiNaiveDifference(t *testing.T) {
+	patterns := [][]Atom{
+		{MustAtom("E", Var("X"), Var("Y"))},
+		{MustAtom("E", Var("X"), Var("Y")), MustAtom("E", Var("Y"), Var("Z"))},
+		{MustAtom("E", Var("X"), Var("Y")), MustAtom("E", Var("Y"), Var("X"))},
+		{MustAtom("E", Var("X"), Var("X"))},
+		{MustAtom("E", Var("X"), Var("Y")), MustAtom("L", Var("Y"))},
+		{MustAtom("E", Var("X"), Var("Y")), MustAtom("E", Var("X"), Var("Z")), MustAtom("L", Var("Z"))},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		in := NewInterner()
+		nTerms := 2 + rng.Intn(4)
+		term := func() Term { return Const(fmt.Sprintf("c%d", rng.Intn(nTerms))) }
+		var atoms []Atom
+		seen := map[string]bool{}
+		nAtoms := 3 + rng.Intn(8)
+		// Draw-with-dedup, bounded: small term universes can run out of
+		// distinct atoms before nAtoms are found.
+		for tries := 0; len(atoms) < nAtoms && tries < 200; tries++ {
+			var a Atom
+			if rng.Intn(4) == 0 {
+				a = MustAtom("L", term())
+			} else {
+				a = MustAtom("E", term(), term())
+			}
+			if seen[a.Key()] {
+				continue
+			}
+			seen[a.Key()] = true
+			atoms = append(atoms, a)
+		}
+		full := deltaSliceSource{newIDSource(in, atoms)}
+		deltaLo := int32(rng.Intn(len(atoms) + 1))
+		old := truncatedSource{full, deltaLo}
+
+		pat := patterns[trial%len(patterns)]
+		vars := VarsOf(pat).Sorted()
+		slots := make(map[Term]int32, len(vars))
+		for i, v := range vars {
+			slots[v] = int32(i)
+		}
+		cp := CompilePattern(pat, len(vars), func(t Term) int32 { return slots[t] }, in)
+
+		want := enumerate(cp, full)
+		for k := range enumerate(cp, old) {
+			delete(want, k)
+		}
+
+		var ss SlotSearch
+		ss.Reset(cp)
+		got := make(map[string]int)
+		ss.ForEachDelta(cp, full, deltaLo, func(bind []TermID) bool {
+			got[bindKey(bind)]++
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (deltaLo=%d): %d delta bindings, want %d\ngot %v\nwant %v",
+				trial, deltaLo, len(got), len(want), got, want)
+		}
+		for k, n := range got {
+			if n != 1 {
+				t.Fatalf("trial %d: binding %s yielded %d times (semi-naive must yield once)", trial, k, n)
+			}
+			if _, ok := want[k]; !ok {
+				t.Fatalf("trial %d: spurious delta binding %s", trial, k)
+			}
+		}
+	}
+}
+
+// TestForEachPinnedAtomMatchesFilteredEnumeration: pinning pattern atom j to
+// one instance atom must yield exactly the full-enumeration homomorphisms
+// that map atom j onto it (as a set — the two searches may order the shared
+// bindings differently, since the pin changes the most-constrained-atom
+// selection).
+func TestForEachPinnedAtomMatchesFilteredEnumeration(t *testing.T) {
+	in := NewInterner()
+	atoms := []Atom{
+		MustAtom("E", Const("a"), Const("b")),
+		MustAtom("E", Const("b"), Const("c")),
+		MustAtom("E", Const("b"), Const("b")),
+		MustAtom("E", Const("c"), Const("a")),
+		MustAtom("L", Const("b")),
+	}
+	src := deltaSliceSource{newIDSource(in, atoms)}
+	pat := []Atom{
+		MustAtom("E", Var("X"), Var("Y")),
+		MustAtom("E", Var("Y"), Var("Z")),
+	}
+	vars := VarsOf(pat).Sorted()
+	slots := make(map[Term]int32, len(vars))
+	for i, v := range vars {
+		slots[v] = int32(i)
+	}
+	cp := CompilePattern(pat, len(vars), func(t Term) int32 { return slots[t] }, in)
+
+	var ss SlotSearch
+	for j := range cp.Atoms {
+		for ai := int32(0); ai < int32(len(atoms)); ai++ {
+			// Expectation: full enumeration filtered to homs whose atom-j
+			// image is atoms[ai].
+			var want []string
+			ss.Reset(cp)
+			ss.ForEach(cp, src, func(bind []TermID) bool {
+				img := make([]uint32, len(cp.Atoms[j].Args))
+				for k, a := range cp.Atoms[j].Args {
+					v, _ := func(t CTerm) (TermID, bool) {
+						if t.Slot < 0 {
+							return t.ID, true
+						}
+						return bind[t.Slot], bind[t.Slot] != NoTermID
+					}(a)
+					img[k] = uint32(v)
+				}
+				match := src.preds[ai] == cp.Atoms[j].Pred
+				for k := range img {
+					if match && img[k] != src.args[ai][k] {
+						match = false
+					}
+				}
+				if match {
+					want = append(want, bindKey(bind))
+				}
+				return true
+			})
+			var got []string
+			ss.Reset(cp)
+			ss.ForEachPinnedAtom(cp, src, j, ai, func(bind []TermID) bool {
+				got = append(got, bindKey(bind))
+				return true
+			})
+			sort.Strings(want)
+			sort.Strings(got)
+			if len(got) != len(want) {
+				t.Fatalf("j=%d ai=%d: got %v, want %v", j, ai, got, want)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("j=%d ai=%d position %d: got %s, want %s", j, ai, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}

@@ -39,6 +39,18 @@ func NewTupleTable(capHint int) *TupleTable {
 // Len returns the number of interned tuples.
 func (t *TupleTable) Len() int { return len(t.off) - 1 }
 
+// Reset empties the table while retaining its allocated capacity, so a
+// caller can reuse one table as a scratch identity arena instead of
+// allocating per use (the ∀∃ search rebuilds one instance per popped state
+// this way). Previously returned Tuple slices become invalid.
+func (t *TupleTable) Reset() {
+	t.arena = t.arena[:0]
+	t.off = t.off[:1]
+	for i := range t.tab {
+		t.tab[i] = -1
+	}
+}
+
 // Tuple returns the interned tuple with the given ID. The slice aliases the
 // arena; callers must not mutate or retain it across Intern calls.
 func (t *TupleTable) Tuple(id TupleID) []uint32 {
