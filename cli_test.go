@@ -197,7 +197,7 @@ func TestTermcheckProfiles(t *testing.T) {
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers", "-cpuprofile", "-memprofile"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers", "-cache", "-cpuprofile", "-memprofile"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},
@@ -232,6 +232,32 @@ func TestCLIHelpMatchesDocs(t *testing.T) {
 				t.Errorf("%s declares flag %s that docs/CLI.md and documentedFlags do not cover", cmd, m[1])
 			}
 		}
+	}
+}
+
+// TestTermcheckCacheStats pins the -cache surface: a cache: stats line
+// with a nonzero hit count (the seed battery re-chases each seed under
+// three trigger orders, sharing the cached initial trigger queue), and a
+// report otherwise byte-identical to the uncached run.
+func TestTermcheckCacheStats(t *testing.T) {
+	bin := binary(t, "termcheck")
+	cached, code := run(t, bin, "-cache", "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, cached)
+	}
+	m := regexp.MustCompile(`(?m)^cache: hits=(\d+) misses=\d+ entries=\d+ bytes=\d+\n`).FindStringSubmatch(cached)
+	if m == nil {
+		t.Fatalf("no cache: stats line:\n%s", cached)
+	}
+	if m[1] == "0" {
+		t.Errorf("cache: hit count is zero on a seed-exhaustion decision:\n%s", cached)
+	}
+	plain, code := run(t, bin, "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("uncached exit = %d, want 0\n%s", code, plain)
+	}
+	if got := strings.Replace(cached, m[0], "", 1); got != plain {
+		t.Errorf("-cache changed the report beyond the stats line:\n%s\nvs\n%s", got, plain)
 	}
 }
 

@@ -17,6 +17,13 @@
 // bounded space was exhausted (every derivation is infinite), 2 a budget
 // stopped the search, 3 error.
 //
+// -cache routes the guarded decision through a cross-run chase cache
+// (internal/chase/cache.go): seed pools, seed chase outcomes and the
+// engine's initial trigger queues are memoised on (TGD-set fingerprint,
+// instance fingerprint) keys, and a `cache:` stats line reports
+// hits/misses/entries/bytes. Verdicts are bit-identical with and without
+// the cache. ∀ question only; ignored by -exists.
+//
 // -cpuprofile/-memprofile write pprof profiles of whichever question was
 // asked, so hot-spot claims about the decision procedures and the search
 // (like the trigger-index numbers in BENCH_delta.json) are reproducible
@@ -46,6 +53,7 @@ func main() {
 	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
 	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
 	workers := flag.Int("workers", 1, "parallel workers for the -exists search (1 = sequential)")
+	useCache := flag.Bool("cache", false, "memoise guarded seed chases in a cross-run chase cache and report a cache: stats line (ignored by -exists)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to the file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to the file before exiting")
 	flag.Parse()
@@ -73,7 +81,7 @@ func main() {
 				}
 			}()
 		}
-		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *workers)
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *workers, *useCache)
 	}())
 }
 
@@ -87,7 +95,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, workers int) int {
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, workers int, useCache bool) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		return fail(err)
@@ -105,8 +113,12 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
 	}
+	var cache *chase.Cache
+	if useCache {
+		cache = chase.NewCache()
+	}
 	rep, err := core.Analyze(prog.TGDs, core.Options{
-		GuardedOptions: guarded.DecideOptions{MaxSteps: guardedBudget},
+		GuardedOptions: guarded.DecideOptions{MaxSteps: guardedBudget, Cache: cache},
 		StickyOptions:  sticky.DecideOptions{MaxStates: stickyStates},
 	})
 	if err != nil {
@@ -114,6 +126,10 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	}
 	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
 	fmt.Print(rep.Summary())
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d\n", st.Hits, st.Misses, st.Entries, st.Bytes)
+	}
 	switch rep.Conclusion {
 	case core.Terminates:
 		return 0

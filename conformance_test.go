@@ -1,0 +1,211 @@
+// The shared conformance corpus: golden .chase programs under
+// testdata/conformance/ carry their expected verdicts in an `# expect:`
+// header line, and every entry runs table-driven across the full decision
+// matrix — the chase engine, the sequential ∀∃ exists-search, the parallel
+// search at W ∈ {2, 4}, and (where the set is single-head guarded) the
+// guarded ∀∀ decision — each × {cache off, cache cold, cache warm} where a
+// cross-run cache can be wired (the engine and the guarded decision; the
+// exists-search takes no cache). Beyond matching the golden verdicts, the
+// cache dimension is pinned bit-identical: same reason, steps, stats and
+// final-instance atom sequence for the engine, and same verdict, method,
+// evidence, SeedsTried and witness rendering for Decide, cold and warm.
+//
+// Directive grammar (one line, space-separated key=value):
+//
+//	# expect: decide=terminates|diverges [decide-method=...]
+//	#         engine=fixpoint|step-budget exists=found|exhausted|budget
+//
+// Keys are optional; a missing key skips that column (e.g. non-guarded
+// sets omit decide=). Budgets are fixed by the harness below so verdicts
+// are deterministic: engine MaxSteps 500, exists MaxStates 5000 /
+// MaxAtoms 80, Decide MaxSteps 500.
+package airct_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"airct/internal/chase"
+	"airct/internal/guarded"
+	"airct/internal/parser"
+)
+
+const (
+	confEngineSteps  = 500
+	confExistsStates = 5000
+	confExistsAtoms  = 80
+	confDecideSteps  = 500
+)
+
+// parseExpect extracts the key=value pairs of the `# expect:` header.
+func parseExpect(t *testing.T, src string) map[string]string {
+	t.Helper()
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "# expect:") {
+			continue
+		}
+		out := make(map[string]string)
+		for _, kv := range strings.Fields(strings.TrimPrefix(line, "# expect:")) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				t.Fatalf("malformed expect directive %q", kv)
+			}
+			out[k] = v
+		}
+		return out
+	}
+	t.Fatal("no `# expect:` directive in corpus file")
+	return nil
+}
+
+func existsVerdict(res *chase.ExistsResult) string {
+	switch {
+	case res.Found:
+		return "found"
+	case res.Exhausted:
+		return "exhausted"
+	default:
+		return "budget"
+	}
+}
+
+func decideVerdict(v *guarded.Verdict) string {
+	if v.Terminates {
+		return "terminates"
+	}
+	return "diverges"
+}
+
+// finalAtoms renders the run's final instance in insertion order — the
+// byte-identity witness for the engine's cache dimension.
+func finalAtoms(run *chase.Run) string {
+	var b strings.Builder
+	for _, a := range run.Final.Atoms() {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestConformanceCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/conformance/*.chase")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no conformance corpus found: %v", err)
+	}
+	for _, file := range files {
+		t.Run(strings.TrimSuffix(filepath.Base(file), ".chase"), func(t *testing.T) {
+			raw, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expect := parseExpect(t, string(raw))
+			prog, err := parser.Parse(string(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want, ok := expect["engine"]; ok {
+				runEngineColumn(t, prog, want)
+			}
+			if want, ok := expect["exists"]; ok {
+				runExistsColumn(t, prog, want)
+			}
+			if want, ok := expect["decide"]; ok {
+				runDecideColumn(t, prog, want, expect["decide-method"])
+			}
+		})
+	}
+}
+
+// runEngineColumn chases the database with the restricted FIFO engine,
+// cache off / cold / warm, expecting the golden stop reason and cache-state
+// byte-identity.
+func runEngineColumn(t *testing.T, prog *parser.Program, want string) {
+	opts := chase.Options{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: confEngineSteps}
+	off := chase.RunChase(prog.Database, prog.TGDs, opts)
+	if off.Reason.String() != want {
+		t.Errorf("engine: reason = %v, want %s", off.Reason, want)
+	}
+	cache := chase.NewCache()
+	opts.Cache = cache
+	cold := chase.RunChase(prog.Database, prog.TGDs, opts)
+	warm := chase.RunChase(prog.Database, prog.TGDs, opts)
+	if !warm.Activity.SeedIndexHit {
+		t.Error("engine: warm run did not load the cached seed index")
+	}
+	for label, got := range map[string]*chase.Run{"cold": cold, "warm": warm} {
+		if got.Reason != off.Reason || got.StepsTaken != off.StepsTaken || got.Stats != off.Stats {
+			t.Errorf("engine/%s: run drifted from cache-off: reason %v/%v steps %d/%d stats %+v/%+v",
+				label, got.Reason, off.Reason, got.StepsTaken, off.StepsTaken, got.Stats, off.Stats)
+		}
+		if finalAtoms(got) != finalAtoms(off) {
+			t.Errorf("engine/%s: final instance drifted from cache-off", label)
+		}
+	}
+}
+
+// runExistsColumn runs the ∀∃ search sequentially and at W ∈ {2, 4},
+// expecting the golden verdict at every width. (The search takes no cache;
+// its column has no cache dimension.)
+func runExistsColumn(t *testing.T, prog *parser.Program, want string) {
+	for _, workers := range []int{1, 2, 4} {
+		res := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, chase.SearchOptions{
+			MaxStates: confExistsStates,
+			MaxAtoms:  confExistsAtoms,
+			Workers:   workers,
+		})
+		if got := existsVerdict(res); got != want {
+			t.Errorf("exists/workers=%d: verdict = %s, want %s", workers, got, want)
+		}
+	}
+}
+
+// runDecideColumn runs the guarded ∀∀ decision cache off / cold / warm and
+// at worker counts {1, 2}, expecting the golden verdict (and method, when
+// pinned) plus bit-identical verdicts across every cell.
+func runDecideColumn(t *testing.T, prog *parser.Program, want, wantMethod string) {
+	if !prog.TGDs.IsGuarded() {
+		t.Fatalf("decide= directive on a non-guarded set")
+	}
+	base, err := guarded.Decide(prog.TGDs, guarded.DecideOptions{MaxSteps: confDecideSteps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decideVerdict(base); got != want {
+		t.Errorf("decide: verdict = %s, want %s", got, want)
+	}
+	if wantMethod != "" && base.Method != wantMethod {
+		t.Errorf("decide: method = %s, want %s", base.Method, wantMethod)
+	}
+	for _, workers := range []int{1, 2} {
+		cache := chase.NewCache()
+		for _, label := range []string{"cold", "warm"} {
+			v, err := guarded.Decide(prog.TGDs, guarded.DecideOptions{
+				MaxSteps: confDecideSteps,
+				Workers:  workers,
+				Cache:    cache,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Terminates != base.Terminates || v.Method != base.Method ||
+				v.Evidence != base.Evidence || v.SeedsTried != base.SeedsTried || v.Budget != base.Budget {
+				t.Errorf("decide/%s/workers=%d: verdict drifted: %+v vs %+v", label, workers, v, base)
+			}
+			switch {
+			case (v.Witness == nil) != (base.Witness == nil):
+				t.Errorf("decide/%s/workers=%d: witness presence drifted", label, workers)
+			case v.Witness != nil && v.Witness.String() != base.Witness.String():
+				t.Errorf("decide/%s/workers=%d: witness drifted:\n%s\nvs\n%s",
+					label, workers, v.Witness, base.Witness)
+			}
+		}
+		// Weak acyclicity decides before any seed is generated or chased, so
+		// only seed-searching decisions can (and must) hit the cache.
+		if st := cache.Stats(); st.Hits == 0 && base.Method != "weak-acyclicity" {
+			t.Errorf("decide/workers=%d: warm pass recorded no cache hits", workers)
+		}
+	}
+}

@@ -1,44 +1,21 @@
-package buchi
+package buchi_test
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"airct/internal/buchi"
+	"airct/internal/workload"
 )
 
-// randomAutomaton builds a random deterministic Büchi automaton with
-// nStates states over a binary alphabet, deterministically from the seed.
-func randomAutomaton(seed int64, nStates int) *Automaton {
-	rng := rand.New(rand.NewSource(seed))
-	type key struct {
-		state string
-		sym   string
-	}
-	states := make([]string, nStates)
-	for i := range states {
-		states[i] = fmt.Sprintf("q%d", i)
-	}
-	trans := make(map[key]string)
-	accepting := make(map[string]bool)
-	for _, s := range states {
-		for _, a := range []string{"0", "1"} {
-			if rng.Intn(10) == 0 {
-				continue // reject sink
-			}
-			trans[key{s, a}] = states[rng.Intn(nStates)]
-		}
-		accepting[s] = rng.Intn(4) == 0
-	}
-	return &Automaton{
-		Alphabet: []string{"0", "1"},
-		Initial:  "q0",
-		Step: func(state, sym string) (string, bool) {
-			next, ok := trans[key{state, sym}]
-			return next, ok
-		},
-		Accepting: func(state string) bool { return accepting[state] },
-	}
+// randomAutomaton is the shared workload generator (promoted to
+// internal/workload so the property suites across packages draw from one
+// seed-deterministic source); the alias keeps the call sites short. The
+// test lives in the external test package because workload imports buchi.
+func randomAutomaton(seed int64, nStates int) *buchi.Automaton {
+	return workload.RandomAutomaton(seed, nStates)
 }
 
 // Property: any lasso returned by NonEmpty is accepted by the automaton
@@ -46,7 +23,7 @@ func randomAutomaton(seed int64, nStates int) *Automaton {
 func TestQuickLassoWitnessesAreAccepted(t *testing.T) {
 	f := func(seed int64) bool {
 		a := randomAutomaton(seed%100000, 2+int(seed%7+7)%7)
-		e := Explore(a, 0)
+		e := buchi.Explore(a, 0)
 		lasso, ok := e.NonEmpty()
 		if !ok {
 			return true // emptiness claims are checked elsewhere
@@ -64,7 +41,7 @@ func TestQuickLassoWitnessesAreAccepted(t *testing.T) {
 func TestQuickEmptinessRejectsProbes(t *testing.T) {
 	f := func(seed int64) bool {
 		a := randomAutomaton(seed%100000, 2+int(seed%5+5)%5)
-		e := Explore(a, 0)
+		e := buchi.Explore(a, 0)
 		if _, ok := e.NonEmpty(); ok {
 			return true
 		}
@@ -100,7 +77,7 @@ func randomWord(rng *rand.Rand, n int) []string {
 func TestQuickGapBound(t *testing.T) {
 	f := func(seed int64) bool {
 		a := randomAutomaton(seed%100000, 3+int(seed%11+11)%11)
-		e := Explore(a, 0)
+		e := buchi.Explore(a, 0)
 		lasso, ok := e.NonEmpty()
 		if !ok {
 			return true
@@ -118,7 +95,7 @@ func TestQuickExploreDeterministic(t *testing.T) {
 	f := func(seed int64) bool {
 		a1 := randomAutomaton(seed%100000, 4)
 		a2 := randomAutomaton(seed%100000, 4)
-		e1, e2 := Explore(a1, 0), Explore(a2, 0)
+		e1, e2 := buchi.Explore(a1, 0), buchi.Explore(a2, 0)
 		_, ok1 := e1.NonEmpty()
 		_, ok2 := e2.NonEmpty()
 		return e1.Len() == e2.Len() && ok1 == ok2

@@ -1,0 +1,289 @@
+package chase
+
+// The cross-run chase-state cache: verdict-bearing chase work memoised on
+// (TGD-set fingerprint, instance fingerprint) keys so that re-chasing the
+// same seed database under the same rules — which the guarded ∀∀ decision
+// does constantly, both inside one Decide call (each seed runs a battery of
+// trigger orders; treeification re-derives seeds) and across Decide calls
+// (a served workload repeats programs) — costs one map probe instead of a
+// chase. Three entry kinds share the store:
+//
+//   - seed outcomes (guarded.chaseSeed): the per-seed divergence verdict of
+//     the bounded chase battery, keyed additionally by the step budget. A
+//     hit skips the whole battery; the witness database is the caller's
+//     seed, so nothing interner-bound is stored.
+//   - seed indexes (engine.RunChase): the root trigger index of a
+//     (set, database) pair — every trigger on the database in canonical
+//     enqueue order with its birth-activity flag, stored portably as terms
+//     by value. A hit re-interns the terms into the new run's private
+//     interner and skips both the per-TGD enumeration that seeds the
+//     pending queue and the birth activity checks of the delta-maintained
+//     activity machinery (engine.go). This is the "reuse the index instead
+//     of re-seeding the queue" half of the ROADMAP follow-up.
+//   - seed pools (guarded.Decide): the generated candidate databases of a
+//     set, keyed by the pool cap. A hit skips seed generation — including
+//     the oblivious-chase treeification expansions, the expensive part —
+//     and rebuilds fresh Database values from stored atoms.
+//
+// Key derivation: the set fingerprint is tgds.Set.Fingerprint (order-
+// sensitive over rule labels and atoms — the identity under which runs and
+// evidence strings are reproducible); the instance fingerprint is the
+// order-independent logic.FingerprintAtoms / Instance.Fingerprint of the
+// database. The kind and any scalar parameters (budget, pool cap) are
+// folded into a salt so the three kinds never collide. Fingerprint equality
+// is trusted as content equality, like every other fingerprint consumer.
+//
+// Concurrency contract (docs/ARCHITECTURE.md): the cache is shared by the
+// guarded decision's bounded worker pool and must not serialise it — the
+// store is striped by key hash across cacheStripes mutexes, like the
+// parallel search's memo shards. Entries are immutable after Store and
+// contain no interner-bound identity (terms and atoms by value only), so a
+// hit never touches another run's interner and no interner grows a lock.
+//
+// Eviction is coarse: each stripe owns a 1/cacheStripes share of the byte
+// limit, and a store that would overflow its stripe's share drops that
+// stripe wholesale BEFORE inserting (segment eviction) — the newest entry
+// always survives. One lock round-trip on the hot path, no LRU
+// bookkeeping; a dropped segment is 1/64 of the cache.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"airct/internal/logic"
+)
+
+const (
+	cacheStripes = 64
+
+	// DefaultCacheBytes bounds the cache's estimated footprint by default.
+	DefaultCacheBytes = 64 << 20
+)
+
+// entry-kind salts; ORed with per-kind scalar parameters (budgets, caps)
+// so distinct kinds and parameters occupy distinct key space.
+const (
+	kindSeedOutcome uint64 = 1 << 56
+	kindSeedIndex   uint64 = 2 << 56
+	kindSeedPool    uint64 = 3 << 56
+)
+
+// CacheKey identifies one cached chase artefact.
+type CacheKey struct {
+	// Set is the TGD-set fingerprint (tgds.Set.Fingerprint).
+	Set logic.Fingerprint
+	// Inst is the instance fingerprint of the database chased.
+	Inst logic.Fingerprint
+	// Salt folds the entry kind and its scalar parameters.
+	Salt uint64
+}
+
+// CacheStats is a point-in-time snapshot of the cache's counters.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+	// Bytes estimates the retained footprint (keys, strings, slices).
+	Bytes int64
+}
+
+// SeedOutcome is a cached per-seed decision outcome: what the guarded
+// procedure's bounded chase battery concluded about one seed database. The
+// witness database is not stored — it is the seed the caller already holds.
+type SeedOutcome struct {
+	// Diverges is false when every order of the battery saturated quietly.
+	Diverges bool
+	// Method and Evidence mirror guarded.Verdict on diverging seeds.
+	Method   string
+	Evidence string
+}
+
+// SeedTrigger is one portable trigger of a SeedIndex: the TGD index and the
+// body bindings in slot order, as terms by value (interner-free).
+type SeedTrigger struct {
+	TGD  int32
+	Bind []logic.Term
+	// Active is the trigger's birth activity on the database (Restricted
+	// semantics): false when the head is already satisfied at enqueue time.
+	Active bool
+}
+
+// SeedIndex is the portable root trigger index of a (set, database) pair:
+// every trigger on the database, in the exact canonical order the engine
+// enqueues them. Loading it reproduces the engine's initial pending queue
+// byte-for-byte without enumerating a single homomorphism.
+type SeedIndex struct {
+	Triggers []SeedTrigger
+}
+
+// SeedPool is a cached candidate-seed pool: each seed database's atoms in
+// generation order, by value.
+type SeedPool struct {
+	Seeds [][]logic.Atom
+}
+
+type cacheStripe struct {
+	mu    sync.Mutex
+	m     map[CacheKey]any
+	bytes int64
+}
+
+// Cache is the cross-run chase-state cache. The zero value is not usable;
+// call NewCache or NewCacheWithLimit. Safe for concurrent use.
+type Cache struct {
+	stripes  [cacheStripes]cacheStripe
+	maxBytes int64
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewCache returns an empty cache bounded by DefaultCacheBytes.
+func NewCache() *Cache { return NewCacheWithLimit(DefaultCacheBytes) }
+
+// NewCacheWithLimit returns an empty cache that segment-evicts once its
+// byte estimate passes maxBytes (0 or negative: DefaultCacheBytes).
+func NewCacheWithLimit(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	c := &Cache{maxBytes: maxBytes}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[CacheKey]any)
+	}
+	return c
+}
+
+// Stats snapshots the counters. Taken without locks; under concurrent use
+// the fields are individually (not mutually) consistent.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.entries.Load(),
+		Bytes:   c.bytes.Load(),
+	}
+}
+
+func (c *Cache) stripe(k CacheKey) *cacheStripe {
+	// The fingerprint halves are already full-avalanche mixes; their low
+	// bits stripe uniformly.
+	return &c.stripes[(k.Set.Lo^k.Inst.Lo^k.Salt)%cacheStripes]
+}
+
+// lookup returns the immutable entry for the key, counting the hit or miss.
+func (c *Cache) lookup(k CacheKey) (any, bool) {
+	s := c.stripe(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// store inserts the entry (first writer wins; entries are deterministic, so
+// racing writers store equal values), segment-evicting the stripe BEFORE
+// the insert when it would overflow its 1/cacheStripes share of the byte
+// limit — so the newest (hottest) entry always survives its own eviction
+// and a saturated cache sheds old segments, never fresh work. An entry
+// larger than a whole share still gets stored (alone in its stripe).
+func (c *Cache) store(k CacheKey, v any, size int64) {
+	size += 48 // key + map overhead, roughly
+	s := c.stripe(k)
+	s.mu.Lock()
+	if _, dup := s.m[k]; !dup {
+		if s.bytes+size > c.maxBytes/cacheStripes && len(s.m) > 0 {
+			c.entries.Add(-int64(len(s.m)))
+			c.bytes.Add(-s.bytes)
+			s.m = make(map[CacheKey]any)
+			s.bytes = 0
+		}
+		s.m[k] = v
+		s.bytes += size
+		c.entries.Add(1)
+		c.bytes.Add(size)
+	}
+	s.mu.Unlock()
+}
+
+func outcomeKey(set, inst logic.Fingerprint, budget int) CacheKey {
+	return CacheKey{Set: set, Inst: inst, Salt: kindSeedOutcome | uint64(uint32(budget))}
+}
+
+// LookupSeedOutcome returns the cached battery outcome of the seed under
+// the step budget.
+func (c *Cache) LookupSeedOutcome(set, inst logic.Fingerprint, budget int) (SeedOutcome, bool) {
+	v, ok := c.lookup(outcomeKey(set, inst, budget))
+	if !ok {
+		return SeedOutcome{}, false
+	}
+	return v.(SeedOutcome), true
+}
+
+// StoreSeedOutcome records the battery outcome of the seed.
+func (c *Cache) StoreSeedOutcome(set, inst logic.Fingerprint, budget int, o SeedOutcome) {
+	c.store(outcomeKey(set, inst, budget), o, int64(len(o.Method)+len(o.Evidence))+8)
+}
+
+func seedIndexKey(set, inst logic.Fingerprint) CacheKey {
+	return CacheKey{Set: set, Inst: inst, Salt: kindSeedIndex}
+}
+
+// LookupSeedIndex returns the cached root trigger index of the
+// (set, database) pair. The caller must not mutate the result.
+func (c *Cache) LookupSeedIndex(set, inst logic.Fingerprint) (*SeedIndex, bool) {
+	v, ok := c.lookup(seedIndexKey(set, inst))
+	if !ok {
+		return nil, false
+	}
+	return v.(*SeedIndex), true
+}
+
+// StoreSeedIndex records the root trigger index. The index must not be
+// mutated afterwards.
+func (c *Cache) StoreSeedIndex(set, inst logic.Fingerprint, si *SeedIndex) {
+	size := int64(24)
+	for _, tr := range si.Triggers {
+		size += 32
+		for _, t := range tr.Bind {
+			size += int64(len(t.Name)) + 24
+		}
+	}
+	c.store(seedIndexKey(set, inst), si, size)
+}
+
+func seedPoolKey(set logic.Fingerprint, maxSeeds int) CacheKey {
+	return CacheKey{Set: set, Salt: kindSeedPool | uint64(uint32(maxSeeds))}
+}
+
+// LookupSeedPool returns the cached candidate-seed pool of the set under
+// the pool cap. The caller must not mutate the result.
+func (c *Cache) LookupSeedPool(set logic.Fingerprint, maxSeeds int) (*SeedPool, bool) {
+	v, ok := c.lookup(seedPoolKey(set, maxSeeds))
+	if !ok {
+		return nil, false
+	}
+	return v.(*SeedPool), true
+}
+
+// StoreSeedPool records the candidate-seed pool. The pool must not be
+// mutated afterwards.
+func (c *Cache) StoreSeedPool(set logic.Fingerprint, maxSeeds int, p *SeedPool) {
+	size := int64(24)
+	for _, atoms := range p.Seeds {
+		size += 24
+		for _, a := range atoms {
+			size += int64(len(a.Pred.Name)) + 32
+			for _, t := range a.Args {
+				size += int64(len(t.Name)) + 24
+			}
+		}
+	}
+	c.store(seedPoolKey(set, maxSeeds), p, size)
+}

@@ -1,0 +1,105 @@
+package chase
+
+// Unit tests for the cross-run cache's own mechanics — stats accounting,
+// per-kind key separation, and segment eviction keeping the newest entry —
+// complementing the behavioural pins (engine_delta_test.go round-trips,
+// the conformance corpus, guarded's warm≡cold properties).
+
+import (
+	"fmt"
+	"testing"
+
+	"airct/internal/logic"
+)
+
+func fpOf(s string) logic.Fingerprint {
+	return logic.HashTerm(logic.Const(s))
+}
+
+func TestCacheStatsAndKindSeparation(t *testing.T) {
+	c := NewCache()
+	set, inst := fpOf("set"), fpOf("inst")
+	if _, ok := c.LookupSeedOutcome(set, inst, 100); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.StoreSeedOutcome(set, inst, 100, SeedOutcome{Diverges: true, Method: "m", Evidence: "e"})
+	// Same fingerprints, different kind and different budget: all misses.
+	if _, ok := c.LookupSeedIndex(set, inst); ok {
+		t.Error("seed-index lookup hit a seed-outcome entry")
+	}
+	if _, ok := c.LookupSeedPool(set, 100); ok {
+		t.Error("seed-pool lookup hit a seed-outcome entry")
+	}
+	if _, ok := c.LookupSeedOutcome(set, inst, 200); ok {
+		t.Error("budget is not part of the outcome key")
+	}
+	o, ok := c.LookupSeedOutcome(set, inst, 100)
+	if !ok || !o.Diverges || o.Method != "m" || o.Evidence != "e" {
+		t.Errorf("outcome round-trip = %+v, %v", o, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Entries != 1 || st.Bytes <= 0 {
+		t.Errorf("stats = %+v, want 1 hit, 4 misses, 1 entry, positive bytes", st)
+	}
+}
+
+// TestCacheEvictionKeepsNewestEntry drives one stripe past its share of a
+// tiny byte limit: the overflowing store must drop the stripe's old
+// entries BEFORE inserting, so the newest entry is always retrievable and
+// the byte estimate stays bounded.
+func TestCacheEvictionKeepsNewestEntry(t *testing.T) {
+	limit := int64(cacheStripes * 512)
+	c := NewCacheWithLimit(limit)
+	set := fpOf("set")
+	// Zero-valued instance fingerprints with salt-only variation land every
+	// entry in ONE stripe (the outcome salt folds a constant kind with the
+	// budget's low bits, and budget is kept a multiple of cacheStripes so
+	// the stripe index never moves).
+	evidence := make([]byte, 64)
+	stored := 0
+	for i := 0; i < 256; i++ {
+		budget := (i + 1) * cacheStripes
+		c.StoreSeedOutcome(set, logic.Fingerprint{}, budget, SeedOutcome{Evidence: string(evidence)})
+		stored++
+		if _, ok := c.LookupSeedOutcome(set, logic.Fingerprint{}, budget); !ok {
+			t.Fatalf("store %d: newest entry did not survive its own eviction", i)
+		}
+	}
+	st := c.Stats()
+	if st.Entries >= int64(stored) {
+		t.Errorf("no eviction happened: %d entries after %d oversized stores under a %dB limit",
+			st.Entries, stored, limit)
+	}
+	if st.Entries <= 0 {
+		t.Error("eviction left the cache empty")
+	}
+	if st.Bytes > limit {
+		t.Errorf("byte estimate %d exceeds the whole-cache limit %d", st.Bytes, limit)
+	}
+}
+
+// TestCacheConcurrentStripes hammers lookups and stores from many
+// goroutines; correctness assertions are light (the -race build is the
+// real check), but every stored entry must be retrievable or evicted —
+// never corrupted.
+func TestCacheConcurrentStripes(t *testing.T) {
+	c := NewCache()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				set := fpOf(fmt.Sprintf("set-%d", i%7))
+				inst := fpOf(fmt.Sprintf("inst-%d-%d", w, i))
+				c.StoreSeedOutcome(set, inst, 100, SeedOutcome{Method: "m"})
+				if o, ok := c.LookupSeedOutcome(set, inst, 100); ok && o.Method != "m" {
+					t.Error("corrupted entry")
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -104,6 +104,26 @@ type Options struct {
 	Naming NullNaming
 	// DropSteps disables derivation recording (benchmarks).
 	DropSteps bool
+	// Cache, when set, consults and feeds the cross-run chase cache
+	// (cache.go): a Restricted run whose (TGD-set, database) pair was
+	// chased before loads its initial pending queue — with birth-activity
+	// flags — from the cache instead of enumerating it. Runs are
+	// byte-identical with and without a cache.
+	Cache *Cache
+
+	// fullActivity disables the delta-maintained activity machinery and
+	// resolves every Restricted pop with a full head search against the
+	// whole instance — the pre-delta behaviour. Deliberately unexported: it
+	// exists so in-package benchmarks can isolate the delta machinery's
+	// contribution and so the differential tests can pin the two paths
+	// byte-identical; it is not a supported mode.
+	fullActivity bool
+
+	// onActivity, when set, observes every Restricted pop's activity
+	// resolution alongside a freshly computed full-search ground truth —
+	// the differential tests' hook for pinning the delta path against the
+	// full check at every pop. Unexported; test-only.
+	onActivity func(tgd int, bt []uint32, delta, full bool)
 }
 
 // Step records one trigger application I⟨σ,h⟩J.
@@ -129,6 +149,28 @@ type Stats struct {
 	TriggersSkipped int
 }
 
+// DeltaActivityStats counts the delta-maintained activity machinery's work
+// (Restricted runs only — see the delta-activity notes on engine). It lives
+// outside Stats so the byte-identity oracle (differential_test.go) keeps
+// comparing the fields both engines share.
+type DeltaActivityStats struct {
+	// BirthChecks counts full activity checks performed at trigger
+	// discovery — each trigger pays exactly one, over the then-current
+	// instance (smaller than the pop-time instance the pre-delta engine
+	// searched).
+	BirthChecks int
+	// WatermarkSkips counts pops resolved by the head-predicate dependency
+	// sets alone: no atom of a head predicate arrived since discovery, so
+	// the birth verdict stands without any search.
+	WatermarkSkips int
+	// DeltaRechecks counts pops that ran the delta-pinned head search over
+	// the atoms inserted since the trigger's discovery.
+	DeltaRechecks int
+	// SeedIndexHit is true when the initial pending queue was loaded from
+	// the cross-run cache (Options.Cache) instead of enumerated.
+	SeedIndexHit bool
+}
+
 // Run is the outcome of a chase: the final instance, the derivation, and
 // why the run stopped.
 type Run struct {
@@ -143,6 +185,8 @@ type Run struct {
 	StepsTaken int
 	// Stats records the engine's bookkeeping work.
 	Stats Stats
+	// Activity records the delta-maintained activity machinery's work.
+	Activity DeltaActivityStats
 }
 
 // Terminated reports whether the run reached a fixpoint.
@@ -173,6 +217,18 @@ func (r *Run) InstanceAt(i int) *instance.Instance {
 // head-indexed ring of 4-byte trigger IDs. No string keys are built in
 // steady state; Trigger.Key()/FrontierKey() remain as debug/test renderers
 // and are used only when recording Steps is requested.
+//
+// Restricted activity is delta-maintained, mirroring the search's trigger
+// index (triggerindex.go): every discovered trigger pays one full activity
+// check at birth, over the then-current instance, and records the instance
+// length as its watermark. Because activity is antitone (instances only
+// grow), the pop-time answer is then exact as birth-activity AND no head
+// homomorphism touching the atoms inserted since birth — resolved by the
+// head-predicate dependency sets (newDeltaDeps) when no relevant atom
+// arrived, and by a delta-pinned ForEachDelta head search otherwise, never
+// by a full re-search of the whole instance. Options.fullActivity restores
+// the pre-delta per-pop full check; the two paths are pinned byte-identical
+// by the differential tests.
 type engine struct {
 	set  *tgds.Set
 	opts Options
@@ -190,6 +246,14 @@ type engine struct {
 
 	queue []int32 // trigger TupleIDs
 	qhead int     // FIFO ring head
+
+	// deltaAct enables the delta-maintained activity machinery (Restricted
+	// without fullActivity); born and activeAtBirth are indexed by trigger
+	// TupleID: the instance length at discovery and the birth verdict.
+	deltaAct      bool
+	deps          *deltaDeps
+	born          []int32
+	activeAtBirth []bool
 
 	rng *rand.Rand
 	run *Run
@@ -220,20 +284,82 @@ func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
 	}
 	e.ct = compileSet(set, e.itab)
 	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
+	e.deltaAct = opts.Variant == Restricted && !opts.fullActivity
+	if e.deltaAct {
+		e.deps = newDeltaDeps(e.ct)
+	}
 	if opts.Strategy == Random {
 		e.rng = rand.New(rand.NewSource(opts.Seed))
 	}
 	// Seed the queue with every trigger on the database, per TGD in
-	// canonical order (the order AllTriggers produces).
-	for i := range e.ct {
-		ct := &e.ct[i]
-		e.ss.Reset(ct.body)
-		e.collectTriggers(i, ct.body)
-		e.enqueueDiscovered(ct)
+	// canonical order (the order AllTriggers produces) — or, when the
+	// cross-run cache holds this (set, database) pair's root trigger index,
+	// by re-interning the cached queue, skipping the enumeration and the
+	// birth activity checks both.
+	seeded := false
+	cacheSeeds := opts.Cache != nil && e.deltaAct
+	var setFP, instFP logic.Fingerprint
+	if cacheSeeds {
+		setFP, instFP = set.Fingerprint(), inst.Fingerprint()
+		if si, ok := opts.Cache.LookupSeedIndex(setFP, instFP); ok {
+			e.loadSeedIndex(si)
+			e.run.Activity.SeedIndexHit = true
+			seeded = true
+		}
+	}
+	if !seeded {
+		for i := range e.ct {
+			ct := &e.ct[i]
+			e.ss.Reset(ct.body)
+			e.collectTriggers(i, ct.body)
+			e.enqueueDiscovered(ct)
+		}
+		if cacheSeeds {
+			opts.Cache.StoreSeedIndex(setFP, instFP, e.snapshotSeedIndex())
+		}
 	}
 	e.loop()
 	e.run.Final = e.inst
 	return e.run
+}
+
+// loadSeedIndex replays a cached root trigger index: the stored queue is
+// duplicate-free and already in canonical enqueue order, so re-interning it
+// reproduces the fresh-enumeration queue (and birth-activity bookkeeping)
+// byte for byte.
+func (e *engine) loadSeedIndex(si *SeedIndex) {
+	for _, tr := range si.Triggers {
+		e.tupbuf = e.tupbuf[:0]
+		e.tupbuf = append(e.tupbuf, uint32(tr.TGD))
+		for _, t := range tr.Bind {
+			e.tupbuf = append(e.tupbuf, uint32(e.itab.InternTerm(t)))
+		}
+		id, _ := e.trig.Intern(e.tupbuf)
+		e.run.Stats.TriggersEnqueued++
+		e.queue = append(e.queue, id)
+		e.born = append(e.born, int32(e.inst.Len()))
+		e.activeAtBirth = append(e.activeAtBirth, tr.Active)
+	}
+}
+
+// snapshotSeedIndex renders the just-seeded queue portably (terms by value)
+// for the cross-run cache. Called before the first pop: queue positions and
+// trigger TupleIDs still coincide.
+func (e *engine) snapshotSeedIndex() *SeedIndex {
+	si := &SeedIndex{Triggers: make([]SeedTrigger, 0, len(e.queue))}
+	for _, id := range e.queue {
+		tup := e.trig.Tuple(id)
+		bind := make([]logic.Term, len(tup)-1)
+		for i, raw := range tup[1:] {
+			bind[i] = e.itab.Term(logic.TermID(raw))
+		}
+		si.Triggers = append(si.Triggers, SeedTrigger{
+			TGD:    int32(tup[0]),
+			Bind:   bind,
+			Active: e.activeAtBirth[id],
+		})
+	}
+	return si
 }
 
 // collectTriggers enumerates homomorphisms of the pattern (extending any
@@ -255,7 +381,9 @@ func (e *engine) collectTriggers(tgd int, pat *logic.CPattern) {
 
 // enqueueDiscovered sorts the collected trigger tuples canonically and
 // enqueues the ones never seen before. The trigger table's isNew answer is
-// the dedup — no separate seen set.
+// the dedup — no separate seen set. Under delta activity each new trigger
+// pays its one full activity check here, at birth, and records the instance
+// length as the watermark its pop-time delta re-check starts from.
 func (e *engine) enqueueDiscovered(ct *compiledTGD) {
 	if len(e.sortBuf) > 1 {
 		e.ds.stride = int32(ct.nBody) + 1
@@ -266,6 +394,11 @@ func (e *engine) enqueueDiscovered(ct *compiledTGD) {
 		if id, isNew := e.trig.Intern(tup); isNew {
 			e.run.Stats.TriggersEnqueued++
 			e.queue = append(e.queue, id)
+			if e.deltaAct {
+				e.born = append(e.born, int32(e.inst.Len()))
+				e.run.Activity.BirthChecks++
+				e.activeAtBirth = append(e.activeAtBirth, e.isActive(int(tup[0]), tup[1:]))
+			}
 		}
 	}
 }
@@ -302,9 +435,14 @@ func (e *engine) pop() int32 {
 
 // isActive reports whether the trigger (tgd, body tuple) is active: no
 // homomorphism of the head extending the frontier bindings exists in the
-// instance (Definition 3.1), checked with the slot search.
+// instance (Definition 3.1). Existential-free heads are fully bound by the
+// frontier, so the (unique) candidate homomorphism is a membership probe
+// per head atom; otherwise the slot search runs.
 func (e *engine) isActive(tgd int, bt []uint32) bool {
 	ct := &e.ct[tgd]
+	if len(ct.existVars) == 0 {
+		return !e.headPresent(ct, bt)
+	}
 	e.ss.Reset(ct.head)
 	for _, s := range ct.frontierSlots {
 		e.ss.Bind[s] = logic.TermID(bt[s])
@@ -315,6 +453,26 @@ func (e *engine) isActive(tgd int, bt []uint32) bool {
 		return false
 	})
 	return !found
+}
+
+// headPresent probes whether every head atom of an existential-free TGD,
+// instantiated with the body bindings, is already in the instance — the
+// O(#head) activity answer that needs no search at all.
+func (e *engine) headPresent(ct *compiledTGD, bt []uint32) bool {
+	for _, ca := range ct.head.Atoms {
+		e.argbuf = e.argbuf[:0]
+		for _, a := range ca.Args {
+			if a.Slot < 0 { // rigid pattern term (constant-free TGDs never hit this)
+				e.argbuf = append(e.argbuf, a.ID)
+			} else {
+				e.argbuf = append(e.argbuf, logic.TermID(bt[a.Slot]))
+			}
+		}
+		if !e.inst.HasTuple(ca.Pred, e.argbuf) {
+			return false
+		}
+	}
+	return true
 }
 
 // frontierID interns the trigger's frontier class and returns its dense ID,
@@ -334,19 +492,79 @@ func (e *engine) frontierID(tgd int, bt []uint32) logic.TupleID {
 }
 
 // applicable decides whether a popped trigger should fire under the variant.
-func (e *engine) applicable(tgd int, bt []uint32) bool {
+func (e *engine) applicable(id int32, tgd int, bt []uint32) bool {
 	switch e.opts.Variant {
 	case Restricted:
 		// Activity is antitone: once non-active, forever non-active
-		// (instances only grow), so dropping is safe.
+		// (instances only grow), so dropping is safe. ActivityChecks counts
+		// one resolution per pop regardless of how it is resolved, matching
+		// the reference engine.
 		e.run.Stats.ActivityChecks++
-		return e.isActive(tgd, bt)
+		if !e.deltaAct {
+			return e.isActive(tgd, bt)
+		}
+		act := e.deltaActive(id, tgd, bt)
+		if e.opts.onActivity != nil {
+			e.opts.onActivity(tgd, bt, act, e.isActive(tgd, bt))
+		}
+		return act
 	case SemiOblivious:
 		e.lastFront = e.frontierID(tgd, bt)
 		return !e.applied[e.lastFront]
 	default:
 		return true
 	}
+}
+
+// deltaActive resolves a popped trigger's activity from its birth verdict
+// plus the delta since discovery: inactive-at-birth stays inactive forever;
+// active-at-birth stays active unless a head homomorphism extending the
+// frontier uses an atom inserted at or after the watermark. The
+// head-predicate dependency sets answer "could the delta have deactivated
+// this TGD at all?" from posting-list suffixes alone; only when they say
+// yes does the delta-pinned head search run — never a full re-search.
+func (e *engine) deltaActive(id int32, tgd int, bt []uint32) bool {
+	if !e.activeAtBirth[id] {
+		return false
+	}
+	ct := &e.ct[tgd]
+	if len(ct.existVars) == 0 {
+		// Existential-free head: the O(#head) probe beats any delta scan
+		// (the delta between birth and pop can be the whole instance on
+		// dense datalog closures).
+		e.run.Activity.DeltaRechecks++
+		return !e.headPresent(ct, bt)
+	}
+	lo := e.born[id]
+	if int(lo) >= e.inst.Len() {
+		return true
+	}
+	if !e.headDeltaPossible(tgd, lo) {
+		e.run.Activity.WatermarkSkips++
+		return true
+	}
+	e.run.Activity.DeltaRechecks++
+	e.ss.Reset(ct.head)
+	for _, s := range ct.frontierSlots {
+		e.ss.Bind[s] = logic.TermID(bt[s])
+	}
+	found := false
+	e.ss.ForEachDelta(ct.head, e.inst, lo, func([]logic.TermID) bool {
+		found = true
+		return false
+	})
+	return !found
+}
+
+// headDeltaPossible consults the TGD's head-predicate dependency set: did
+// any atom of a head predicate arrive at or after the watermark?
+func (e *engine) headDeltaPossible(tgd int, lo int32) bool {
+	for _, p := range e.deps.headPreds[tgd] {
+		if len(e.inst.IdxByPredSince(p, lo)) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func (e *engine) loop() {
@@ -362,7 +580,7 @@ func (e *engine) loop() {
 		id := e.pop()
 		tup := e.trig.Tuple(id)
 		tgd, bt := int(tup[0]), tup[1:]
-		if !e.applicable(tgd, bt) {
+		if !e.applicable(id, tgd, bt) {
 			e.run.Stats.TriggersSkipped++
 			continue
 		}

@@ -1,0 +1,132 @@
+package chase
+
+// Differential tests for the engine's delta-maintained activity checks
+// (engine.go): the pop-time resolution — birth verdict + head-predicate
+// watermark + delta-pinned head search — must match the old full activity
+// check at EVERY pop, not just produce the same run. Three angles:
+//
+//   - ground truth at every pop: the onActivity hook receives the delta
+//     resolution next to a freshly computed full-search answer on the very
+//     instance being popped against (the engine computes both when the
+//     hook is set), across the differential corpus and both shared random
+//     program generators;
+//   - the fullActivity baseline: with the machinery disabled the engine is
+//     the pre-delta engine, and the two modes must agree byte-for-byte
+//     (sameRun: Final insertion order, Steps, Stats, StopReason);
+//   - the cross-run seed-index cache: a run that loads its initial queue
+//     (and birth-activity flags) from the cache must be byte-identical to
+//     the run that stored it.
+
+import (
+	"fmt"
+	"testing"
+
+	"airct/internal/parser"
+)
+
+// TestEngineDeltaActivityMatchesFullCheckAtEveryPop pins the delta
+// resolution against the full check at every single pop.
+func TestEngineDeltaActivityMatchesFullCheckAtEveryPop(t *testing.T) {
+	check := func(t *testing.T, label string, prog *parser.Program, strat Strategy) {
+		t.Helper()
+		pops, mismatches := 0, 0
+		opts := Options{
+			Variant:  Restricted,
+			Strategy: strat,
+			Seed:     11,
+			MaxSteps: 300,
+			MaxAtoms: 400,
+			onActivity: func(tgd int, bt []uint32, delta, full bool) {
+				pops++
+				if delta != full {
+					mismatches++
+				}
+			},
+		}
+		run := RunChase(prog.Database, prog.TGDs, opts)
+		if mismatches > 0 {
+			t.Errorf("%s/%v: %d of %d pops resolved activity differently from the full check", label, strat, mismatches, pops)
+		}
+		if pops != run.Stats.ActivityChecks {
+			t.Errorf("%s/%v: hook saw %d pops but ActivityChecks counted %d", label, strat, pops, run.Stats.ActivityChecks)
+		}
+		if got := run.Activity.WatermarkSkips + run.Activity.DeltaRechecks; got > pops {
+			t.Errorf("%s/%v: delta machinery resolved %d pops out of %d", label, strat, got, pops)
+		}
+	}
+	for name, src := range differentialPrograms() {
+		prog := parser.MustParse(src)
+		for _, strat := range []Strategy{FIFO, LIFO, Random} {
+			check(t, name, prog, strat)
+		}
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		check(t, fmt.Sprintf("datalog-%d", seed), randomDatalog(seed), FIFO)
+		check(t, fmt.Sprintf("existential-%d", seed), randomExistentialProgram(seed), FIFO)
+	}
+}
+
+// TestEngineDeltaActivityMatchesFullActivityRuns pins the delta engine
+// byte-identical to the fullActivity baseline across the corpus, the
+// random generators and all strategies.
+func TestEngineDeltaActivityMatchesFullActivityRuns(t *testing.T) {
+	programs := make(map[string]*parser.Program)
+	for name, src := range differentialPrograms() {
+		programs[name] = parser.MustParse(src)
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		programs[fmt.Sprintf("datalog-%d", seed)] = randomDatalog(seed)
+		programs[fmt.Sprintf("existential-%d", seed)] = randomExistentialProgram(seed)
+	}
+	for name, prog := range programs {
+		for _, strat := range []Strategy{FIFO, LIFO, Random} {
+			opts := Options{
+				Variant:  Restricted,
+				Strategy: strat,
+				Seed:     7,
+				MaxSteps: 300,
+				MaxAtoms: 400,
+			}
+			got := RunChase(prog.Database, prog.TGDs, opts)
+			opts.fullActivity = true
+			want := RunChase(prog.Database, prog.TGDs, opts)
+			sameRun(t, fmt.Sprintf("%s/%v", name, strat), got, want)
+			if got.Activity.BirthChecks == 0 && got.Stats.TriggersEnqueued > 0 {
+				t.Errorf("%s/%v: delta engine performed no birth checks", name, strat)
+			}
+			if want.Activity != (DeltaActivityStats{}) {
+				t.Errorf("%s/%v: fullActivity engine recorded delta stats %+v", name, strat, want.Activity)
+			}
+		}
+	}
+}
+
+// TestEngineSeedIndexCacheRoundTrip pins cache-loaded runs byte-identical
+// to the storing run, across strategies sharing one (set, database) entry.
+func TestEngineSeedIndexCacheRoundTrip(t *testing.T) {
+	for name, src := range differentialPrograms() {
+		prog := parser.MustParse(src)
+		cache := NewCache()
+		for _, strat := range []Strategy{FIFO, LIFO, Random} {
+			opts := Options{
+				Variant:  Restricted,
+				Strategy: strat,
+				Seed:     3,
+				MaxSteps: 300,
+				MaxAtoms: 400,
+				Cache:    cache,
+			}
+			plain := RunChase(prog.Database, prog.TGDs, Options{
+				Variant: Restricted, Strategy: strat, Seed: 3, MaxSteps: 300, MaxAtoms: 400,
+			})
+			cached := RunChase(prog.Database, prog.TGDs, opts)
+			sameRun(t, fmt.Sprintf("%s/%v", name, strat), cached, plain)
+			if strat != FIFO && !cached.Activity.SeedIndexHit {
+				t.Errorf("%s/%v: expected a seed-index hit after the first run stored it", name, strat)
+			}
+		}
+		if cache.Stats().Hits == 0 {
+			t.Errorf("%s: no seed-index hits across the strategy battery", name)
+		}
+	}
+}

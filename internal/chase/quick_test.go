@@ -1,73 +1,19 @@
 package chase
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 	"testing/quick"
 
 	"airct/internal/instance"
 	"airct/internal/parser"
+	"airct/internal/workload"
 )
 
-// randomDatalog generates a random datalog program (no existentials, so
-// every chase terminates) with a random database, deterministically from
-// the seed.
-func randomDatalog(seed int64) *parser.Program {
-	rng := rand.New(rand.NewSource(seed))
-	nPreds := 3 + rng.Intn(3)
-	arity := func(p int) int { return 1 + (p % 2) }
-	var b strings.Builder
-	vars := []string{"X", "Y", "Z"}
-	atom := func(p int, pool []string) string {
-		args := make([]string, arity(p))
-		for i := range args {
-			args[i] = pool[rng.Intn(len(pool))]
-		}
-		return fmt.Sprintf("P%d(%s)", p, strings.Join(args, ","))
-	}
-	nRules := 2 + rng.Intn(4)
-	for r := 0; r < nRules; r++ {
-		nBody := 1 + rng.Intn(2)
-		pool := vars[:1+rng.Intn(len(vars))]
-		var body []string
-		used := map[string]bool{}
-		for i := 0; i < nBody; i++ {
-			a := atom(rng.Intn(nPreds), pool)
-			body = append(body, a)
-			for _, v := range pool {
-				if strings.Contains(a, v) {
-					used[v] = true
-				}
-			}
-		}
-		// Head variables drawn from the variables the body actually uses:
-		// genuinely no existentials.
-		var usedPool []string
-		for _, v := range pool {
-			if used[v] {
-				usedPool = append(usedPool, v)
-			}
-		}
-		fmt.Fprintf(&b, "%s -> %s.\n", strings.Join(body, ", "), atom(rng.Intn(nPreds), usedPool))
-	}
-	nFacts := 1 + rng.Intn(5)
-	consts := []string{"a", "b", "cc"}
-	for f := 0; f < nFacts; f++ {
-		p := rng.Intn(nPreds)
-		args := make([]string, arity(p))
-		for i := range args {
-			args[i] = consts[rng.Intn(len(consts))]
-		}
-		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
-	}
-	prog, err := parser.Parse(b.String())
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}
+// randomDatalog is the shared workload generator; the alias keeps the many
+// in-package call sites short. (The generator was promoted to
+// internal/workload so the conformance and cache property suites can draw
+// the same programs.)
+func randomDatalog(seed int64) *parser.Program { return workload.RandomDatalogProgram(seed) }
 
 // Property: on datalog programs, restricted and oblivious chases compute
 // the same closure (no nulls, so activity only skips duplicates), and the

@@ -20,7 +20,6 @@ package chase
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 	"testing/quick"
 
@@ -168,47 +167,10 @@ func TestSearchDeltaIndexMatchesFullRescan(t *testing.T) {
 	}
 }
 
-// randomExistentialProgram generates a random single-head TGD set with
-// existential variables plus a database, deterministically from the seed —
-// the index-repair property's workload generator alongside randomDatalog.
+// randomExistentialProgram is the shared workload generator (promoted to
+// internal/workload; see randomDatalog in quick_test.go).
 func randomExistentialProgram(seed int64) *parser.Program {
-	rng := rand.New(rand.NewSource(seed))
-	nPreds := 2 + rng.Intn(3)
-	arity := func(p int) int { return 1 + (p % 2) }
-	var b strings.Builder
-	vars := []string{"X", "Y"}
-	exist := []string{"V", "W"}
-	nRules := 2 + rng.Intn(3)
-	for r := 0; r < nRules; r++ {
-		bp := rng.Intn(nPreds)
-		hp := rng.Intn(nPreds)
-		bodyArgs := make([]string, arity(bp))
-		for i := range bodyArgs {
-			bodyArgs[i] = vars[rng.Intn(len(vars))]
-		}
-		headArgs := make([]string, arity(hp))
-		usedBody := false
-		for i := range headArgs {
-			if !usedBody || rng.Intn(2) == 0 {
-				// Frontier variable: must occur in the body.
-				headArgs[i] = bodyArgs[rng.Intn(len(bodyArgs))]
-				usedBody = true
-			} else {
-				headArgs[i] = exist[rng.Intn(len(exist))]
-			}
-		}
-		fmt.Fprintf(&b, "r%d: P%d(%s) -> P%d(%s).\n", r, bp, strings.Join(bodyArgs, ","), hp, strings.Join(headArgs, ","))
-	}
-	nFacts := 1 + rng.Intn(3)
-	for f := 0; f < nFacts; f++ {
-		p := rng.Intn(nPreds)
-		args := make([]string, arity(p))
-		for i := range args {
-			args[i] = fmt.Sprintf("c%d", rng.Intn(3))
-		}
-		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
-	}
-	return parser.MustParse(b.String())
+	return workload.RandomExistentialProgram(seed)
 }
 
 // walkAndCheckRepairs drives an expander along a random derivation walk of

@@ -1,0 +1,102 @@
+package guarded
+
+// Property tests for the cross-run chase cache's visible contract: Decide
+// with a warm cache is indistinguishable from Decide with a cold cache and
+// from Decide with no cache at all — verdict, method, evidence, seed count,
+// budget and witness rendering, across worker counts. The random sets come
+// from the shared workload generators; the CI -race job runs this file
+// with the bounded worker pool sharing one cache, which is exactly the
+// concurrency surface the striped store must survive.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"airct/internal/chase"
+	"airct/internal/workload"
+)
+
+// sameVerdict compares everything a caller can observe about a Verdict.
+func sameVerdict(a, b *Verdict) bool {
+	if a.Terminates != b.Terminates || a.Method != b.Method ||
+		a.Evidence != b.Evidence || a.SeedsTried != b.SeedsTried || a.Budget != b.Budget {
+		return false
+	}
+	if (a.Witness == nil) != (b.Witness == nil) {
+		return false
+	}
+	return a.Witness == nil || a.Witness.String() == b.Witness.String()
+}
+
+// Property: for random guarded sets, Decide is bit-identical across
+// {no cache, cold cache, warm cache} × worker counts {1, 3}, and a warm
+// seed-searching decision actually hits the cache.
+func TestQuickDecideWarmCacheEqualsCold(t *testing.T) {
+	checked := 0
+	f := func(seed int64) bool {
+		set := workload.RandomTGDSet(seed%4000, workload.RandomOptions{Rules: 3})
+		if !set.IsGuarded() {
+			return true
+		}
+		base, err := Decide(set, DecideOptions{MaxSteps: 300, Workers: 1})
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 3} {
+			cache := chase.NewCache()
+			for _, label := range []string{"cold", "warm"} {
+				v, err := Decide(set, DecideOptions{MaxSteps: 300, Workers: workers, Cache: cache})
+				if err != nil {
+					return false
+				}
+				if !sameVerdict(v, base) {
+					t.Logf("seed %d: %s cache, workers=%d: verdict drifted: %+v vs %+v",
+						seed, label, workers, v, base)
+					return false
+				}
+			}
+			if base.Method != "weak-acyclicity" && cache.Stats().Hits == 0 {
+				t.Logf("seed %d: workers=%d: warm seed-searching Decide missed the cache", seed, workers)
+				return false
+			}
+		}
+		if base.Method != "weak-acyclicity" {
+			checked++
+		}
+		return true
+	}
+	// Deterministic draws: the checked-count floor below must not depend on
+	// testing/quick's time-seeded default source.
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+	if checked < 5 {
+		t.Fatalf("only %d seed-searching decisions exercised the cache; generator too narrow", checked)
+	}
+}
+
+// Property: sharing ONE cache across different random sets never leaks a
+// verdict between sets — each set's cached decision matches its own
+// uncached decision (the set-fingerprint half of the key is doing its job).
+func TestQuickDecideSharedCacheKeysBySet(t *testing.T) {
+	cache := chase.NewCache()
+	f := func(seed int64) bool {
+		set := workload.RandomTGDSet(seed%4000, workload.RandomOptions{Rules: 3})
+		if !set.IsGuarded() {
+			return true
+		}
+		base, err := Decide(set, DecideOptions{MaxSteps: 300})
+		if err != nil {
+			return false
+		}
+		v, err := Decide(set, DecideOptions{MaxSteps: 300, Cache: cache})
+		if err != nil {
+			return false
+		}
+		return sameVerdict(v, base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

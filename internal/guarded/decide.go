@@ -50,6 +50,13 @@ type DecideOptions struct {
 	// Witness, Evidence and SeedsTried — is deterministic regardless of
 	// worker count: outcomes are combined in canonical seed order.
 	Workers int
+	// Cache, when set, memoises the per-seed chase batteries (and the
+	// generated seed pools and the engine's initial trigger queues) across
+	// Decide calls on (TGD-set fingerprint, seed fingerprint) keys — see
+	// internal/chase/cache.go. Verdicts are bit-identical with and without
+	// a cache, and across cold and warm caches. Safe to share one cache
+	// across concurrent Decide calls and across the seed worker pool.
+	Cache *chase.Cache
 }
 
 func (o DecideOptions) maxSteps() int {
@@ -98,9 +105,9 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 		return &Verdict{Terminates: true, Method: "weak-acyclicity"}, nil
 	}
 	budget := opts.maxSteps()
-	seeds := GenerateSeeds(set, opts.maxSeeds())
+	seeds := generateSeedsCached(set, opts.maxSeeds(), opts.Cache)
 	seeds = append(seeds, opts.ExtraSeeds...)
-	outcomes := chaseSeeds(set, seeds, budget, opts.workers())
+	outcomes := chaseSeeds(set, seeds, budget, opts.workers(), opts.Cache)
 	for i, v := range outcomes {
 		if v == nil {
 			continue // seed chased quietly to fixpoint under every order
@@ -120,11 +127,37 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 // chaseSeed runs one seed's bounded restricted chases (fair FIFO plus
 // perturbed orders) and returns a divergence verdict, or nil when every
 // order saturated quietly. SeedsTried and Budget are filled by the caller.
-func chaseSeed(set *tgds.Set, seed *instance.Database, budget int) *Verdict {
+// With a cache, the battery outcome is keyed by (set fingerprint, seed
+// fingerprint, budget): a hit rebuilds the verdict around the caller's own
+// seed database without chasing; the three chase orders of a miss share
+// the engine-level seed-index entries through chase.Options.Cache.
+func chaseSeed(set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache, setFP, seedFP logic.Fingerprint) *Verdict {
+	if cache != nil {
+		if o, ok := cache.LookupSeedOutcome(setFP, seedFP, budget); ok {
+			if !o.Diverges {
+				return nil
+			}
+			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence}
+		}
+	}
+	v := chaseSeedBattery(set, seed, budget, cache)
+	if cache != nil {
+		o := chase.SeedOutcome{}
+		if v != nil {
+			o = chase.SeedOutcome{Diverges: true, Method: v.Method, Evidence: v.Evidence}
+		}
+		cache.StoreSeedOutcome(setFP, seedFP, budget, o)
+	}
+	return v
+}
+
+// chaseSeedBattery is the uncached battery: fair FIFO, then a perturbed
+// Random order, then LIFO.
+func chaseSeedBattery(set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache) *Verdict {
 	for _, o := range []chase.Options{
-		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget},
-		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget},
-		{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: budget},
+		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget, Cache: cache},
+		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget, Cache: cache},
+		{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: budget, Cache: cache},
 	} {
 		run := chase.RunChase(seed, set, o)
 		if run.Terminated() {
@@ -158,47 +191,107 @@ func chaseSeed(set *tgds.Set, seed *instance.Database, budget int) *Verdict {
 // ascending index order and a worker stops once every remaining index lies
 // beyond the lowest diverging index found so far — those outcomes cannot
 // affect the combined verdict.
-func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int) []*Verdict {
+//
+// Seeds are deduplicated by exact content fingerprint before chasing:
+// GenerateSeeds dedups isomorphism-insensitively within its own pool, but
+// ExtraSeeds and treeification can repeat exact databases, and within one
+// pool the cross-run cache cannot hit (every fingerprint is new there).
+// Each distinct fingerprint is chased once; a duplicate's outcome slot is
+// simply left nil, which cannot change the combined verdict — its
+// representative sits at a strictly earlier index with the identical
+// outcome (the engine's trigger order is canonical in term content), so
+// Decide's first-non-nil scan never reaches the duplicate.
+func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int, cache *chase.Cache) []*Verdict {
 	out := make([]*Verdict, len(seeds))
-	if workers > len(seeds) {
-		workers = len(seeds)
+	fps := make([]logic.Fingerprint, len(seeds))
+	first := make(map[logic.Fingerprint]struct{}, len(seeds))
+	uniq := make([]int, 0, len(seeds))
+	for i, s := range seeds {
+		fps[i] = logic.FingerprintAtoms(s.Atoms())
+		if _, dup := first[fps[i]]; !dup {
+			first[fps[i]] = struct{}{}
+			uniq = append(uniq, i)
+		}
+	}
+	var setFP logic.Fingerprint
+	if cache != nil {
+		setFP = set.Fingerprint()
+	}
+	chaseOne := func(i int) *Verdict { return chaseSeed(set, seeds[i], budget, cache, setFP, fps[i]) }
+	if workers > len(uniq) {
+		workers = len(uniq)
 	}
 	if workers <= 1 {
-		for i, seed := range seeds {
-			out[i] = chaseSeed(set, seed, budget)
+		for _, i := range uniq {
+			out[i] = chaseOne(i)
 			if out[i] != nil {
 				break
 			}
 		}
-		return out
-	}
-	var next atomic.Int64
-	var best atomic.Int64 // lowest diverging seed index found so far
-	best.Store(int64(len(seeds)))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(seeds) || int64(i) > best.Load() {
-					return
-				}
-				if v := chaseSeed(set, seeds[i], budget); v != nil {
-					out[i] = v
-					for {
-						b := best.Load()
-						if int64(i) >= b || best.CompareAndSwap(b, int64(i)) {
-							break
+	} else {
+		var next atomic.Int64
+		var best atomic.Int64 // lowest diverging seed index found so far
+		best.Store(int64(len(seeds)))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					u := int(next.Add(1) - 1)
+					if u >= len(uniq) || int64(uniq[u]) > best.Load() {
+						return
+					}
+					i := uniq[u]
+					if v := chaseOne(i); v != nil {
+						out[i] = v
+						for {
+							b := best.Load()
+							if int64(i) >= b || best.CompareAndSwap(b, int64(i)) {
+								break
+							}
 						}
 					}
 				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	return out
+}
+
+// generateSeedsCached wraps GenerateSeeds with the cross-run seed-pool
+// cache: generation — including the oblivious-chase treeification
+// expansions, the expensive part — runs once per (set fingerprint, pool
+// cap); a hit rebuilds fresh Database values from the stored atoms in the
+// stored order, reproducing the generated pool exactly.
+func generateSeedsCached(set *tgds.Set, maxSeeds int, cache *chase.Cache) []*instance.Database {
+	if cache == nil {
+		return GenerateSeeds(set, maxSeeds)
+	}
+	setFP := set.Fingerprint()
+	if pool, ok := cache.LookupSeedPool(setFP, maxSeeds); ok {
+		out := make([]*instance.Database, len(pool.Seeds))
+		for i, atoms := range pool.Seeds {
+			db := instance.NewDatabase()
+			for _, a := range atoms {
+				if err := db.Add(a); err != nil {
+					// Cached pools are GenerateSeeds output: ground atoms a
+					// Database already accepted once.
+					panic(err)
+				}
+			}
+			out[i] = db
+		}
+		return out
+	}
+	seeds := GenerateSeeds(set, maxSeeds)
+	pool := &chase.SeedPool{Seeds: make([][]logic.Atom, len(seeds))}
+	for i, db := range seeds {
+		pool.Seeds[i] = append([]logic.Atom(nil), db.Atoms()...)
+	}
+	cache.StoreSeedPool(setFP, maxSeeds, pool)
+	return seeds
 }
 
 // GenerateSeeds produces candidate databases for the search: every frozen

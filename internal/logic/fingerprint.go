@@ -132,3 +132,31 @@ func FingerprintAtoms(atoms []Atom) Fingerprint {
 	}
 	return f
 }
+
+// ruleSeed starts every rule fingerprint; distinct from the atom-hash and
+// null-identity domains by construction.
+var ruleSeed = Fingerprint{Hi: 0x8f14e45fceea1671, Lo: 0x9b05688c2b3e6c1f}
+
+// FingerprintRule returns an order-sensitive fingerprint of one rule
+// (body → head) together with its label — the letter a TGD contributes to a
+// set-level fingerprint (tgds.Set.Fingerprint). Atom order, variable names
+// and the label all participate: two rules fingerprint equal exactly when
+// they behave identically in a chase AND render identically in evidence and
+// witness strings, which is the identity cross-run caches
+// (internal/chase.Cache) key verdicts on. Mixing (not merging) is
+// deliberate: a rule is a sequence, not a set.
+func FingerprintRule(label string, body, head []Atom) Fingerprint {
+	h := ruleSeed.Mix(Fingerprint{
+		Hi: mix64(fnv64(1469598103934665603, 'L', label)),
+		Lo: mix64(fnv64(0x27d4eb2f165667c5, 'L', label)),
+	})
+	h = h.MixUint64(uint64(len(body)))
+	for _, a := range body {
+		h = h.Mix(HashAtom(a))
+	}
+	h = h.MixUint64(uint64(len(head)))
+	for _, a := range head {
+		h = h.Mix(HashAtom(a))
+	}
+	return h
+}

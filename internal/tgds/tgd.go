@@ -10,6 +10,7 @@ package tgds
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"airct/internal/logic"
 )
@@ -230,6 +231,9 @@ func (t TGD) SatisfiedBy(src logic.AtomSource) bool {
 // determinism (trigger enumeration, printing).
 type Set struct {
 	TGDs []TGD
+
+	fpOnce sync.Once
+	fp     logic.Fingerprint
 }
 
 // NewSet builds a set, validating every member and standardising the TGDs
@@ -261,6 +265,28 @@ func MustSet(tgds ...TGD) *Set {
 
 // Len returns the number of TGDs.
 func (s *Set) Len() int { return len(s.TGDs) }
+
+// setSeed starts every set fingerprint.
+var setSeed = logic.Fingerprint{Hi: 0x243f6a8885a308d3, Lo: 0x13198a2e03707344}
+
+// Fingerprint returns the set-level content fingerprint: an order-sensitive
+// mix of every member's rule fingerprint (label, body, head — see
+// logic.FingerprintRule). Two sets fingerprint equal exactly when they hold
+// the same rules in the same order, which is the identity under which chase
+// runs and decision verdicts are reproducible — the TGD-set half of the
+// cross-run chase cache's key (internal/chase.Cache). Computed once and
+// memoised; safe for concurrent use. Callers must not mutate TGDs after
+// the first call.
+func (s *Set) Fingerprint() logic.Fingerprint {
+	s.fpOnce.Do(func() {
+		fp := setSeed
+		for i, t := range s.TGDs {
+			fp = fp.MixUint64(uint64(i)).Mix(logic.FingerprintRule(t.Label, t.Body, t.Head))
+		}
+		s.fp = fp
+	})
+	return s.fp
+}
 
 // Schema returns sch(T): every predicate occurring in the set.
 func (s *Set) Schema() *logic.Schema {

@@ -1,0 +1,179 @@
+package workload
+
+// Random generators behind the property-test suites, promoted here from
+// per-package quick_test.go files (chase, buchi) so every package draws its
+// conformance inputs from one shared, seed-deterministic source — the same
+// generators the conformance corpus and the cross-run cache property tests
+// (warm ≡ cold Decide) run on. RandomTGDSet (random.go) is the third member
+// of the family; guarded's property tests already use it.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"airct/internal/buchi"
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+// RepeatedDecideRequests models the serving workload behind the cross-run
+// chase cache (internal/chase.Cache): k independent requests carrying the
+// SAME program, each parsed fresh — as a server handling repeated queries
+// would hold k distinct Set values of identical content, so any reuse must
+// key on content fingerprints, never on pointers. The base family is
+// SwapIntro(n): guarded, terminating, and NOT weakly acyclic, so every
+// request re-generates and re-chases the full seed pool unless a cache
+// steps in.
+func RepeatedDecideRequests(n, k int) []*tgds.Set {
+	src := SwapIntro(n).Source
+	out := make([]*tgds.Set, k)
+	for i := range out {
+		set, err := parser.ParseTGDs(src)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// RandomDatalogProgram generates a random datalog program (no existentials,
+// so every chase terminates) with a random database, deterministically from
+// the seed. Promoted from internal/chase's quick_test.go; the rng draw
+// sequence is preserved, so historic seeds reproduce historic programs.
+func RandomDatalogProgram(seed int64) *parser.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nPreds := 3 + rng.Intn(3)
+	arity := func(p int) int { return 1 + (p % 2) }
+	var b strings.Builder
+	vars := []string{"X", "Y", "Z"}
+	atom := func(p int, pool []string) string {
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		return fmt.Sprintf("P%d(%s)", p, strings.Join(args, ","))
+	}
+	nRules := 2 + rng.Intn(4)
+	for r := 0; r < nRules; r++ {
+		nBody := 1 + rng.Intn(2)
+		pool := vars[:1+rng.Intn(len(vars))]
+		var body []string
+		used := map[string]bool{}
+		for i := 0; i < nBody; i++ {
+			a := atom(rng.Intn(nPreds), pool)
+			body = append(body, a)
+			for _, v := range pool {
+				if strings.Contains(a, v) {
+					used[v] = true
+				}
+			}
+		}
+		// Head variables drawn from the variables the body actually uses:
+		// genuinely no existentials.
+		var usedPool []string
+		for _, v := range pool {
+			if used[v] {
+				usedPool = append(usedPool, v)
+			}
+		}
+		fmt.Fprintf(&b, "%s -> %s.\n", strings.Join(body, ", "), atom(rng.Intn(nPreds), usedPool))
+	}
+	nFacts := 1 + rng.Intn(5)
+	consts := []string{"a", "b", "cc"}
+	for f := 0; f < nFacts; f++ {
+		p := rng.Intn(nPreds)
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = consts[rng.Intn(len(consts))]
+		}
+		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
+	}
+	prog, err := parser.Parse(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// RandomExistentialProgram generates a random single-head TGD set with
+// existential variables plus a database, deterministically from the seed.
+// Promoted from internal/chase's triggerindex_test.go (the index-repair
+// property's workload generator alongside RandomDatalogProgram); the rng
+// draw sequence is preserved.
+func RandomExistentialProgram(seed int64) *parser.Program {
+	rng := rand.New(rand.NewSource(seed))
+	nPreds := 2 + rng.Intn(3)
+	arity := func(p int) int { return 1 + (p % 2) }
+	var b strings.Builder
+	vars := []string{"X", "Y"}
+	exist := []string{"V", "W"}
+	nRules := 2 + rng.Intn(3)
+	for r := 0; r < nRules; r++ {
+		bp := rng.Intn(nPreds)
+		hp := rng.Intn(nPreds)
+		bodyArgs := make([]string, arity(bp))
+		for i := range bodyArgs {
+			bodyArgs[i] = vars[rng.Intn(len(vars))]
+		}
+		headArgs := make([]string, arity(hp))
+		usedBody := false
+		for i := range headArgs {
+			if !usedBody || rng.Intn(2) == 0 {
+				// Frontier variable: must occur in the body.
+				headArgs[i] = bodyArgs[rng.Intn(len(bodyArgs))]
+				usedBody = true
+			} else {
+				headArgs[i] = exist[rng.Intn(len(exist))]
+			}
+		}
+		fmt.Fprintf(&b, "r%d: P%d(%s) -> P%d(%s).\n", r, bp, strings.Join(bodyArgs, ","), hp, strings.Join(headArgs, ","))
+	}
+	nFacts := 1 + rng.Intn(3)
+	for f := 0; f < nFacts; f++ {
+		p := rng.Intn(nPreds)
+		args := make([]string, arity(p))
+		for i := range args {
+			args[i] = fmt.Sprintf("c%d", rng.Intn(3))
+		}
+		fmt.Fprintf(&b, "P%d(%s).\n", p, strings.Join(args, ","))
+	}
+	return parser.MustParse(b.String())
+}
+
+// RandomAutomaton builds a random deterministic Büchi automaton with
+// nStates states over a binary alphabet, deterministically from the seed.
+// Promoted from internal/buchi's quick_test.go; the rng draw sequence is
+// preserved.
+func RandomAutomaton(seed int64, nStates int) *buchi.Automaton {
+	rng := rand.New(rand.NewSource(seed))
+	type key struct {
+		state string
+		sym   string
+	}
+	states := make([]string, nStates)
+	for i := range states {
+		states[i] = fmt.Sprintf("q%d", i)
+	}
+	trans := make(map[key]string)
+	accepting := make(map[string]bool)
+	for _, s := range states {
+		for _, a := range []string{"0", "1"} {
+			if rng.Intn(10) == 0 {
+				continue // reject sink
+			}
+			trans[key{s, a}] = states[rng.Intn(nStates)]
+		}
+		accepting[s] = rng.Intn(4) == 0
+	}
+	return &buchi.Automaton{
+		Alphabet: []string{"0", "1"},
+		Initial:  "q0",
+		Step: func(state, sym string) (string, bool) {
+			next, ok := trans[key{state, sym}]
+			return next, ok
+		},
+		Accepting: func(state string) bool { return accepting[state] },
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check-coverage.sh — ratcheted per-package statement-coverage floors for
+# the packages the decision verdicts ride on. CI fails when a package drops
+# below its floor; when real coverage grows, RAISE the floor to just under
+# the new number (ratchet up, never down). Floors are set ~2 points under
+# the measured value at the time of the last ratchet so legitimate
+# refactors don't flap, while a regression that deletes tests fails loudly.
+#
+# Measured at the PR 5 ratchet: internal/chase 90.5%, internal/guarded
+# 91.9%.
+set -eu
+
+check() {
+	pkg="$1"
+	floor="$2"
+	profile="$(mktemp)"
+	go test -count=1 -coverprofile "$profile" "$pkg" > /dev/null
+	total=$(go tool cover -func "$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+	rm -f "$profile"
+	if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+		echo "check-coverage: $pkg at ${total}% is below the ${floor}% floor" >&2
+		exit 1
+	fi
+	echo "check-coverage: $pkg ${total}% (floor ${floor}%)"
+}
+
+check ./internal/chase 88.5
+check ./internal/guarded 89.9
