@@ -197,7 +197,7 @@ func TestTermcheckProfiles(t *testing.T) {
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-workers", "-cache", "-cpuprofile", "-memprofile"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cpuprofile", "-memprofile"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},
@@ -258,6 +258,58 @@ func TestTermcheckCacheStats(t *testing.T) {
 	}
 	if got := strings.Replace(cached, m[0], "", 1); got != plain {
 		t.Errorf("-cache changed the report beyond the stats line:\n%s\nvs\n%s", got, plain)
+	}
+}
+
+// TestTermcheckPortfolio pins the -portfolio surface: the staged summary
+// lines, exit codes identical to the plain analysis on terminating,
+// diverging and unknown inputs, and the cache: stats line under -cache.
+func TestTermcheckPortfolio(t *testing.T) {
+	bin := binary(t, "termcheck")
+	out, code := run(t, bin, "-portfolio", "testdata/intro.chase")
+	if code != 0 {
+		t.Fatalf("intro: exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "portfolio: verdict=terminates") {
+		t.Errorf("intro: missing portfolio summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "portfolio-stage: name=") {
+		t.Errorf("intro: missing per-stage lines:\n%s", out)
+	}
+
+	out, code = run(t, bin, "-portfolio", "testdata/conformance/ladder.chase")
+	if code != 1 {
+		t.Fatalf("ladder: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "decided-by=sticky") {
+		t.Errorf("ladder: wrong deciding stage:\n%s", out)
+	}
+	// ladder.chase carries a fact, so the non-authoritative ∀∃ racer joins.
+	if !strings.Contains(out, "portfolio-stage: name=exists") {
+		t.Errorf("ladder: database supplied but no exists stage:\n%s", out)
+	}
+
+	out, code = run(t, bin, "-portfolio", "testdata/exampleB1.chase")
+	if code != 2 {
+		t.Fatalf("exampleB1: exit = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict=unknown decided-by=-") {
+		t.Errorf("exampleB1: undecided set not reported as such:\n%s", out)
+	}
+
+	out, code = run(t, bin, "-portfolio", "-cache", "-workers", "4", "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("swap-intro cached: exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "decided-by=jointree-prune") {
+		t.Errorf("swap-intro: prune stage did not decide:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^cache: hits=\d+ misses=\d+ entries=\d+ bytes=\d+$`).MatchString(out) {
+		t.Errorf("swap-intro cached: no cache: stats line:\n%s", out)
+	}
+
+	if out, code = run(t, bin, "-portfolio", "-exists", "testdata/conformance/ladder.chase"); code != 3 {
+		t.Errorf("-portfolio with -exists must be a usage error (exit 3), got %d:\n%s", code, out)
 	}
 }
 

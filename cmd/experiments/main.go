@@ -1,4 +1,4 @@
-// Command experiments runs the E1–E10 experiment suite of EXPERIMENTS.md
+// Command experiments runs the E1–E11 experiment suite of EXPERIMENTS.md
 // and prints the result tables. Every experiment reproduces an observable
 // claim of the paper (worked example, theorem equivalence, or complexity
 // shape); the tables printed here are the ones recorded in EXPERIMENTS.md.
@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"airct/internal/jointree"
 	"airct/internal/ochase"
 	"airct/internal/parser"
+	"airct/internal/portfolio"
 	"airct/internal/sticky"
 	"airct/internal/workload"
 )
@@ -54,6 +56,7 @@ func main() {
 		{"E8", "bounded-gap witnesses (Observation 1)", e8},
 		{"E9", "baseline coverage on the labeled corpus", e9},
 		{"E10", "chase engine throughput", e10},
+		{"E11", "portfolio stage attribution on the labeled corpus", e11},
 	}
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.id] {
@@ -364,6 +367,68 @@ func e10() {
 			fmt.Printf("| %s(%d) | %s | %d | %d | %.1f |\n", w.name, n, v, run.StepsTaken, run.Final.Len(), rate)
 		}
 	}
+}
+
+// e11 runs the staged portfolio over the whole labeled corpus with one
+// shared cross-run cache and aggregates which stage decides which program:
+// attempts, decisions and cumulative in-stage time per stage, plus a
+// drift count against core.Analyze (which must be zero — the portfolio's
+// conclusion-identity contract).
+func e11() {
+	cache := chase.NewCache()
+	type agg struct {
+		tier               int
+		attempted, decided int
+		elapsed            time.Duration
+	}
+	stages := map[string]*agg{}
+	var order []string
+	mismatches, undecided := 0, 0
+	corpus := workload.Corpus()
+	for _, l := range corpus {
+		rep, err := core.Analyze(l.Set, core.Options{})
+		if err != nil {
+			fmt.Printf("core.Analyze(%s): %v\n", l.Name, err)
+			continue
+		}
+		res, err := portfolio.Analyze(context.Background(), l.Set, portfolio.Options{Cache: cache})
+		if err != nil {
+			fmt.Printf("portfolio.Analyze(%s): %v\n", l.Name, err)
+			continue
+		}
+		if res.Conclusion != rep.Conclusion {
+			mismatches++
+			fmt.Printf("DRIFT on %s: portfolio %v vs analyzer %v\n", l.Name, res.Conclusion, rep.Conclusion)
+		}
+		if res.Conclusion == core.Unknown {
+			undecided++
+		}
+		for _, s := range res.Stages {
+			a := stages[s.Stage]
+			if a == nil {
+				a = &agg{tier: s.Tier}
+				stages[s.Stage] = a
+				order = append(order, s.Stage)
+			}
+			if s.Detail != "skipped: an earlier stage decided" {
+				a.attempted++
+			}
+			if s.Decided {
+				a.decided++
+			}
+			a.elapsed += s.Duration
+		}
+	}
+	fmt.Printf("corpus: %d programs, %d undecided, %d conclusion mismatches vs core.Analyze (must be 0)\n\n",
+		len(corpus), undecided, mismatches)
+	fmt.Println("| stage | tier | attempted | decided | cumulative time |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, name := range order {
+		a := stages[name]
+		fmt.Printf("| %s | %d | %d | %d | %s |\n", name, a.tier, a.attempted, a.decided, a.elapsed.Round(time.Microsecond))
+	}
+	st := cache.Stats()
+	fmt.Printf("\nshared cache: hits=%d misses=%d entries=%d bytes=%d\n", st.Hits, st.Misses, st.Entries, st.Bytes)
 }
 
 func sortedKeys(m map[string]string) []string {

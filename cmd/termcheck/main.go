@@ -17,6 +17,16 @@
 // bounded space was exhausted (every derivation is infinite), 2 a budget
 // stopped the search, 3 error.
 //
+// -portfolio answers the ∀∀ question through the staged decider portfolio
+// (internal/portfolio): Tier 0 cheap sufficient conditions in cost order,
+// Tier 1 a k-round chase probe over the guarded seed pool (-probe-steps),
+// Tier 2 the semantic deciders raced on -workers workers with context
+// cancellation for the losers. The conclusion — and hence the exit code —
+// is pinned bit-identical to the plain analysis; a `portfolio:` line
+// reports the verdict, the deciding stage and per-stage work. Facts in the
+// input feed a non-authoritative ∀∃ racer whose outcome is reported but
+// never concludes.
+//
 // -cache routes the guarded decision through a cross-run chase cache
 // (internal/chase/cache.go): seed pools, seed chase outcomes and the
 // engine's initial trigger queues are memoised on (TGD-set fingerprint,
@@ -31,17 +41,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"airct/internal/chase"
 	"airct/internal/core"
 	"airct/internal/guarded"
 	"airct/internal/parser"
+	"airct/internal/portfolio"
 	"airct/internal/sticky"
 )
 
@@ -52,7 +65,9 @@ func main() {
 	existsStates := flag.Int("exists-states", 10000, "state budget for the -exists search")
 	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
 	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
-	workers := flag.Int("workers", 1, "parallel workers for the -exists search (1 = sequential)")
+	usePortfolio := flag.Bool("portfolio", false, "answer the all-instances question through the staged decider portfolio (cheap checks, k-round probe, raced semantic deciders)")
+	probeSteps := flag.Int("probe-steps", guarded.DefaultProbeSteps, "per-seed step budget k of the -portfolio Tier 1 probe")
+	workers := flag.Int("workers", 1, "parallel workers for the -exists search and the -portfolio Tier 2 race (1 = sequential)")
 	useCache := flag.Bool("cache", false, "memoise guarded seed chases in a cross-run chase cache and report a cache: stats line (ignored by -exists)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to the file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to the file before exiting")
@@ -81,7 +96,7 @@ func main() {
 				}
 			}()
 		}
-		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *workers, *useCache)
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache)
 	}())
 }
 
@@ -95,7 +110,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, workers int, useCache bool) int {
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		return fail(err)
@@ -107,8 +122,14 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	if prog.TGDs.Len() == 0 {
 		return fail(fmt.Errorf("no TGDs in input"))
 	}
+	if exists && usePortfolio {
+		return fail(fmt.Errorf("-exists and -portfolio ask different questions; choose one"))
+	}
 	if exists {
 		return runExists(prog, existsStates, existsAtoms, existsStrategy, workers)
+	}
+	if usePortfolio {
+		return runPortfolio(prog, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers, useCache)
 	}
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
@@ -138,6 +159,60 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	default:
 		return 2
 	}
+}
+
+// runPortfolio answers the ∀∀ question through the staged portfolio and
+// reports per-stage work. The exit code funnel matches the plain analysis:
+// the portfolio's conclusion is pinned bit-identical to core.Analyze's.
+func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers int, useCache bool) int {
+	var cache *chase.Cache
+	if useCache {
+		cache = chase.NewCache()
+	}
+	opts := portfolio.Options{
+		Guarded:    guarded.DecideOptions{MaxSteps: guardedBudget},
+		Sticky:     sticky.DecideOptions{MaxStates: stickyStates},
+		ProbeSteps: probeSteps,
+		Workers:    workers,
+		Cache:      cache,
+	}
+	if prog.Database.Len() > 0 {
+		fmt.Printf("note: %d facts feed the non-authoritative ∀∃ racer only (the question is all-instances)\n", prog.Database.Len())
+		opts.Database = prog.Database
+		opts.Exists = chase.SearchOptions{MaxStates: existsStates, MaxAtoms: existsAtoms}
+	}
+	start := time.Now()
+	res, err := portfolio.Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
+	fmt.Printf("portfolio: verdict=%s decided-by=%s stages=%d cache-hit=%t elapsed=%s\n",
+		res.Conclusion, orDash(res.DecidedBy), len(res.Stages), res.CacheHit, elapsed.Round(time.Microsecond))
+	for _, s := range res.Stages {
+		fmt.Printf("portfolio-stage: name=%s tier=%d decided=%t verdict=%s steps=%d elapsed=%s detail=%q\n",
+			s.Stage, s.Tier, s.Decided, s.Conclusion, s.Steps, s.Duration.Round(time.Microsecond), s.Detail)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d\n", st.Hits, st.Misses, st.Entries, st.Bytes)
+	}
+	switch res.Conclusion {
+	case core.Terminates:
+		return 0
+	case core.Diverges:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // runExists runs the ∀∃ derivation search on the program's database and

@@ -22,14 +22,17 @@
 package airct_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"airct/internal/chase"
+	"airct/internal/core"
 	"airct/internal/guarded"
 	"airct/internal/parser"
+	"airct/internal/portfolio"
 )
 
 const (
@@ -115,6 +118,7 @@ func TestConformanceCorpus(t *testing.T) {
 			if want, ok := expect["decide"]; ok {
 				runDecideColumn(t, prog, want, expect["decide-method"])
 			}
+			runPortfolioColumn(t, prog)
 		})
 	}
 }
@@ -158,6 +162,54 @@ func runExistsColumn(t *testing.T, prog *parser.Program, want string) {
 		})
 		if got := existsVerdict(res); got != want {
 			t.Errorf("exists/workers=%d: verdict = %s, want %s", workers, got, want)
+		}
+	}
+}
+
+// runPortfolioColumn pins the portfolio's conclusion bit-identical to
+// core.Analyze's on every corpus file, cache off / cold / warm, at the same
+// budgets. The column runs unconditionally — the identity contract covers
+// every class, including sets neither guarded nor sticky (both sides must
+// then agree on Unknown).
+func runPortfolioColumn(t *testing.T, prog *parser.Program) {
+	if prog.TGDs.Len() == 0 {
+		return
+	}
+	rep, err := core.Analyze(prog.TGDs, core.Options{
+		GuardedOptions: guarded.DecideOptions{MaxSteps: confDecideSteps},
+	})
+	if err != nil {
+		t.Fatalf("portfolio: core.Analyze: %v", err)
+	}
+	opts := portfolio.Options{Guarded: guarded.DecideOptions{MaxSteps: confDecideSteps}}
+	off, err := portfolio.Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		t.Fatalf("portfolio/off: %v", err)
+	}
+	if off.Conclusion != rep.Conclusion {
+		t.Errorf("portfolio/off: conclusion = %v, want %v (core.Analyze)", off.Conclusion, rep.Conclusion)
+	}
+	opts.Cache = chase.NewCache()
+	cold, err := portfolio.Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		t.Fatalf("portfolio/cold: %v", err)
+	}
+	if cold.CacheHit {
+		t.Error("portfolio/cold: unexpected whole-run cache hit")
+	}
+	warm, err := portfolio.Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		t.Fatalf("portfolio/warm: %v", err)
+	}
+	if !warm.CacheHit {
+		t.Error("portfolio/warm: whole-run cache missed")
+	}
+	for label, got := range map[string]*portfolio.Result{"cold": cold, "warm": warm} {
+		if got.Conclusion != rep.Conclusion {
+			t.Errorf("portfolio/%s: conclusion = %v, want %v (core.Analyze)", label, got.Conclusion, rep.Conclusion)
+		}
+		if got.DecidedBy != off.DecidedBy {
+			t.Errorf("portfolio/%s: decided-by = %q, want %q (cache off)", label, got.DecidedBy, off.DecidedBy)
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package acyclicity
+
+// Never-firing TGD pruning — the portfolio's "jointree" Tier-0 stage.
+//
+// A TGD σ whose head folds into its own body — a homomorphism
+// h : Head(σ) → Body(σ) that is the identity on the frontier fr(σ) — can
+// never fire in ANY restricted chase of ANY instance: for every trigger
+// (σ, h′) with Body(σ)h′ ⊆ I, the composition h′∘h maps Head(σ) into I
+// while agreeing with h′ on the frontier, so the trigger is inactive
+// (Definition 3.1). Removing such TGDs therefore preserves the restricted
+// chase derivations of every instance exactly, and any termination proof
+// for the pruned remainder — empty, existential-free, weakly acyclic or
+// jointly acyclic — transfers to the original set verbatim.
+//
+// The fold check is a conjunctive-query containment test; it is attempted
+// only when the body is an acyclic instance in the Definition 5.4 sense
+// (jointree.IsAcyclic — GYO ear removal on the body hypergraph), the class
+// for which such joins are tractable. Cyclic bodies are skipped, which is
+// sound: skipping only prunes less.
+
+import (
+	"airct/internal/jointree"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// NeverFiring returns the indexes of the set's never-firing TGDs: those
+// whose head folds into their own body by a homomorphism fixing the
+// frontier (attempted only for jointree-acyclic bodies).
+func NeverFiring(set *tgds.Set) []int {
+	var out []int
+	for i, t := range set.TGDs {
+		if neverFires(t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func neverFires(t tgds.TGD) bool {
+	if !jointree.IsAcyclic(t.Body) {
+		return false
+	}
+	base := logic.NewSubstitution()
+	for v := range t.Frontier() {
+		base.Bind(v, v)
+	}
+	return logic.HasHomomorphism(t.Head, base, logic.NewSliceSource(t.Body))
+}
+
+// PruneNeverFiring removes the never-firing TGDs and returns the remainder
+// together with the removed indexes. The remainder is nil when every TGD
+// was pruned (the chase of any instance stops immediately); removed is nil
+// when nothing folds. The remainder's restricted chase derivations coincide
+// with the original set's on every instance.
+func PruneNeverFiring(set *tgds.Set) (*tgds.Set, []int) {
+	removed := NeverFiring(set)
+	if len(removed) == 0 {
+		return set, nil
+	}
+	drop := make(map[int]bool, len(removed))
+	for _, i := range removed {
+		drop[i] = true
+	}
+	var keep []tgds.TGD
+	for i, t := range set.TGDs {
+		if !drop[i] {
+			keep = append(keep, t)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, removed
+	}
+	return tgds.MustSet(keep...), removed
+}

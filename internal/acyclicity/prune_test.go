@@ -1,0 +1,87 @@
+package acyclicity
+
+import (
+	"testing"
+
+	"airct/internal/parser"
+	"airct/internal/tgds"
+)
+
+func mustParseSet(t *testing.T, src string) *tgds.Set {
+	t.Helper()
+	set, err := parser.ParseTGDs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestNeverFiringSwapIntro(t *testing.T) {
+	// T(X,Y) → ∃W T(X,W): the head folds into the body over the frontier
+	// {X} (W ↦ Y), so no restricted chase ever fires it. The swap rule's
+	// head T(Y,X) fixes both variables and does not fold.
+	set := mustParseSet(t, `
+		T(X,Y) -> T(X,W).
+		T(X,Y) -> T(Y,X).
+	`)
+	got := NeverFiring(set)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("NeverFiring = %v, want [0]", got)
+	}
+	pruned, removed := PruneNeverFiring(set)
+	if len(removed) != 1 || pruned == nil || pruned.Len() != 1 {
+		t.Fatalf("prune: removed %v, remainder %v", removed, pruned)
+	}
+	if !pruned.IsFull() {
+		t.Error("swap-intro remainder (the swap rule) must be existential-free")
+	}
+}
+
+func TestNeverFiringAllPruned(t *testing.T) {
+	set := mustParseSet(t, `R(X,Y) -> R(X,Z).`)
+	pruned, removed := PruneNeverFiring(set)
+	if pruned != nil || len(removed) != 1 {
+		t.Fatalf("intro example: remainder %v, removed %v", pruned, removed)
+	}
+}
+
+func TestNeverFiringRequiresFrontierIdentity(t *testing.T) {
+	// The ladder's S(X) → ∃Y R(X,Y) has no body atom over R at all, and
+	// R(X,Y) → S(Y) is full with no S in the body: nothing folds, and the
+	// diverging set must survive untouched.
+	set := mustParseSet(t, `
+		S(X) -> R(X,Y).
+		R(X,Y) -> S(Y).
+	`)
+	if got := NeverFiring(set); got != nil {
+		t.Fatalf("ladder: NeverFiring = %v, want none", got)
+	}
+	pruned, removed := PruneNeverFiring(set)
+	if removed != nil || pruned != set {
+		t.Fatal("ladder: prune must return the set unchanged")
+	}
+}
+
+func TestNeverFiringSkipsCyclicBodies(t *testing.T) {
+	// The body triangle is jointree-cyclic (GYO leaves a core), so the fold
+	// check is skipped even though the head trivially folds (it repeats a
+	// body atom). Skipping only prunes less — soundness is unaffected.
+	set := mustParseSet(t, `
+		E(X,Y), E(Y,Z), E(Z,X) -> E(X,Y).
+	`)
+	if got := NeverFiring(set); got != nil {
+		t.Fatalf("cyclic body: NeverFiring = %v, want none (fold not attempted)", got)
+	}
+}
+
+func TestNeverFiringMultiHeadNeedsJointFold(t *testing.T) {
+	// B.1-style multi-head: R(X,Y,Y) → ∃Z R(X,Z,Y), R(Z,Y,Y). No single
+	// assignment of Z folds both head atoms into the body while fixing
+	// {X, Y}, so the TGD must not be pruned.
+	set := mustParseSet(t, `
+		R(X,Y,Y) -> R(X,Z,Y), R(Z,Y,Y).
+	`)
+	if got := NeverFiring(set); got != nil {
+		t.Fatalf("multi-head: NeverFiring = %v, want none", got)
+	}
+}

@@ -13,6 +13,7 @@
 package buchi
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -44,9 +45,24 @@ type Explored struct {
 // Explore builds the reachable state graph, up to maxStates states
 // (0: 100_000). Exceeding the bound yields Complete = false.
 func Explore(a *Automaton, maxStates int) *Explored {
+	return ExploreContext(context.Background(), a, maxStates)
+}
+
+// exploreCtxInterval is ExploreContext's cancellation check interval: the
+// poll runs every exploreCtxInterval dequeued states.
+const exploreCtxInterval = 64
+
+// ExploreContext is Explore under a context: the BFS polls ctx.Done()
+// every exploreCtxInterval dequeues and returns the partial graph with
+// Complete = false when it fires. Callers that race explorations must
+// check ctx.Err() before trusting a partial result. Uncancelled runs are
+// byte-identical to Explore.
+func ExploreContext(ctx context.Context, a *Automaton, maxStates int) *Explored {
 	if maxStates <= 0 {
 		maxStates = 100_000
 	}
+	done := ctx.Done()
+	tick := 0
 	e := &Explored{
 		Index:    make(map[string]int),
 		Alphabet: a.Alphabet,
@@ -65,6 +81,19 @@ func Explore(a *Automaton, maxStates int) *Explored {
 	}
 	queue := []int{add(a.Initial)}
 	for len(queue) > 0 {
+		if done != nil {
+			if tick++; tick%exploreCtxInterval == 0 {
+				select {
+				case <-done:
+					e.Complete = false
+					queue = nil
+				default:
+				}
+			}
+		}
+		if len(queue) == 0 {
+			break
+		}
 		cur := queue[0]
 		queue = queue[1:]
 		if e.Trans[cur] != nil {

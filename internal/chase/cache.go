@@ -6,7 +6,7 @@ package chase
 // does constantly, both inside one Decide call (each seed runs a battery of
 // trigger orders; treeification re-derives seeds) and across Decide calls
 // (a served workload repeats programs) — costs one map probe instead of a
-// chase. Three entry kinds share the store:
+// chase. Four entry kinds share the store:
 //
 //   - seed outcomes (guarded.chaseSeed): the per-seed divergence verdict of
 //     the bounded chase battery, keyed additionally by the step budget. A
@@ -63,9 +63,10 @@ const (
 // entry-kind salts; ORed with per-kind scalar parameters (budgets, caps)
 // so distinct kinds and parameters occupy distinct key space.
 const (
-	kindSeedOutcome uint64 = 1 << 56
-	kindSeedIndex   uint64 = 2 << 56
-	kindSeedPool    uint64 = 3 << 56
+	kindSeedOutcome   uint64 = 1 << 56
+	kindSeedIndex     uint64 = 2 << 56
+	kindSeedPool      uint64 = 3 << 56
+	kindStageOutcomes uint64 = 4 << 56
 )
 
 // CacheKey identifies one cached chase artefact.
@@ -120,6 +121,30 @@ type SeedIndex struct {
 // generation order, by value.
 type SeedPool struct {
 	Seeds [][]logic.Atom
+}
+
+// StageRecord is one stage's outcome inside a cached StageOutcomes entry:
+// what a portfolio stage attempted and decided for a set. Verdict strings
+// ("terminates"/"diverges"/"unknown") keep the entry free of higher-layer
+// types; Steps and DurationNS record the stage's work when it ran live.
+type StageRecord struct {
+	Stage      string
+	Tier       int
+	Decided    bool
+	Verdict    string
+	Detail     string
+	Steps      int
+	DurationNS int64
+}
+
+// StageOutcomes is a cached portfolio run: the per-stage records plus the
+// combined verdict and the deciding stage. Entries are keyed by the set
+// fingerprint and an options salt (the caller folds its budgets into it),
+// never by worker counts — verdicts are worker-invariant by construction.
+type StageOutcomes struct {
+	Records   []StageRecord
+	Verdict   string
+	DecidedBy string
 }
 
 type cacheStripe struct {
@@ -270,6 +295,32 @@ func (c *Cache) LookupSeedPool(set logic.Fingerprint, maxSeeds int) (*SeedPool, 
 		return nil, false
 	}
 	return v.(*SeedPool), true
+}
+
+func stageOutcomesKey(set logic.Fingerprint, salt uint64) CacheKey {
+	// Mask the caller's salt into the low 56 bits so the kind tag stays
+	// collision-free against the other entry kinds.
+	return CacheKey{Set: set, Salt: kindStageOutcomes | (salt &^ (uint64(0xFF) << 56))}
+}
+
+// LookupStageOutcomes returns the cached portfolio stage outcomes of the
+// set under the options salt. The caller must not mutate the result.
+func (c *Cache) LookupStageOutcomes(set logic.Fingerprint, salt uint64) (*StageOutcomes, bool) {
+	v, ok := c.lookup(stageOutcomesKey(set, salt))
+	if !ok {
+		return nil, false
+	}
+	return v.(*StageOutcomes), true
+}
+
+// StoreStageOutcomes records a portfolio run's stage outcomes. The entry
+// must not be mutated afterwards.
+func (c *Cache) StoreStageOutcomes(set logic.Fingerprint, salt uint64, o *StageOutcomes) {
+	size := int64(48 + len(o.Verdict) + len(o.DecidedBy))
+	for _, r := range o.Records {
+		size += int64(len(r.Stage)+len(r.Verdict)+len(r.Detail)) + 48
+	}
+	c.store(stageOutcomesKey(set, salt), o, size)
 }
 
 // StoreSeedPool records the candidate-seed pool. The pool must not be

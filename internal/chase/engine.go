@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -73,6 +74,11 @@ const (
 	StepBudget
 	// AtomBudget: the instance grew past MaxAtoms.
 	AtomBudget
+	// Cancelled: the run's context was cancelled mid-derivation (only
+	// RunChaseContext runs can stop this way). The partial run is NOT a
+	// budget-exhausted run: callers must discard it rather than mine it
+	// for divergence evidence.
+	Cancelled
 )
 
 func (r StopReason) String() string {
@@ -83,6 +89,8 @@ func (r StopReason) String() string {
 		return "step-budget"
 	case AtomBudget:
 		return "atom-budget"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", uint8(r))
 	}
@@ -255,6 +263,12 @@ type engine struct {
 	born          []int32
 	activeAtBirth []bool
 
+	// done is the run context's cancellation channel (nil for background
+	// runs); ctxTick paces the loop's polls so uncancellable runs pay one
+	// nil check per pop and cancellable runs one select per 64 pops.
+	done    <-chan struct{}
+	ctxTick uint
+
 	rng *rand.Rand
 	run *Run
 
@@ -270,6 +284,14 @@ type engine struct {
 
 // Run chases the database with the TGD set under the options.
 func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
+	return RunChaseContext(context.Background(), db, set, opts)
+}
+
+// RunChaseContext is RunChase under a context: the engine polls
+// ctx.Done() every engineCtxInterval pops and stops with Reason =
+// Cancelled when it fires. An un-cancellable context (Background) adds
+// one nil check per pop; uncancelled runs are byte-identical to RunChase.
+func RunChaseContext(ctx context.Context, db *instance.Database, set *tgds.Set, opts Options) *Run {
 	inst := db.Instance()
 	e := &engine{
 		set:         set,
@@ -281,6 +303,7 @@ func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
 		trig:        logic.NewTupleTable(64),
 		front:       logic.NewTupleTable(16),
 		run:         &Run{Options: opts, Set: set, Database: db},
+		done:        ctx.Done(),
 	}
 	e.ct = compileSet(set, e.itab)
 	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
@@ -567,8 +590,24 @@ func (e *engine) headDeltaPossible(tgd int, lo int32) bool {
 	return false
 }
 
+// engineCtxInterval is the cancellation check interval of the engine loop:
+// the poll runs every engineCtxInterval pops, so a cancelled run stops
+// within that many trigger resolutions (the latency the portfolio's
+// cancellation test pins).
+const engineCtxInterval = 64
+
 func (e *engine) loop() {
 	for e.pending() > 0 {
+		if e.done != nil {
+			if e.ctxTick++; e.ctxTick%engineCtxInterval == 0 {
+				select {
+				case <-e.done:
+					e.run.Reason = Cancelled
+					return
+				default:
+				}
+			}
+		}
 		if e.opts.MaxSteps > 0 && e.run.StepsTaken >= e.opts.MaxSteps {
 			e.run.Reason = StepBudget
 			return

@@ -19,6 +19,10 @@ type ExistsResult struct {
 	// Found = false is a proof that *every* derivation is infinite,
 	// CT^res_∀∃ failure); false when a budget stopped the search.
 	Exhausted bool
+	// Cancelled is true when the search's context was cancelled before
+	// the sweep finished (Exhausted is then false and the result carries
+	// no semantic claim — only statistics).
+	Cancelled bool
 	// Stats counts the search's work.
 	Stats SearchStats
 }

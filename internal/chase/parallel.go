@@ -46,6 +46,7 @@ package chase
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -245,6 +246,7 @@ type ParallelSearch struct {
 	rechecks      atomic.Int64
 
 	exhausted atomic.Bool // starts true; cleared by budget cuts, like the sequential flag
+	cancelled atomic.Bool // set by the context watcher; surfaces as ExistsResult.Cancelled
 	done      atomic.Bool
 
 	winMu  sync.Mutex
@@ -271,6 +273,15 @@ func newParallelSearch(db *instance.Database, set *tgds.Set, opts SearchOptions)
 
 // Run executes the search and assembles the result.
 func (ps *ParallelSearch) Run() *ExistsResult {
+	return ps.runContext(context.Background())
+}
+
+// runContext runs the search under a context. Cancellation rides the
+// coordinator's existing done flag: a watcher goroutine trips it when
+// ctx.Done() fires, and every worker already polls the flag once per
+// scheduling iteration and once per successor inside expand's inner loop —
+// so a cancelled search stops within one trigger expansion per worker.
+func (ps *ParallelSearch) runContext(ctx context.Context) *ExistsResult {
 	w := ps.opts.Workers
 	workers := make([]*parallelWorker, w)
 	var build sync.WaitGroup
@@ -299,10 +310,27 @@ func (ps *ParallelSearch) Run() *ExistsResult {
 			wk.run()
 		}(wk)
 	}
+	var unwatch chan struct{}
+	if ctx.Done() != nil {
+		unwatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				ps.cancelled.Store(true)
+				ps.exhausted.Store(false)
+				ps.done.Store(true)
+			case <-unwatch:
+			}
+		}()
+	}
 	run.Wait()
+	if unwatch != nil {
+		close(unwatch)
+	}
 
 	res := &ExistsResult{
 		Exhausted:     ps.exhausted.Load(),
+		Cancelled:     ps.cancelled.Load(),
 		StatesVisited: int(ps.table.count.Load()),
 	}
 	res.Stats.StatesExpanded = int(ps.expanded.Load())

@@ -39,6 +39,7 @@ package chase
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"airct/internal/instance"
@@ -476,6 +477,7 @@ func (s *searcher) triggersOf(idx *trigIndex) []Trigger {
 type searcher struct {
 	*expander
 	opts SearchOptions
+	done <-chan struct{} // run context's cancellation channel; nil = background
 
 	memo  map[logic.Fingerprint]struct{}
 	front searchFrontier
@@ -494,6 +496,17 @@ type searcher struct {
 // coordinator (parallel.go); verdicts are identical, witnesses and stats
 // may differ by schedule.
 func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts SearchOptions) *ExistsResult {
+	return SearchTerminatingDerivationContext(context.Background(), db, set, opts)
+}
+
+// SearchTerminatingDerivationContext is SearchTerminatingDerivation under a
+// context: the sequential searcher polls ctx.Done() at every pop and the
+// parallel coordinator propagates cancellation through its shared done flag,
+// which every worker already checks per iteration and inside the expansion
+// inner loop. A cancelled search returns Cancelled = true with
+// Exhausted = false; uncancelled runs are byte-identical to the plain entry
+// point.
+func SearchTerminatingDerivationContext(ctx context.Context, db *instance.Database, set *tgds.Set, opts SearchOptions) *ExistsResult {
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 10_000
 	}
@@ -501,11 +514,12 @@ func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts Sear
 		opts.MaxAtoms = 200
 	}
 	if opts.Workers > 1 {
-		return newParallelSearch(db, set, opts).Run()
+		return newParallelSearch(db, set, opts).runContext(ctx)
 	}
 	s := &searcher{
 		expander: newExpander(db, set),
 		opts:     opts,
+		done:     ctx.Done(),
 		memo:     make(map[logic.Fingerprint]struct{}),
 		front:    searchFrontier{strat: opts.Strategy},
 		res:      &ExistsResult{Exhausted: true},
@@ -519,6 +533,16 @@ func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts Sear
 
 func (s *searcher) loop() {
 	for s.front.Len() > 0 {
+		if s.done != nil {
+			select {
+			case <-s.done:
+				s.res.Exhausted = false
+				s.res.Cancelled = true
+				s.finish()
+				return
+			default:
+			}
+		}
 		if s.front.Len() > s.res.Stats.PeakFrontier {
 			s.res.Stats.PeakFrontier = s.front.Len()
 		}

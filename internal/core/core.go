@@ -54,6 +54,12 @@ type Report struct {
 	FrontierGuarded bool
 	WeaklyAcyclic   bool
 	JointlyAcyclic  bool
+	// MFA is true when the model-faithful-acyclicity check accepted the
+	// set within its step budget (false means "not proven", not "cyclic").
+	MFA bool
+	// NeverFiring lists the labels of TGDs pruned as never-firing (head
+	// folds into body over the frontier; see acyclicity.PruneNeverFiring).
+	NeverFiring []string
 
 	// GuardedVerdict is set when the guarded procedure ran.
 	GuardedVerdict *guarded.Verdict
@@ -72,9 +78,20 @@ type Options struct {
 	GuardedOptions guarded.DecideOptions
 	// StickyOptions tunes the Büchi exploration.
 	StickyOptions sticky.DecideOptions
-	// SkipBaselines disables the WA/JA checks (used by experiments that
-	// time the decision procedures in isolation).
+	// MFASteps bounds the MFA check's semi-oblivious critical-instance
+	// chase (0: 20_000 steps). The check is skipped with SkipBaselines.
+	MFASteps int
+	// SkipBaselines disables the sufficient-condition checks — WA, JA,
+	// the never-firing prune and MFA — used by experiments that time the
+	// decision procedures in isolation.
 	SkipBaselines bool
+}
+
+func (o Options) mfaSteps() int {
+	if o.MFASteps <= 0 {
+		return 20_000
+	}
+	return o.MFASteps
 }
 
 // Analyze inspects the set and decides CT^res_∀∀ membership where the
@@ -104,6 +121,25 @@ func Analyze(set *tgds.Set, opts Options) (*Report, error) {
 		}
 		if r.JointlyAcyclic {
 			r.conclude(Terminates, "joint acyclicity (sufficient condition)")
+		}
+		if pruned, removed := acyclicity.PruneNeverFiring(set); len(removed) > 0 {
+			for _, i := range removed {
+				r.NeverFiring = append(r.NeverFiring, set.TGDs[i].Label)
+			}
+			switch {
+			case pruned == nil:
+				r.conclude(Terminates, fmt.Sprintf("jointree prune: all %d TGDs are never-firing (head folds into body over the frontier)", len(removed)))
+			case pruned.IsFull():
+				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is existential-free", len(removed)))
+			case acyclicity.IsWeaklyAcyclic(pruned):
+				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is weakly acyclic", len(removed)))
+			case acyclicity.IsJointlyAcyclic(pruned):
+				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is jointly acyclic", len(removed)))
+			}
+		}
+		if mfa := acyclicity.CheckMFA(set, opts.mfaSteps()); mfa.Acyclic {
+			r.MFA = true
+			r.conclude(Terminates, fmt.Sprintf("MFA: semi-oblivious critical-instance chase saturated in %d steps (sufficient condition)", mfa.Steps))
 		}
 	}
 	if r.Sticky {
@@ -181,6 +217,7 @@ func (r *Report) Summary() string {
 	flag("full (datalog)", r.Full)
 	flag("weakly acyclic", r.WeaklyAcyclic)
 	flag("jointly acyclic", r.JointlyAcyclic)
+	flag("MFA (critical instance)", r.MFA)
 	fmt.Fprintf(&b, "verdict: %s\n", r.Conclusion)
 	for _, why := range r.Reasons {
 		fmt.Fprintf(&b, "  - %s\n", why)

@@ -1,6 +1,7 @@
 package guarded
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -98,6 +99,16 @@ func (o DecideOptions) workers() int {
 //     finite-alphabet regularity of Λ_T;
 //  4. if every seed saturates, the set is declared terminating.
 func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
+	return DecideContext(context.Background(), set, opts)
+}
+
+// DecideContext is Decide under a context: the per-seed chase batteries run
+// on chase.RunChaseContext (cancellation observed every few dozen trigger
+// pops) and the seed scan — sequential or pooled — stops claiming seeds once
+// the context fires. A cancelled call returns ctx's error; no partial
+// battery outcome is interpreted or cached. Uncancelled calls behave
+// identically to Decide.
+func DecideContext(ctx context.Context, set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 	if !set.IsGuarded() {
 		return nil, fmt.Errorf("guarded: Decide requires a single-head guarded set")
 	}
@@ -107,7 +118,10 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 	budget := opts.maxSteps()
 	seeds := generateSeedsCached(set, opts.maxSeeds(), opts.Cache)
 	seeds = append(seeds, opts.ExtraSeeds...)
-	outcomes := chaseSeeds(set, seeds, budget, opts.workers(), opts.Cache)
+	outcomes, err := chaseSeedsContext(ctx, set, seeds, budget, opts.workers(), opts.Cache)
+	if err != nil {
+		return nil, err
+	}
 	for i, v := range outcomes {
 		if v == nil {
 			continue // seed chased quietly to fixpoint under every order
@@ -131,7 +145,7 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 // fingerprint, budget): a hit rebuilds the verdict around the caller's own
 // seed database without chasing; the three chase orders of a miss share
 // the engine-level seed-index entries through chase.Options.Cache.
-func chaseSeed(set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache, setFP, seedFP logic.Fingerprint) *Verdict {
+func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache, setFP, seedFP logic.Fingerprint) *Verdict {
 	if cache != nil {
 		if o, ok := cache.LookupSeedOutcome(setFP, seedFP, budget); ok {
 			if !o.Diverges {
@@ -140,7 +154,11 @@ func chaseSeed(set *tgds.Set, seed *instance.Database, budget int, cache *chase.
 			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence}
 		}
 	}
-	v := chaseSeedBattery(set, seed, budget, cache)
+	v := chaseSeedBattery(ctx, set, seed, budget, cache)
+	if v == cancelledVerdict {
+		// A cancelled battery proves nothing; never cache it.
+		return v
+	}
 	if cache != nil {
 		o := chase.SeedOutcome{}
 		if v != nil {
@@ -151,15 +169,23 @@ func chaseSeed(set *tgds.Set, seed *instance.Database, budget int, cache *chase.
 	return v
 }
 
+// cancelledVerdict is the in-package sentinel a battery returns when its
+// context fired mid-chase: callers translate it to ctx.Err() and must never
+// cache or interpret it.
+var cancelledVerdict = &Verdict{Method: "cancelled"}
+
 // chaseSeedBattery is the uncached battery: fair FIFO, then a perturbed
 // Random order, then LIFO.
-func chaseSeedBattery(set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache) *Verdict {
+func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache) *Verdict {
 	for _, o := range []chase.Options{
 		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget, Cache: cache},
 		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget, Cache: cache},
 		{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: budget, Cache: cache},
 	} {
-		run := chase.RunChase(seed, set, o)
+		run := chase.RunChaseContext(ctx, seed, set, o)
+		if run.Reason == chase.Cancelled {
+			return cancelledVerdict
+		}
 		if run.Terminated() {
 			continue
 		}
@@ -183,7 +209,7 @@ func chaseSeedBattery(set *tgds.Set, seed *instance.Database, budget int, cache 
 	return nil
 }
 
-// chaseSeeds computes every seed's outcome on a bounded worker pool. The
+// chaseSeedsContext computes every seed's outcome on a bounded worker pool. The
 // per-seed chases are independent (each RunChase clones the seed into a
 // fresh instance with its own interner), so the pool may finish them in any
 // order; Decide then combines outcomes in canonical seed order, which keeps
@@ -201,7 +227,7 @@ func chaseSeedBattery(set *tgds.Set, seed *instance.Database, budget int, cache 
 // representative sits at a strictly earlier index with the identical
 // outcome (the engine's trigger order is canonical in term content), so
 // Decide's first-non-nil scan never reaches the duplicate.
-func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int, cache *chase.Cache) []*Verdict {
+func chaseSeedsContext(ctx context.Context, set *tgds.Set, seeds []*instance.Database, budget, workers int, cache *chase.Cache) ([]*Verdict, error) {
 	out := make([]*Verdict, len(seeds))
 	fps := make([]logic.Fingerprint, len(seeds))
 	first := make(map[logic.Fingerprint]struct{}, len(seeds))
@@ -217,13 +243,19 @@ func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int, 
 	if cache != nil {
 		setFP = set.Fingerprint()
 	}
-	chaseOne := func(i int) *Verdict { return chaseSeed(set, seeds[i], budget, cache, setFP, fps[i]) }
+	chaseOne := func(i int) *Verdict { return chaseSeed(ctx, set, seeds[i], budget, cache, setFP, fps[i]) }
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}
 	if workers <= 1 {
 		for _, i := range uniq {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			out[i] = chaseOne(i)
+			if out[i] == cancelledVerdict {
+				return nil, ctx.Err()
+			}
 			if out[i] != nil {
 				break
 			}
@@ -232,18 +264,27 @@ func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int, 
 		var next atomic.Int64
 		var best atomic.Int64 // lowest diverging seed index found so far
 		best.Store(int64(len(seeds)))
+		var cancelled atomic.Bool
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						cancelled.Store(true)
+						return
+					}
 					u := int(next.Add(1) - 1)
 					if u >= len(uniq) || int64(uniq[u]) > best.Load() {
 						return
 					}
 					i := uniq[u]
 					if v := chaseOne(i); v != nil {
+						if v == cancelledVerdict {
+							cancelled.Store(true)
+							return
+						}
 						out[i] = v
 						for {
 							b := best.Load()
@@ -256,8 +297,11 @@ func chaseSeeds(set *tgds.Set, seeds []*instance.Database, budget, workers int, 
 			}()
 		}
 		wg.Wait()
+		if cancelled.Load() {
+			return nil, ctx.Err()
+		}
 	}
-	return out
+	return out, nil
 }
 
 // generateSeedsCached wraps GenerateSeeds with the cross-run seed-pool

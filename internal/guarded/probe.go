@@ -1,0 +1,115 @@
+package guarded
+
+// The k-round probe behind the portfolio's Tier 1 (in the style of PDQ's
+// KTerminationChaser): run the Decide seed battery at a small step budget k
+// and report whether EVERY seed already saturates there. Because each chase
+// order is deterministic and a fixpoint reached within k steps is the same
+// fixpoint any larger budget reaches, "all seeds saturate at k" implies
+// Decide at any budget ≥ k returns the identical seed-exhaustion verdict —
+// so a probe that decides is sound and bit-compatible with the full
+// procedure, at a fraction of its cost. A probe that does NOT decide claims
+// nothing: a pump found at budget k does not imply the full-budget battery
+// diverges (the longer run may still reach a fixpoint), so non-saturation
+// only routes the input onward to Tier 2.
+
+import (
+	"context"
+	"fmt"
+
+	"airct/internal/acyclicity"
+	"airct/internal/chase"
+	"airct/internal/logic"
+	"airct/internal/tgds"
+)
+
+// DefaultProbeSteps is the probe's step budget when the caller passes 0.
+const DefaultProbeSteps = 64
+
+// ProbeOutcome summarises a k-round probe sweep over the seed pool.
+type ProbeOutcome struct {
+	// Seeds counts the distinct seed databases in the pool (after exact
+	// fingerprint dedup, as Decide chases them).
+	Seeds int
+	// Saturated counts the seeds whose whole battery (FIFO, Random, LIFO)
+	// reached a fixpoint within ProbeSteps, up to the first one that did
+	// not (the sweep stops early once Decided can no longer be true).
+	Saturated int
+	// ProbeSteps is the k actually used: the requested value clamped to
+	// the full Decide budget.
+	ProbeSteps int
+	// Decided is true when every seed saturated within k (or weak
+	// acyclicity short-circuited the pool entirely): DecideContext with
+	// the same options is then guaranteed to return a terminating verdict.
+	Decided bool
+	// WeaklyAcyclic is true when the pool was never probed because the
+	// weak-acyclicity shortcut already decides the set.
+	WeaklyAcyclic bool
+}
+
+// ProbeSeeds runs the bounded k-round probe over the set's seed pool. When
+// the outcome is Decided, a saturated seed's (empty) battery outcome is
+// also stored in opts.Cache under the FULL Decide budget — sound, because
+// the budget-k runs are prefixes of the budget-B runs and all reached their
+// fixpoints — so a follow-up DecideContext skips those seeds entirely. A
+// cancelled probe returns ctx's error.
+func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSteps int) (ProbeOutcome, error) {
+	out := ProbeOutcome{}
+	if !set.IsGuarded() {
+		return out, fmt.Errorf("guarded: ProbeSeeds requires a single-head guarded set")
+	}
+	if acyclicity.IsWeaklyAcyclic(set) {
+		out.Decided = true
+		out.WeaklyAcyclic = true
+		return out, nil
+	}
+	budget := opts.maxSteps()
+	k := probeSteps
+	if k <= 0 {
+		k = DefaultProbeSteps
+	}
+	if k > budget {
+		k = budget
+	}
+	out.ProbeSteps = k
+	cache := opts.Cache
+	seeds := generateSeedsCached(set, opts.maxSeeds(), cache)
+	seeds = append(seeds, opts.ExtraSeeds...)
+	seen := make(map[logic.Fingerprint]struct{}, len(seeds))
+	var setFP logic.Fingerprint
+	if cache != nil {
+		setFP = set.Fingerprint()
+	}
+	type uniqSeed struct {
+		i  int
+		fp logic.Fingerprint
+	}
+	var uniq []uniqSeed
+	for i, s := range seeds {
+		fp := logic.FingerprintAtoms(s.Atoms())
+		if _, dup := seen[fp]; dup {
+			continue
+		}
+		seen[fp] = struct{}{}
+		uniq = append(uniq, uniqSeed{i: i, fp: fp})
+	}
+	out.Seeds = len(uniq)
+	for _, u := range uniq {
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		v := chaseSeed(ctx, set, seeds[u.i], k, cache, setFP, u.fp)
+		if v == cancelledVerdict {
+			return out, ctx.Err()
+		}
+		if v != nil {
+			// Not saturated at k: the probe cannot decide; stop sweeping.
+			return out, nil
+		}
+		out.Saturated++
+		if cache != nil && k < budget {
+			cache.StoreSeedOutcome(setFP, u.fp, budget, chase.SeedOutcome{})
+		}
+	}
+	out.Decided = true
+	return out, nil
+}

@@ -1,0 +1,587 @@
+// Package portfolio schedules the library's termination deciders as a
+// cheap-first cascade: Tier 0 runs the syntactic and sufficient-condition
+// checks in cost order (existential-freeness, weak acyclicity, joint
+// acyclicity, the never-firing jointree prune, MFA), Tier 1 runs a k-round
+// bounded chase probe over the guarded seed pool, and Tier 2 races the
+// expensive semantic deciders — sticky's Büchi emptiness test and the
+// guarded seed search — on a bounded worker pool with context cancellation
+// for the losers.
+//
+// The portfolio's contract is conclusion identity: for every input set, the
+// Conclusion (and the error, if any) equals core.Analyze's with the same
+// budgets, bit for bit. The cascade earns its speed purely from stopping
+// early and cancelling losers, never from answering differently. Three
+// invariants enforce this:
+//
+//   - every decisive stage reuses the exact check core.Analyze runs, with
+//     the same budget, in the same relative order;
+//   - a Tier 1 probe decides only when the full guarded procedure is
+//     guaranteed (by the deterministic-prefix argument in guarded.ProbeSeeds)
+//     to return the identical terminating verdict;
+//   - Tier 2 results are combined in the canonical racer order
+//     [sticky, guarded] regardless of wall-clock finish order: a racer's
+//     verdict counts only once every earlier racer has completed without
+//     deciding, which is exactly core.Analyze's sequential order. The
+//     worker count therefore never changes the conclusion, only latency.
+//
+// The ∀∃ derivation search (chase.SearchTerminatingDerivation) can join
+// Tier 2 as a NON-authoritative racer when the caller supplies a concrete
+// database: on the critical instance the search is trivially satisfied (the
+// all-crit instance is already a restricted-chase fixpoint), so it can never
+// witness the ∀∀ question either way. Its outcome is reported as a stage
+// record for diagnostics and never contributes to the conclusion.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"airct/internal/acyclicity"
+	"airct/internal/chase"
+	"airct/internal/core"
+	"airct/internal/guarded"
+	"airct/internal/instance"
+	"airct/internal/sticky"
+	"airct/internal/tgds"
+)
+
+// Options configures the portfolio run. The budget fields mirror
+// core.Options so that a portfolio conclusion stays comparable to an
+// Analyze conclusion computed with the same numbers.
+type Options struct {
+	// Guarded tunes the guarded racer and the Tier 1 probe. Its Cache field
+	// is overwritten with Options.Cache.
+	Guarded guarded.DecideOptions
+	// Sticky tunes the sticky racer.
+	Sticky sticky.DecideOptions
+	// MFASteps bounds the MFA check (0: 20_000, matching core.Options).
+	MFASteps int
+	// ProbeSteps is the Tier 1 per-seed step budget k
+	// (0: guarded.DefaultProbeSteps).
+	ProbeSteps int
+	// Workers bounds the Tier 2 racer pool (0: one worker per racer). The
+	// conclusion is worker-count-invariant: results are always combined in
+	// canonical racer order. Workers: 1 degenerates to a sequential cascade
+	// with early exit.
+	Workers int
+	// Cache, when set, memoises the whole portfolio run — keyed by the set
+	// fingerprint and a salt folding in every budget (never worker counts)
+	// — in addition to the per-seed and seed-pool entries the guarded
+	// stages already share through it.
+	Cache *chase.Cache
+	// Database, when set, adds the ∀∃ derivation search over this database
+	// as a non-authoritative Tier 2 racer (reported, never concluding).
+	Database *instance.Database
+	// Exists tunes the non-authoritative ∀∃ racer.
+	Exists chase.SearchOptions
+}
+
+func resolved(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// salt folds every verdict-relevant budget into the cache key. Worker
+// counts are deliberately excluded: verdicts are worker-invariant, so one
+// entry serves every pool shape.
+func (o Options) salt() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d",
+		resolved(o.Guarded.MaxSteps, 2000),
+		resolved(o.Guarded.MaxSeeds, 256),
+		resolved(o.Sticky.MaxStates, 200_000),
+		resolved(o.MFASteps, 20_000),
+		resolved(o.ProbeSteps, guarded.DefaultProbeSteps))
+	return h.Sum64()
+}
+
+// StageOutcome records one stage's attempt: what ran, whether it decided,
+// and what it cost. Stage records are diagnostics — only Conclusion and
+// DecidedBy carry the semantic result, and only they are pinned across
+// worker counts (a loser may show as "cancelled" under one pool shape and
+// "skipped" under another).
+type StageOutcome struct {
+	// Stage names the check ("full", "weak-acyclicity", "joint-acyclicity",
+	// "jointree-prune", "mfa", "probe", "sticky", "guarded", "exists").
+	Stage string
+	// Tier is the cascade tier that ran the stage (0, 1 or 2).
+	Tier int
+	// Decided is true when this stage fixed the conclusion.
+	Decided bool
+	// Conclusion is the stage's own verdict contribution (Unknown when the
+	// stage was non-decisive, cancelled or skipped).
+	Conclusion core.Conclusion
+	// Detail explains the outcome in core.Analyze's reason vocabulary.
+	Detail string
+	// Steps counts the stage's dominant work unit (chase steps, Büchi
+	// states, seeds — see each stage).
+	Steps int
+	// Duration is the stage's wall-clock cost when it ran live (zero for
+	// cache-replayed stages).
+	Duration time.Duration
+}
+
+// Result is the portfolio's combined answer.
+type Result struct {
+	// Conclusion is pinned bit-identical to core.Analyze's on the same set
+	// and budgets.
+	Conclusion core.Conclusion
+	// DecidedBy names the stage that fixed the conclusion ("" when
+	// Unknown). Deterministic across worker counts.
+	DecidedBy string
+	// Stages lists every attempted stage in cascade order.
+	Stages []StageOutcome
+	// CacheHit is true when the whole run was served from the cross-run
+	// cache without executing any stage.
+	CacheHit bool
+}
+
+// runner accumulates the cascade state for one Analyze call.
+type runner struct {
+	set    *tgds.Set
+	opts   Options
+	res    *Result
+	probed bool
+}
+
+// Analyze runs the cascade. The conclusion (and error behaviour) is pinned
+// to core.Analyze with the same budgets; see the package comment for the
+// argument. A cancelled call returns ctx's error.
+func Analyze(ctx context.Context, set *tgds.Set, opts Options) (*Result, error) {
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("portfolio: empty TGD set")
+	}
+	opts.Guarded.Cache = opts.Cache
+	var setFP, salt = set.Fingerprint(), opts.salt()
+	if opts.Cache != nil {
+		if so, ok := opts.Cache.LookupStageOutcomes(setFP, salt); ok {
+			return replay(so), nil
+		}
+	}
+	r := &runner{set: set, opts: opts, res: &Result{}}
+	if err := r.run(ctx); err != nil {
+		return nil, err
+	}
+	if opts.Cache != nil {
+		opts.Cache.StoreStageOutcomes(setFP, salt, record(r.res))
+	}
+	return r.res, nil
+}
+
+func (r *runner) run(ctx context.Context) error {
+	r.tier0()
+	if r.decided() {
+		return nil
+	}
+	if err := r.tier1(ctx); err != nil {
+		return err
+	}
+	if r.decided() {
+		return nil
+	}
+	return r.tier2(ctx)
+}
+
+func (r *runner) decided() bool { return r.res.DecidedBy != "" }
+
+// conclude fixes the conclusion on the first decisive stage, mirroring
+// core.Report.conclude's first-verdict-wins rule. A stage that finished
+// decisively after the conclusion was already fixed (a racer beaten to the
+// line) is recorded with Decided cleared: its Conclusion field still shows
+// its own verdict, but only one stage ever "decided".
+func (r *runner) conclude(s StageOutcome) {
+	if !r.decided() && s.Decided {
+		r.res.Conclusion = s.Conclusion
+		r.res.DecidedBy = s.Stage
+	} else {
+		s.Decided = false
+	}
+	r.res.Stages = append(r.res.Stages, s)
+}
+
+// tier0 runs the cheap syntactic and sufficient-condition checks in
+// core.Analyze's exact order. Every Tier 0 check is sound for acceptance
+// only, so a decisive stage always concludes Terminates.
+func (r *runner) tier0() {
+	set := r.set
+	stage := func(name string, f func(s *StageOutcome)) {
+		if r.decided() {
+			return
+		}
+		s := StageOutcome{Stage: name, Tier: 0}
+		start := time.Now()
+		f(&s)
+		s.Duration = time.Since(start)
+		r.conclude(s)
+	}
+	stage("full", func(s *StageOutcome) {
+		if set.IsFull() {
+			s.Decided = true
+			s.Conclusion = core.Terminates
+			s.Detail = "full (existential-free) set: the chase cannot invent values"
+		} else {
+			s.Detail = "set has existentials"
+		}
+	})
+	stage("weak-acyclicity", func(s *StageOutcome) {
+		if acyclicity.IsWeaklyAcyclic(set) {
+			s.Decided = true
+			s.Conclusion = core.Terminates
+			s.Detail = "weak acyclicity (sufficient condition)"
+		} else {
+			s.Detail = "dependency graph has a special-edge cycle"
+		}
+	})
+	stage("joint-acyclicity", func(s *StageOutcome) {
+		if acyclicity.IsJointlyAcyclic(set) {
+			s.Decided = true
+			s.Conclusion = core.Terminates
+			s.Detail = "joint acyclicity (sufficient condition)"
+		} else {
+			s.Detail = "existential dependency graph is cyclic"
+		}
+	})
+	stage("jointree-prune", func(s *StageOutcome) {
+		pruned, removed := acyclicity.PruneNeverFiring(set)
+		if len(removed) == 0 {
+			s.Detail = "no never-firing TGDs"
+			return
+		}
+		s.Steps = len(removed)
+		switch {
+		case pruned == nil:
+			s.Decided = true
+			s.Detail = fmt.Sprintf("jointree prune: all %d TGDs are never-firing (head folds into body over the frontier)", len(removed))
+		case pruned.IsFull():
+			s.Decided = true
+			s.Detail = fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is existential-free", len(removed))
+		case acyclicity.IsWeaklyAcyclic(pruned):
+			s.Decided = true
+			s.Detail = fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is weakly acyclic", len(removed))
+		case acyclicity.IsJointlyAcyclic(pruned):
+			s.Decided = true
+			s.Detail = fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is jointly acyclic", len(removed))
+		default:
+			s.Detail = fmt.Sprintf("%d never-firing TGDs removed; remainder undecided", len(removed))
+		}
+		if s.Decided {
+			s.Conclusion = core.Terminates
+		}
+	})
+	stage("mfa", func(s *StageOutcome) {
+		mfa := acyclicity.CheckMFA(set, resolved(r.opts.MFASteps, 20_000))
+		s.Steps = mfa.Steps
+		if mfa.Acyclic {
+			s.Decided = true
+			s.Conclusion = core.Terminates
+			s.Detail = fmt.Sprintf("MFA: semi-oblivious critical-instance chase saturated in %d steps (sufficient condition)", mfa.Steps)
+		} else {
+			s.Detail = "critical-instance chase found a cyclic null or exhausted its budget"
+		}
+	})
+}
+
+// tier1 runs the k-round probe for guarded, non-sticky sets. A decisive
+// probe is a proof that guarded.Decide at the full budget returns the
+// identical terminating verdict (guarded.ProbeSeeds documents the
+// deterministic-prefix argument), so concluding here preserves conclusion
+// identity with core.Analyze, where the guarded stage would have decided.
+func (r *runner) tier1(ctx context.Context) error {
+	if !r.set.IsGuarded() || r.set.IsSticky() {
+		return nil
+	}
+	r.probed = true
+	start := time.Now()
+	out, err := guarded.ProbeSeeds(ctx, r.set, r.opts.Guarded, r.opts.ProbeSteps)
+	if err != nil {
+		return err
+	}
+	s := StageOutcome{
+		Stage:    "probe",
+		Tier:     1,
+		Steps:    out.ProbeSteps,
+		Duration: time.Since(start),
+	}
+	switch {
+	case out.Decided && out.WeaklyAcyclic:
+		s.Decided = true
+		s.Conclusion = core.Terminates
+		s.Detail = "guarded: weak acyclicity"
+	case out.Decided:
+		s.Decided = true
+		s.Conclusion = core.Terminates
+		s.Detail = fmt.Sprintf("probe: all %d seeds saturated within %d steps (full battery pinned terminating)", out.Seeds, out.ProbeSteps)
+	default:
+		s.Detail = fmt.Sprintf("probe: %d/%d seeds saturated within %d steps; escalating", out.Saturated, out.Seeds, out.ProbeSteps)
+	}
+	r.conclude(s)
+	return nil
+}
+
+// racer is one Tier 2 contender.
+type racer struct {
+	name string
+	// authoritative racers may fix the conclusion; the ∀∃ search may not.
+	authoritative bool
+	run           func(ctx context.Context) (StageOutcome, error)
+}
+
+// tier2 races the semantic deciders on a bounded worker pool. Workers claim
+// racers in canonical order off an atomic counter; the combiner then walks
+// the same order, so racer i's verdict counts only after racers j < i all
+// completed without deciding — exactly core.Analyze's sequential semantics.
+// Once the conclusion is fixed the race context is cancelled: running
+// losers observe ctx.Done() inside their chase/Büchi loops and stop
+// promptly; unclaimed racers are skipped outright.
+func (r *runner) tier2(ctx context.Context) error {
+	racers := r.buildRacers()
+	if len(racers) == 0 {
+		return nil
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.opts.Workers
+	if workers <= 0 || workers > len(racers) {
+		workers = len(racers)
+	}
+	if workers == 1 {
+		// Degenerate pool: a sequential cascade in canonical order with
+		// early exit. Same combine rule, so the same conclusion — racers
+		// after the decider are skipped instead of started-and-cancelled.
+		for _, rc := range racers {
+			if r.decided() {
+				r.res.Stages = append(r.res.Stages, StageOutcome{
+					Stage:  rc.name,
+					Tier:   2,
+					Detail: "skipped: an earlier stage decided",
+				})
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out, err := rc.run(rctx)
+			if err != nil {
+				return err
+			}
+			r.concludeRacer(rc, out)
+		}
+		return nil
+	}
+	type slot struct {
+		out     StageOutcome
+		err     error
+		skipped bool
+		done    chan struct{}
+	}
+	slots := make([]*slot, len(racers))
+	for i := range slots {
+		slots[i] = &slot{done: make(chan struct{})}
+	}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(racers) {
+					return
+				}
+				sl := slots[i]
+				if rctx.Err() != nil && ctx.Err() == nil {
+					sl.skipped = true
+					close(sl.done)
+					continue
+				}
+				sl.out, sl.err = racers[i].run(rctx)
+				close(sl.done)
+			}
+		}()
+	}
+	for i, rc := range racers {
+		sl := slots[i]
+		<-sl.done
+		if err := ctx.Err(); err != nil {
+			return err // the caller's context fired, not our loser-cancel
+		}
+		switch {
+		case sl.skipped:
+			r.res.Stages = append(r.res.Stages, StageOutcome{
+				Stage:  rc.name,
+				Tier:   2,
+				Detail: "skipped: an earlier stage decided",
+			})
+		case sl.err != nil && rctx.Err() != nil:
+			// Cancelled loser: its error is our own cancellation.
+			r.res.Stages = append(r.res.Stages, StageOutcome{
+				Stage:  rc.name,
+				Tier:   2,
+				Detail: "cancelled: an earlier racer decided",
+			})
+		case sl.err != nil:
+			cancel()
+			return sl.err
+		default:
+			r.concludeRacer(rc, sl.out)
+			if r.decided() {
+				cancel()
+			}
+		}
+	}
+	return nil
+}
+
+// concludeRacer feeds one completed racer into the combine, stripping the
+// verdict of a non-authoritative contender first.
+func (r *runner) concludeRacer(rc racer, out StageOutcome) {
+	if !rc.authoritative {
+		out.Decided = false
+		out.Conclusion = core.Unknown
+	}
+	r.conclude(out)
+}
+
+// buildRacers assembles the canonical Tier 2 field: sticky before guarded
+// (core.Analyze's order), then the optional non-authoritative ∀∃ search.
+func (r *runner) buildRacers() []racer {
+	var out []racer
+	if r.set.IsSticky() {
+		out = append(out, racer{name: "sticky", authoritative: true, run: r.runSticky})
+	}
+	if r.set.IsGuarded() {
+		out = append(out, racer{name: "guarded", authoritative: true, run: r.runGuarded})
+	}
+	if r.opts.Database != nil {
+		out = append(out, racer{name: "exists", authoritative: false, run: r.runExists})
+	}
+	return out
+}
+
+func (r *runner) runSticky(ctx context.Context) (StageOutcome, error) {
+	start := time.Now()
+	v, err := sticky.DecideContext(ctx, r.set, r.opts.Sticky)
+	if err != nil {
+		return StageOutcome{}, err
+	}
+	s := StageOutcome{Stage: "sticky", Tier: 2, Steps: v.StatesExplored, Duration: time.Since(start)}
+	switch {
+	case v.Terminates && v.Complete:
+		s.Decided = true
+		s.Conclusion = core.Terminates
+		s.Detail = "sticky Büchi automaton A_T is empty (Theorem 6.1)"
+	case !v.Terminates:
+		s.Decided = true
+		s.Conclusion = core.Diverges
+		s.Detail = fmt.Sprintf("sticky Büchi witness: caterpillar lasso of length %d+%d (Theorem 6.1)",
+			len(v.Lasso.Prefix), len(v.Lasso.Cycle))
+	default:
+		s.Detail = "sticky Büchi exploration incomplete (state bound); no witness found"
+	}
+	return s, nil
+}
+
+func (r *runner) runGuarded(ctx context.Context) (StageOutcome, error) {
+	start := time.Now()
+	v, err := guarded.DecideContext(ctx, r.set, r.opts.Guarded)
+	if err != nil {
+		return StageOutcome{}, err
+	}
+	s := StageOutcome{Stage: "guarded", Tier: 2, Steps: v.SeedsTried, Duration: time.Since(start)}
+	switch {
+	case v.Terminates && v.Method == "weak-acyclicity":
+		s.Decided = true
+		s.Conclusion = core.Terminates
+		s.Detail = "guarded: weak acyclicity"
+	case v.Terminates:
+		s.Decided = true
+		s.Conclusion = core.Terminates
+		s.Detail = fmt.Sprintf("guarded: %d seeds exhausted at budget %d (Theorem 5.1, bounded search)", v.SeedsTried, v.Budget)
+	case v.Method == "divergence-witness":
+		s.Decided = true
+		s.Conclusion = core.Diverges
+		s.Detail = fmt.Sprintf("guarded: diverging witness database (%s)", v.Evidence)
+	default:
+		s.Detail = fmt.Sprintf("guarded: budget exhausted without certificate (%s)", v.Evidence)
+	}
+	return s, nil
+}
+
+// runExists runs the ∀∃ derivation search over the caller's database. It is
+// informative only: CT^res_∀∃ on one database says nothing about CT^res_∀∀
+// (and on the critical instance the search is trivially satisfied), so the
+// outcome is recorded but never decisive.
+func (r *runner) runExists(ctx context.Context) (StageOutcome, error) {
+	start := time.Now()
+	res := chase.SearchTerminatingDerivationContext(ctx, r.opts.Database, r.set, r.opts.Exists)
+	s := StageOutcome{Stage: "exists", Tier: 2, Steps: res.Stats.StatesExpanded, Duration: time.Since(start)}
+	switch {
+	case res.Cancelled:
+		s.Detail = "∀∃ search cancelled (informative only)"
+	case res.Found:
+		s.Detail = fmt.Sprintf("∀∃: terminating derivation of length %d on the supplied database (informative only)", len(res.Derivation))
+	case res.Exhausted:
+		s.Detail = "∀∃: no terminating derivation within bounds on the supplied database (informative only)"
+	default:
+		s.Detail = "∀∃ search exhausted its budget (informative only)"
+	}
+	return s, nil
+}
+
+// record converts a finished result into the portable cache entry.
+func record(res *Result) *chase.StageOutcomes {
+	so := &chase.StageOutcomes{
+		Verdict:   res.Conclusion.String(),
+		DecidedBy: res.DecidedBy,
+		Records:   make([]chase.StageRecord, len(res.Stages)),
+	}
+	for i, s := range res.Stages {
+		so.Records[i] = chase.StageRecord{
+			Stage:      s.Stage,
+			Tier:       s.Tier,
+			Decided:    s.Decided,
+			Verdict:    s.Conclusion.String(),
+			Detail:     s.Detail,
+			Steps:      s.Steps,
+			DurationNS: int64(s.Duration),
+		}
+	}
+	return so
+}
+
+// replay rebuilds a Result from a cache entry. Durations are zeroed: the
+// replayed stages did not run.
+func replay(so *chase.StageOutcomes) *Result {
+	res := &Result{
+		Conclusion: parseConclusion(so.Verdict),
+		DecidedBy:  so.DecidedBy,
+		CacheHit:   true,
+		Stages:     make([]StageOutcome, len(so.Records)),
+	}
+	for i, rec := range so.Records {
+		res.Stages[i] = StageOutcome{
+			Stage:      rec.Stage,
+			Tier:       rec.Tier,
+			Decided:    rec.Decided,
+			Conclusion: parseConclusion(rec.Verdict),
+			Detail:     rec.Detail,
+			Steps:      rec.Steps,
+		}
+	}
+	return res
+}
+
+func parseConclusion(s string) core.Conclusion {
+	switch s {
+	case "terminates":
+		return core.Terminates
+	case "diverges":
+		return core.Diverges
+	default:
+		return core.Unknown
+	}
+}

@@ -1,0 +1,293 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"airct/internal/chase"
+	"airct/internal/core"
+	"airct/internal/guarded"
+	"airct/internal/parser"
+	"airct/internal/tgds"
+	"airct/internal/workload"
+)
+
+// testBudgets keeps the corpus sweeps fast while matching core.Analyze's
+// budgets exactly on both sides of every identity assertion.
+const testDecideSteps = 500
+
+func coreOpts() core.Options {
+	return core.Options{GuardedOptions: guarded.DecideOptions{MaxSteps: testDecideSteps}}
+}
+
+func portOpts() Options {
+	return Options{Guarded: guarded.DecideOptions{MaxSteps: testDecideSteps}}
+}
+
+func mustSet(t *testing.T, src string) *tgds.Set {
+	t.Helper()
+	set, err := parser.ParseTGDs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestConclusionIdentityOnWorkloadCorpus is the portfolio's core contract:
+// on every corpus family, the cascade's conclusion equals core.Analyze's,
+// cache off, cold and warm.
+func TestConclusionIdentityOnWorkloadCorpus(t *testing.T) {
+	for _, l := range workload.Corpus() {
+		t.Run(l.Name, func(t *testing.T) {
+			rep, err := core.Analyze(l.Set, coreOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := portOpts()
+			off, err := Analyze(context.Background(), l.Set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Conclusion != rep.Conclusion {
+				t.Fatalf("conclusion = %v, want %v (core.Analyze); decided by %q\nstages: %+v",
+					off.Conclusion, rep.Conclusion, off.DecidedBy, off.Stages)
+			}
+			if off.Conclusion != core.Unknown && off.DecidedBy == "" {
+				t.Error("decisive result without a deciding stage")
+			}
+			opts.Cache = chase.NewCache()
+			cold, err := Analyze(context.Background(), l.Set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := Analyze(context.Background(), l.Set, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.CacheHit || cold.CacheHit {
+				t.Errorf("cache hits: cold %v, warm %v", cold.CacheHit, warm.CacheHit)
+			}
+			for label, got := range map[string]*Result{"cold": cold, "warm": warm} {
+				if got.Conclusion != rep.Conclusion || got.DecidedBy != off.DecidedBy {
+					t.Errorf("%s drifted: %v/%q vs %v/%q",
+						label, got.Conclusion, got.DecidedBy, rep.Conclusion, off.DecidedBy)
+				}
+			}
+		})
+	}
+}
+
+// TestVerdictInvariantAcrossRacerPoolShapes is the satellite quick-check:
+// conclusion and deciding stage never depend on the Tier 2 worker count or
+// on cache state. It runs under the CI -race job, so it also exercises the
+// race's memory discipline.
+func TestVerdictInvariantAcrossRacerPoolShapes(t *testing.T) {
+	// Families chosen to exercise every racer combination: sticky+guarded
+	// terminating and diverging, guarded-only diverging, sticky-only
+	// terminating, and a baseline-decided set.
+	cases := []workload.Labeled{
+		workload.LinearCycle(3),
+		workload.StickyRelay(2),
+		workload.GuardedLadder(2),
+		workload.StickyJoin(2),
+		workload.SwapIntro(2),
+		workload.ExistentialChain(3),
+	}
+	for _, l := range cases {
+		t.Run(l.Name, func(t *testing.T) {
+			base, err := Analyze(context.Background(), l.Set, portOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				for _, withCache := range []bool{false, true} {
+					opts := portOpts()
+					opts.Workers = workers
+					if withCache {
+						opts.Cache = chase.NewCache()
+					}
+					for pass := 0; pass < 2; pass++ {
+						got, err := Analyze(context.Background(), l.Set, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Conclusion != base.Conclusion || got.DecidedBy != base.DecidedBy {
+							t.Errorf("workers=%d cache=%v pass=%d: %v/%q, want %v/%q",
+								workers, withCache, pass, got.Conclusion, got.DecidedBy,
+								base.Conclusion, base.DecidedBy)
+						}
+						if !withCache {
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStageAttribution pins which tier decides the canonical families — the
+// cascade's reason to exist.
+func TestStageAttribution(t *testing.T) {
+	cases := []struct {
+		name      string
+		set       *tgds.Set
+		decidedBy string
+		verdict   core.Conclusion
+	}{
+		{"datalog-full", workload.DatalogChain(3).Set, "full", core.Terminates},
+		{"existential-wa", workload.ExistentialChain(3).Set, "weak-acyclicity", core.Terminates},
+		{"swap-intro-prune", workload.SwapIntro(2).Set, "jointree-prune", core.Terminates},
+		{"sticky-relay-race", workload.StickyRelay(2).Set, "sticky", core.Diverges},
+		{"guarded-ladder-race", workload.GuardedLadder(2).Set, "guarded", core.Diverges},
+		// MFA-but-not-JA separator: Mov(Y) reaches R.1 (via the swap copy)
+		// and R.2 (via the direct copy), so the diagonal rule R(X,X) → S(X)
+		// positionally forwards the null to S and back to A — JA sees a
+		// cycle. Concretely no single null ever sits in both R positions at
+		// once (R(n,c) and R(c,n) are never diagonal), so the critical-
+		// instance so-chase saturates and MFA decides before any racer.
+		{"mfa-separator", mustSet(t, `
+			A(X) -> T(X,Y).
+			T(X,Y) -> R(Y,X).
+			T(X,Y) -> R(X,Y).
+			R(X,X) -> S(X).
+			S(X) -> A(X).`), "mfa", core.Terminates},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Analyze(context.Background(), tc.set, portOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Conclusion != tc.verdict || res.DecidedBy != tc.decidedBy {
+				t.Errorf("got %v decided by %q, want %v by %q\nstages: %+v",
+					res.Conclusion, res.DecidedBy, tc.verdict, tc.decidedBy, res.Stages)
+			}
+		})
+	}
+}
+
+// TestProbeDecidesGuardedNonStickySet pins Tier 1: example 5.6's guarded
+// non-sticky shape escalates (it diverges), while a guarded non-sticky
+// terminating set with existentials is caught by the probe before Tier 2.
+func TestProbeTierAttribution(t *testing.T) {
+	// Guarded, not sticky (marked X recurs in body positions), not WA/JA,
+	// not prunable — but every seed saturates in a handful of steps.
+	set := mustSet(t, `
+		S(X,Y) -> T(X).
+		R(X,Y), T(Y) -> P(X,Y).
+		P(X,Y) -> P(Y,Z).
+	`)
+	if set.IsSticky() || !set.IsGuarded() {
+		t.Fatal("example 5.6 class flags shifted")
+	}
+	res, err := Analyze(context.Background(), set, portOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 5.6 diverges: the probe must NOT decide it, and guarded must.
+	if res.DecidedBy != "guarded" || res.Conclusion != core.Diverges {
+		t.Errorf("example 5.6: %v by %q, want diverges by guarded\nstages: %+v",
+			res.Conclusion, res.DecidedBy, res.Stages)
+	}
+	probed := false
+	for _, s := range res.Stages {
+		if s.Stage == "probe" {
+			probed = true
+			if s.Decided {
+				t.Error("probe claims to have decided a diverging set")
+			}
+		}
+	}
+	if !probed {
+		t.Error("guarded non-sticky set skipped the Tier 1 probe")
+	}
+}
+
+// TestExistsRacerIsNonAuthoritative pins the ∀∃ stage contract: with a
+// database supplied it reports, but the conclusion and deciding stage are
+// unchanged — even on a set where the search finds a terminating
+// derivation while the ∀∀ answer is Diverges.
+func TestExistsRacerIsNonAuthoritative(t *testing.T) {
+	prog := parser.MustParse(`
+		S(a).
+		S(X) -> R(X,Y).
+		R(X,Y) -> S(Y).
+	`)
+	without, err := Analyze(context.Background(), prog.TGDs, portOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := portOpts()
+	opts.Database = prog.Database
+	opts.Exists = chase.SearchOptions{MaxStates: 2000, MaxAtoms: 50}
+	with, err := Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Conclusion != without.Conclusion || with.DecidedBy != without.DecidedBy {
+		t.Errorf("∀∃ racer changed the answer: %v/%q vs %v/%q",
+			with.Conclusion, with.DecidedBy, without.Conclusion, without.DecidedBy)
+	}
+	found := false
+	for _, s := range with.Stages {
+		if s.Stage == "exists" {
+			found = true
+			if s.Decided || s.Conclusion != core.Unknown {
+				t.Errorf("exists stage marked decisive: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("no exists stage recorded despite a supplied database")
+	}
+}
+
+func TestEmptySetRejected(t *testing.T) {
+	if _, err := Analyze(context.Background(), &tgds.Set{}, Options{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+// TestAnalyzeCancelledPropagates pins the cascade's own cancellation: a
+// context cancelled mid-race surfaces as ctx's error, promptly.
+func TestAnalyzeCancelledPropagates(t *testing.T) {
+	set := workload.GuardedLadder(2).Set
+	opts := portOpts()
+	opts.Guarded.MaxSteps = 50_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Analyze(ctx, set, opts)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v (result %+v), want context.Canceled", err, res)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled Analyze took %v", elapsed)
+	}
+}
+
+// TestWorkersOneIsSequentialCascade pins the degenerate pool: with one
+// worker the race is a sequential cascade with early exit, and a decisive
+// first racer leaves the second skipped, not cancelled.
+func TestWorkersOneIsSequentialCascade(t *testing.T) {
+	opts := portOpts()
+	opts.Workers = 1
+	res, err := Analyze(context.Background(), workload.LinearCycle(3).Set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecidedBy != "sticky" || res.Conclusion != core.Diverges {
+		t.Fatalf("linear cycle: %v by %q", res.Conclusion, res.DecidedBy)
+	}
+	for _, s := range res.Stages {
+		if s.Stage == "guarded" && s.Detail != "skipped: an earlier stage decided" {
+			t.Errorf("W=1 loser not skipped: %+v", s)
+		}
+	}
+}

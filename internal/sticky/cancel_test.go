@@ -1,0 +1,40 @@
+package sticky
+
+import (
+	"context"
+	"testing"
+)
+
+func TestDecideContextCancelledReturnsError(t *testing.T) {
+	s := set(t, `
+		B1(X) -> R(X,Y).
+		R(X,Y) -> B2(Y).
+		B2(X) -> B1(X).
+	`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := DecideContext(ctx, s, DecideOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v (verdict %+v), want context.Canceled — a partial exploration must never be interpreted", err, v)
+	}
+}
+
+func TestDecideContextBackgroundMatchesDecide(t *testing.T) {
+	s := set(t, `
+		B1(X) -> R(X,Y).
+		R(X,Y) -> B2(Y).
+		B2(X) -> B1(X).
+	`)
+	plain, err := Decide(s, DecideOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := DecideContext(context.Background(), s, DecideOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Terminates != bg.Terminates || plain.Method != bg.Method ||
+		plain.StatesExplored != bg.StatesExplored || plain.Complete != bg.Complete {
+		t.Errorf("Background-context Decide drifted: %+v vs %+v", bg, plain)
+	}
+}

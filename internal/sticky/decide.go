@@ -1,6 +1,7 @@
 package sticky
 
 import (
+	"context"
 	"fmt"
 
 	"airct/internal/buchi"
@@ -50,6 +51,14 @@ func (o DecideOptions) maxStates() int {
 // an infinite fair restricted chase derivation; emptiness of every
 // component certifies termination on all instances.
 func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
+	return DecideContext(context.Background(), set, opts)
+}
+
+// DecideContext is Decide under a context: the per-component Büchi
+// exploration polls ctx.Done() (buchi.ExploreContext) and a cancelled call
+// returns ctx's error instead of a verdict — a partial exploration is never
+// interpreted. Uncancelled calls behave identically to Decide.
+func DecideContext(ctx context.Context, set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 	if !set.IsSingleHead() {
 		return nil, fmt.Errorf("sticky: Decide requires single-head TGDs")
 	}
@@ -64,7 +73,10 @@ func Decide(set *tgds.Set, opts DecideOptions) (*Verdict, error) {
 		if err != nil {
 			return nil, err
 		}
-		explored := buchi.Explore(a, opts.maxStates())
+		explored := buchi.ExploreContext(ctx, a, opts.maxStates())
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		verdict.StatesExplored += explored.Len()
 		if !explored.Complete {
 			verdict.Complete = false

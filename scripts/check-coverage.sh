@@ -7,7 +7,7 @@
 # refactors don't flap, while a regression that deletes tests fails loudly.
 #
 # Measured at the PR 5 ratchet: internal/chase 90.5%, internal/guarded
-# 91.9%.
+# 91.9%. At the PR 6 ratchet: internal/portfolio 80.0%.
 set -eu
 
 check() {
@@ -26,3 +26,4 @@ check() {
 
 check ./internal/chase 88.5
 check ./internal/guarded 89.9
+check ./internal/portfolio 78.0
