@@ -197,7 +197,7 @@ func TestTermcheckProfiles(t *testing.T) {
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cpuprofile", "-memprofile"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cache-file", "-cpuprofile", "-memprofile"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},
@@ -245,7 +245,7 @@ func TestTermcheckCacheStats(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\n%s", code, cached)
 	}
-	m := regexp.MustCompile(`(?m)^cache: hits=(\d+) misses=\d+ entries=\d+ bytes=\d+\n`).FindStringSubmatch(cached)
+	m := regexp.MustCompile(`(?m)^cache: hits=(\d+) misses=\d+ entries=\d+ bytes=\d+ evictions=\d+ evicted-entries=\d+\n`).FindStringSubmatch(cached)
 	if m == nil {
 		t.Fatalf("no cache: stats line:\n%s", cached)
 	}
@@ -258,6 +258,60 @@ func TestTermcheckCacheStats(t *testing.T) {
 	}
 	if got := strings.Replace(cached, m[0], "", 1); got != plain {
 		t.Errorf("-cache changed the report beyond the stats line:\n%s\nvs\n%s", got, plain)
+	}
+}
+
+// TestTermcheckCacheFilePersists pins the -cache-file surface: the first
+// run writes a snapshot, a second run loads it and reports warm hits, and
+// the warm report is byte-identical to the cold one modulo the cache stats
+// line. A corrupt snapshot must be reported, ignored, and rewritten — never
+// fatal.
+func TestTermcheckCacheFilePersists(t *testing.T) {
+	bin := binary(t, "termcheck")
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	cacheLine := regexp.MustCompile(`(?m)^cache: hits=(\d+) misses=\d+ entries=\d+ bytes=\d+ evictions=\d+ evicted-entries=\d+\n`)
+
+	cold, code := run(t, bin, "-cache-file", snap, "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("cold exit = %d, want 0\n%s", code, cold)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not written on exit: %v", err)
+	}
+
+	warm, code := run(t, bin, "-cache-file", snap, "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("warm exit = %d, want 0\n%s", code, warm)
+	}
+	wm := cacheLine.FindStringSubmatch(warm)
+	if wm == nil {
+		t.Fatalf("warm run: no cache: stats line:\n%s", warm)
+	}
+	if wm[1] == "0" {
+		t.Errorf("warm restart reports zero hits — the snapshot did not warm the cache:\n%s", warm)
+	}
+	if cacheLine.ReplaceAllString(warm, "") != cacheLine.ReplaceAllString(cold, "") {
+		t.Errorf("-cache-file changed the report beyond the stats line:\n%s\nvs\n%s", warm, cold)
+	}
+
+	// Corruption: an unreadable snapshot is ignored with a warning and the
+	// run still succeeds (and rewrites the file with a fresh snapshot).
+	if err := os.WriteFile(snap, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, bin, "-cache-file", snap, "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("corrupt snapshot exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "ignoring cache file") {
+		t.Errorf("corrupt snapshot not reported:\n%s", out)
+	}
+	rewarm, code := run(t, bin, "-cache-file", snap, "testdata/conformance/swap-intro.chase")
+	if code != 0 {
+		t.Fatalf("rewritten snapshot exit = %d, want 0\n%s", code, rewarm)
+	}
+	if m := cacheLine.FindStringSubmatch(rewarm); m == nil || m[1] == "0" {
+		t.Errorf("rewritten snapshot did not warm the next run:\n%s", rewarm)
 	}
 }
 
@@ -304,8 +358,11 @@ func TestTermcheckPortfolio(t *testing.T) {
 	if !strings.Contains(out, "decided-by=jointree-prune") {
 		t.Errorf("swap-intro: prune stage did not decide:\n%s", out)
 	}
-	if !regexp.MustCompile(`(?m)^cache: hits=\d+ misses=\d+ entries=\d+ bytes=\d+$`).MatchString(out) {
+	if !regexp.MustCompile(`(?m)^cache: hits=\d+ misses=\d+ entries=\d+ bytes=\d+ evictions=\d+ evicted-entries=\d+$`).MatchString(out) {
 		t.Errorf("swap-intro cached: no cache: stats line:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^portfolio-stage: name=\S+ tier=\d+ decided=(true|false) verdict=\S+ steps=\d+ saturated=\d+/\d+ depth=\d+ elapsed=\S+ detail="`).MatchString(out) {
+		t.Errorf("swap-intro cached: portfolio-stage line lacks probe diagnostics fields:\n%s", out)
 	}
 
 	if out, code = run(t, bin, "-portfolio", "-exists", "testdata/conformance/ladder.chase"); code != 3 {

@@ -27,12 +27,20 @@
 // input feed a non-authoritative ∀∃ racer whose outcome is reported but
 // never concludes.
 //
-// -cache routes the guarded decision through a cross-run chase cache
-// (internal/chase/cache.go): seed pools, seed chase outcomes and the
-// engine's initial trigger queues are memoised on (TGD-set fingerprint,
-// instance fingerprint) keys, and a `cache:` stats line reports
-// hits/misses/entries/bytes. Verdicts are bit-identical with and without
-// the cache. ∀ question only; ignored by -exists.
+// -cache routes the run through a cross-run chase cache
+// (internal/chase/cache.go): seed pools, seed chase outcomes, the engine's
+// initial trigger queues, sticky Büchi lasso verdicts, whole portfolio
+// runs and whole -exists search outcomes are memoised on (TGD-set
+// fingerprint, instance fingerprint) keys, and a `cache:` stats line
+// reports hits/misses/entries/bytes and stripe evictions. Verdicts are
+// bit-identical with and without the cache.
+//
+// -cache-file PATH makes that cache persistent (and implies -cache): an
+// existing snapshot at PATH is loaded before the run — a corrupt or
+// version-mismatched file is reported and ignored, never fatal — and the
+// cache is snapshotted back to PATH on exit via an atomic rename, so warm
+// wins compound across invocations. The format is the versioned,
+// checksummed binary layout of internal/chase/snapshot.go.
 //
 // -cpuprofile/-memprofile write pprof profiles of whichever question was
 // asked, so hot-spot claims about the decision procedures and the search
@@ -64,11 +72,12 @@ func main() {
 	exists := flag.Bool("exists", false, "search for a finite derivation of the input database (CT^res_∀∃) instead of deciding all-instances termination")
 	existsStates := flag.Int("exists-states", 10000, "state budget for the -exists search")
 	existsAtoms := flag.Int("exists-atoms", 200, "per-instance atom bound for the -exists search")
-	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs or dfs")
+	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs, dfs or index")
 	usePortfolio := flag.Bool("portfolio", false, "answer the all-instances question through the staged decider portfolio (cheap checks, k-round probe, raced semantic deciders)")
 	probeSteps := flag.Int("probe-steps", guarded.DefaultProbeSteps, "per-seed step budget k of the -portfolio Tier 1 probe")
 	workers := flag.Int("workers", 1, "parallel workers for the -exists search and the -portfolio Tier 2 race (1 = sequential)")
-	useCache := flag.Bool("cache", false, "memoise guarded seed chases in a cross-run chase cache and report a cache: stats line (ignored by -exists)")
+	useCache := flag.Bool("cache", false, "memoise chase work (guarded seeds, sticky Büchi verdicts, -exists searches, portfolio runs) in a cross-run cache and report a cache: stats line")
+	cacheFile := flag.String("cache-file", "", "persist the cross-run cache: load the snapshot at this path if it exists and save it back atomically on exit (implies -cache)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to the file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to the file before exiting")
 	flag.Parse()
@@ -96,7 +105,7 @@ func main() {
 				}
 			}()
 		}
-		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache)
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache, *cacheFile)
 	}())
 }
 
@@ -110,7 +119,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool) int {
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool, cacheFile string) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		return fail(err)
@@ -125,32 +134,78 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	if exists && usePortfolio {
 		return fail(fmt.Errorf("-exists and -portfolio ask different questions; choose one"))
 	}
-	if exists {
-		return runExists(prog, existsStates, existsAtoms, existsStrategy, workers)
+	cache, err := openCache(useCache, cacheFile)
+	if err != nil {
+		return fail(err)
 	}
-	if usePortfolio {
-		return runPortfolio(prog, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers, useCache)
+	code := func() int {
+		if exists {
+			return runExists(prog, existsStates, existsAtoms, existsStrategy, workers, cache)
+		}
+		if usePortfolio {
+			return runPortfolio(prog, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers, cache)
+		}
+		return runAnalyze(prog, guardedBudget, stickyStates, cache)
+	}()
+	if cache != nil && cacheFile != "" {
+		if err := chase.SaveCacheFile(cache, cacheFile); err != nil {
+			return fail(err)
+		}
 	}
+	return code
+}
+
+// openCache builds the run's shared cache: empty under plain -cache, warm
+// under -cache-file when a loadable snapshot exists. A missing snapshot
+// file starts cold silently; a corrupt or version-mismatched one is
+// reported to stderr and ignored (the run proceeds cold and overwrites it
+// on exit) — persistence must never turn a decidable input into an error.
+func openCache(useCache bool, cacheFile string) (*chase.Cache, error) {
+	if !useCache && cacheFile == "" {
+		return nil, nil
+	}
+	if cacheFile != "" {
+		loaded, rep, err := chase.LoadCacheFile(cacheFile)
+		switch {
+		case err == nil:
+			if rep.Skipped > 0 || rep.Truncated {
+				fmt.Fprintf(os.Stderr, "termcheck: cache file %s: restored %d entries, skipped %d corrupt, truncated=%t\n",
+					cacheFile, rep.Restored, rep.Skipped, rep.Truncated)
+			}
+			return loaded, nil
+		case os.IsNotExist(err):
+			// First run: start cold, save on exit.
+		default:
+			fmt.Fprintf(os.Stderr, "termcheck: ignoring cache file %s: %v\n", cacheFile, err)
+		}
+	}
+	return chase.NewCache(), nil
+}
+
+func printCacheStats(cache *chase.Cache) {
+	if cache == nil {
+		return
+	}
+	st := cache.Stats()
+	fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d evictions=%d evicted-entries=%d\n",
+		st.Hits, st.Misses, st.Entries, st.Bytes, st.Evictions, st.EvictedEntries)
+}
+
+// runAnalyze answers the ∀∀ question through the plain sequential analysis.
+func runAnalyze(prog *parser.Program, guardedBudget, stickyStates int, cache *chase.Cache) int {
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts ignored (the question is all-instances)\n", prog.Database.Len())
 	}
-	var cache *chase.Cache
-	if useCache {
-		cache = chase.NewCache()
-	}
 	rep, err := core.Analyze(prog.TGDs, core.Options{
 		GuardedOptions: guarded.DecideOptions{MaxSteps: guardedBudget, Cache: cache},
-		StickyOptions:  sticky.DecideOptions{MaxStates: stickyStates},
+		StickyOptions:  sticky.DecideOptions{MaxStates: stickyStates, Cache: cache},
 	})
 	if err != nil {
 		return fail(err)
 	}
 	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
 	fmt.Print(rep.Summary())
-	if cache != nil {
-		st := cache.Stats()
-		fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d\n", st.Hits, st.Misses, st.Entries, st.Bytes)
-	}
+	printCacheStats(cache)
 	switch rep.Conclusion {
 	case core.Terminates:
 		return 0
@@ -164,11 +219,7 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 // runPortfolio answers the ∀∀ question through the staged portfolio and
 // reports per-stage work. The exit code funnel matches the plain analysis:
 // the portfolio's conclusion is pinned bit-identical to core.Analyze's.
-func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers int, useCache bool) int {
-	var cache *chase.Cache
-	if useCache {
-		cache = chase.NewCache()
-	}
+func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers int, cache *chase.Cache) int {
 	opts := portfolio.Options{
 		Guarded:    guarded.DecideOptions{MaxSteps: guardedBudget},
 		Sticky:     sticky.DecideOptions{MaxStates: stickyStates},
@@ -191,13 +242,10 @@ func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsState
 	fmt.Printf("portfolio: verdict=%s decided-by=%s stages=%d cache-hit=%t elapsed=%s\n",
 		res.Conclusion, orDash(res.DecidedBy), len(res.Stages), res.CacheHit, elapsed.Round(time.Microsecond))
 	for _, s := range res.Stages {
-		fmt.Printf("portfolio-stage: name=%s tier=%d decided=%t verdict=%s steps=%d elapsed=%s detail=%q\n",
-			s.Stage, s.Tier, s.Decided, s.Conclusion, s.Steps, s.Duration.Round(time.Microsecond), s.Detail)
+		fmt.Printf("portfolio-stage: name=%s tier=%d decided=%t verdict=%s steps=%d saturated=%d/%d depth=%d elapsed=%s detail=%q\n",
+			s.Stage, s.Tier, s.Decided, s.Conclusion, s.Steps, s.Saturated, s.Seeds, s.Depth, s.Duration.Round(time.Microsecond), s.Detail)
 	}
-	if cache != nil {
-		st := cache.Stats()
-		fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d\n", st.Hits, st.Misses, st.Entries, st.Bytes)
-	}
+	printCacheStats(cache)
 	switch res.Conclusion {
 	case core.Terminates:
 		return 0
@@ -217,7 +265,7 @@ func orDash(s string) string {
 
 // runExists runs the ∀∃ derivation search on the program's database and
 // returns the search's verdict as an exit code.
-func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, workers int) int {
+func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, workers int, cache *chase.Cache) int {
 	if prog.Database.Len() == 0 {
 		return fail(fmt.Errorf("-exists needs facts in the input (the question is per-database)"))
 	}
@@ -233,11 +281,13 @@ func runExists(prog *parser.Program, maxStates, maxAtoms int, strategy string, w
 		MaxAtoms:  maxAtoms,
 		Strategy:  strat,
 		Workers:   workers,
+		Cache:     cache,
 	})
 	fmt.Printf("exists-search: strategy=%s workers=%d states=%d expanded=%d memo-hits=%d peak-frontier=%d\n",
 		strat, workers, res.StatesVisited, res.Stats.StatesExpanded, res.Stats.MemoHits, res.Stats.PeakFrontier)
 	fmt.Printf("trigger-index: repairs=%d rebuilds=%d activity-rechecks=%d\n",
 		res.Stats.IndexRepairs, res.Stats.IndexRebuilds, res.Stats.ActivityRechecks)
+	printCacheStats(cache)
 	switch {
 	case res.Found:
 		fmt.Printf("finite derivation exists: %d steps\n", len(res.Derivation))

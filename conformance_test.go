@@ -3,12 +3,15 @@
 // header line, and every entry runs table-driven across the full decision
 // matrix — the chase engine, the sequential ∀∃ exists-search, the parallel
 // search at W ∈ {2, 4}, and (where the set is single-head guarded) the
-// guarded ∀∀ decision — each × {cache off, cache cold, cache warm} where a
-// cross-run cache can be wired (the engine and the guarded decision; the
-// exists-search takes no cache). Beyond matching the golden verdicts, the
-// cache dimension is pinned bit-identical: same reason, steps, stats and
-// final-instance atom sequence for the engine, and same verdict, method,
-// evidence, SeedsTried and witness rendering for Decide, cold and warm.
+// guarded ∀∀ decision — each × {cache off, cache cold, cache warm,
+// snapshot→restore→warm}. Beyond matching the golden verdicts, the cache
+// dimension is pinned bit-identical: same reason, steps, stats and
+// final-instance atom sequence for the engine, same verdict, method,
+// evidence, SeedsTried and witness rendering for Decide, and same verdict,
+// stats and derivation rendering for the sequential exists-search — cold,
+// warm, and warmed from a snapshot of the cold cache (the persistent
+// tier's restore path must be indistinguishable from the in-process warm
+// cache).
 //
 // Directive grammar (one line, space-separated key=value):
 //
@@ -22,7 +25,9 @@
 package airct_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,6 +87,35 @@ func decideVerdict(v *guarded.Verdict) string {
 	return "diverges"
 }
 
+// snapshotRoundTrip models a process restart: snapshot the cache and
+// rebuild a fresh one from the bytes, demanding a clean load.
+func snapshotRoundTrip(t *testing.T, cache *chase.Cache) *chase.Cache {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cache.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	restored, rep, err := chase.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("snapshot load: %v", err)
+	}
+	if rep.Skipped > 0 || rep.Truncated {
+		t.Fatalf("snapshot load degraded: %+v", rep)
+	}
+	return restored
+}
+
+// existsRendering is the byte-identity witness for the exists column's
+// cache dimension: verdict, work counters and the witness derivation.
+func existsRendering(res *chase.ExistsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict=%s states=%d stats=%+v\n", existsVerdict(res), res.StatesVisited, res.Stats)
+	for i, tr := range res.Derivation {
+		fmt.Fprintf(&b, "%d: %s\n", i, tr.String())
+	}
+	return b.String()
+}
+
 // finalAtoms renders the run's final instance in insertion order — the
 // byte-identity witness for the engine's cache dimension.
 func finalAtoms(run *chase.Run) string {
@@ -139,7 +173,12 @@ func runEngineColumn(t *testing.T, prog *parser.Program, want string) {
 	if !warm.Activity.SeedIndexHit {
 		t.Error("engine: warm run did not load the cached seed index")
 	}
-	for label, got := range map[string]*chase.Run{"cold": cold, "warm": warm} {
+	opts.Cache = snapshotRoundTrip(t, cache)
+	snap := chase.RunChase(prog.Database, prog.TGDs, opts)
+	if !snap.Activity.SeedIndexHit {
+		t.Error("engine: snapshot-warmed run did not load the cached seed index")
+	}
+	for label, got := range map[string]*chase.Run{"cold": cold, "warm": warm, "snap": snap} {
 		if got.Reason != off.Reason || got.StepsTaken != off.StepsTaken || got.Stats != off.Stats {
 			t.Errorf("engine/%s: run drifted from cache-off: reason %v/%v steps %d/%d stats %+v/%+v",
 				label, got.Reason, off.Reason, got.StepsTaken, off.StepsTaken, got.Stats, off.Stats)
@@ -151,8 +190,9 @@ func runEngineColumn(t *testing.T, prog *parser.Program, want string) {
 }
 
 // runExistsColumn runs the ∀∃ search sequentially and at W ∈ {2, 4},
-// expecting the golden verdict at every width. (The search takes no cache;
-// its column has no cache dimension.)
+// expecting the golden verdict at every width, then adds the sequential
+// cache dimension: cold, in-process warm and snapshot→restore→warm runs
+// must render bit-identically — verdict, stats and witness derivation.
 func runExistsColumn(t *testing.T, prog *parser.Program, want string) {
 	for _, workers := range []int{1, 2, 4} {
 		res := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, chase.SearchOptions{
@@ -162,6 +202,27 @@ func runExistsColumn(t *testing.T, prog *parser.Program, want string) {
 		})
 		if got := existsVerdict(res); got != want {
 			t.Errorf("exists/workers=%d: verdict = %s, want %s", workers, got, want)
+		}
+	}
+	opts := chase.SearchOptions{MaxStates: confExistsStates, MaxAtoms: confExistsAtoms}
+	off := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, opts)
+	cache := chase.NewCache()
+	opts.Cache = cache
+	cold := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, opts)
+	warm := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, opts)
+	if cache.Stats().Hits == 0 {
+		t.Error("exists/warm: warm search recorded no cache hit")
+	}
+	restored := snapshotRoundTrip(t, cache)
+	opts.Cache = restored
+	snap := chase.SearchTerminatingDerivation(prog.Database, prog.TGDs, opts)
+	if restored.Stats().Hits == 0 {
+		t.Error("exists/snap: snapshot-warmed search recorded no cache hit")
+	}
+	base := existsRendering(off)
+	for label, got := range map[string]*chase.ExistsResult{"cold": cold, "warm": warm, "snap": snap} {
+		if r := existsRendering(got); r != base {
+			t.Errorf("exists/%s: rendering drifted from cache-off:\n%s\nvs\n%s", label, r, base)
 		}
 	}
 }
@@ -204,7 +265,15 @@ func runPortfolioColumn(t *testing.T, prog *parser.Program) {
 	if !warm.CacheHit {
 		t.Error("portfolio/warm: whole-run cache missed")
 	}
-	for label, got := range map[string]*portfolio.Result{"cold": cold, "warm": warm} {
+	opts.Cache = snapshotRoundTrip(t, opts.Cache)
+	snap, err := portfolio.Analyze(context.Background(), prog.TGDs, opts)
+	if err != nil {
+		t.Fatalf("portfolio/snap: %v", err)
+	}
+	if !snap.CacheHit {
+		t.Error("portfolio/snap: snapshot-warmed run missed the stage ledger")
+	}
+	for label, got := range map[string]*portfolio.Result{"cold": cold, "warm": warm, "snap": snap} {
 		if got.Conclusion != rep.Conclusion {
 			t.Errorf("portfolio/%s: conclusion = %v, want %v (core.Analyze)", label, got.Conclusion, rep.Conclusion)
 		}
@@ -233,7 +302,12 @@ func runDecideColumn(t *testing.T, prog *parser.Program, want, wantMethod string
 	}
 	for _, workers := range []int{1, 2} {
 		cache := chase.NewCache()
-		for _, label := range []string{"cold", "warm"} {
+		for _, label := range []string{"cold", "warm", "snap"} {
+			if label == "snap" {
+				// The snapshot cell restarts the process: the warm cache's
+				// snapshot rebuilt from bytes must serve identically.
+				cache = snapshotRoundTrip(t, cache)
+			}
 			v, err := guarded.Decide(prog.TGDs, guarded.DecideOptions{
 				MaxSteps: confDecideSteps,
 				Workers:  workers,
@@ -255,9 +329,11 @@ func runDecideColumn(t *testing.T, prog *parser.Program, want, wantMethod string
 			}
 		}
 		// Weak acyclicity decides before any seed is generated or chased, so
-		// only seed-searching decisions can (and must) hit the cache.
+		// only seed-searching decisions can (and must) hit the cache. After
+		// the loop `cache` is the snapshot-restored one, so this also pins
+		// that the restored entries actually served the snap cell.
 		if st := cache.Stats(); st.Hits == 0 && base.Method != "weak-acyclicity" {
-			t.Errorf("decide/workers=%d: warm pass recorded no cache hits", workers)
+			t.Errorf("decide/workers=%d: snapshot-warmed pass recorded no cache hits", workers)
 		}
 	}
 }

@@ -6,7 +6,7 @@ package chase
 // does constantly, both inside one Decide call (each seed runs a battery of
 // trigger orders; treeification re-derives seeds) and across Decide calls
 // (a served workload repeats programs) — costs one map probe instead of a
-// chase. Four entry kinds share the store:
+// chase. Six entry kinds share the store:
 //
 //   - seed outcomes (guarded.chaseSeed): the per-seed divergence verdict of
 //     the bounded chase battery, keyed additionally by the step budget. A
@@ -67,6 +67,8 @@ const (
 	kindSeedIndex     uint64 = 2 << 56
 	kindSeedPool      uint64 = 3 << 56
 	kindStageOutcomes uint64 = 4 << 56
+	kindStickyOutcome uint64 = 5 << 56
+	kindExistsOutcome uint64 = 6 << 56
 )
 
 // CacheKey identifies one cached chase artefact.
@@ -86,6 +88,13 @@ type CacheStats struct {
 	Entries int64
 	// Bytes estimates the retained footprint (keys, strings, slices).
 	Bytes int64
+	// Evictions counts stripe segment evictions (a store that would
+	// overflow its stripe's byte share drops the whole stripe first);
+	// EvictedEntries totals the entries those evictions discarded. A warm
+	// entry silently lost to eviction is otherwise unobservable, and the
+	// planned age/size-aware policy needs this signal.
+	Evictions      int64
+	EvictedEntries int64
 }
 
 // SeedOutcome is a cached per-seed decision outcome: what the guarded
@@ -97,6 +106,10 @@ type SeedOutcome struct {
 	// Method and Evidence mirror guarded.Verdict on diverging seeds.
 	Method   string
 	Evidence string
+	// Steps is the battery's saturation depth: the deepest chase among the
+	// trigger orders on a saturating seed, or the diverging run's step
+	// count — so a warm hit can still serve probe diagnostics.
+	Steps int
 }
 
 // SeedTrigger is one portable trigger of a SeedIndex: the TGD index and the
@@ -135,6 +148,13 @@ type StageRecord struct {
 	Detail     string
 	Steps      int
 	DurationNS int64
+	// Seeds, Saturated and Depth carry the Tier 1 probe's diagnostics
+	// (pool size, seeds whose whole battery saturated within k, and the
+	// deepest saturating chase) so a warm StageOutcomes hit serves them
+	// without re-probing; zero for non-probe stages.
+	Seeds     int
+	Saturated int
+	Depth     int
 }
 
 // StageOutcomes is a cached portfolio run: the per-stage records plus the
@@ -145,6 +165,70 @@ type StageOutcomes struct {
 	Records   []StageRecord
 	Verdict   string
 	DecidedBy string
+}
+
+// StickyOutcome is a cached sticky Büchi decision, keyed by (set
+// fingerprint, per-component state bound): the whole Verdict of
+// sticky.DecideContext in portable form. The witness component is stored as
+// an index into the deterministic sticky.Seeds enumeration and the lasso as
+// its symbol keys by value, so the entry is interner-free and a warm hit
+// replays the identical Verdict — including witness material — without
+// building or exploring a single automaton.
+type StickyOutcome struct {
+	Terminates bool
+	Method     string
+	Complete   bool
+	// StatesExplored totals explored product states across components when
+	// the decision ran live; replays report the recorded number.
+	StatesExplored int
+	// SeedIndex is the witnessing component's index into sticky.Seeds(set)
+	// (a deterministic enumeration); -1 when there is no witness.
+	SeedIndex int32
+	// LassoPrefix/LassoCycle/LassoGap mirror buchi.Lasso by value.
+	LassoPrefix []string
+	LassoCycle  []string
+	LassoGap    int
+}
+
+// ExistsStep is one trigger of a cached ∀∃ derivation in portable form: the
+// TGD index plus the body substitution as parallel (variable, value) slices
+// in sorted variable order, terms by value.
+type ExistsStep struct {
+	TGD  int32
+	Vars []logic.Term
+	Vals []logic.Term
+}
+
+// ExistsOutcome is a cached ∀∃ search outcome, keyed by (set fingerprint,
+// instance fingerprint, strategy, atom bound) with the state budget stored
+// IN the entry, not the key — lookups apply the budget-monotonicity rule:
+//
+//   - a decisive outcome (Found or Exhausted) at budget B serves any query
+//     with budget ≥ B: the bigger-budget run explores the same space and
+//     decides identically (the budget cut only ever truncates);
+//   - an inconclusive outcome at budget B serves only queries with budget
+//     ≤ B: the smaller-budget run is a prefix of the recorded one and can
+//     find nothing the recorded run did not.
+//
+// A replayed hit reports the recorded run's statistics and witness.
+type ExistsOutcome struct {
+	Found     bool
+	Exhausted bool
+	// Budget is the MaxStates bound the recorded run used.
+	Budget        int
+	StatesVisited int
+	Derivation    []ExistsStep
+	Stats         SearchStats
+}
+
+func (o *ExistsOutcome) decisive() bool { return o.Found || o.Exhausted }
+
+// serves applies the budget-monotonicity rule for a query at maxStates.
+func (o *ExistsOutcome) serves(maxStates int) bool {
+	if o.decisive() {
+		return o.Budget <= maxStates
+	}
+	return o.Budget >= maxStates
 }
 
 type cacheStripe struct {
@@ -159,10 +243,12 @@ type Cache struct {
 	stripes  [cacheStripes]cacheStripe
 	maxBytes int64
 
-	hits    atomic.Int64
-	misses  atomic.Int64
-	entries atomic.Int64
-	bytes   atomic.Int64
+	hits           atomic.Int64
+	misses         atomic.Int64
+	entries        atomic.Int64
+	bytes          atomic.Int64
+	evictions      atomic.Int64
+	evictedEntries atomic.Int64
 }
 
 // NewCache returns an empty cache bounded by DefaultCacheBytes.
@@ -185,10 +271,12 @@ func NewCacheWithLimit(maxBytes int64) *Cache {
 // the fields are individually (not mutually) consistent.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: c.entries.Load(),
-		Bytes:   c.bytes.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Entries:        c.entries.Load(),
+		Bytes:          c.bytes.Load(),
+		Evictions:      c.evictions.Load(),
+		EvictedEntries: c.evictedEntries.Load(),
 	}
 }
 
@@ -219,20 +307,54 @@ func (c *Cache) lookup(k CacheKey) (any, bool) {
 // and a saturated cache sheds old segments, never fresh work. An entry
 // larger than a whole share still gets stored (alone in its stripe).
 func (c *Cache) store(k CacheKey, v any, size int64) {
-	size += 48 // key + map overhead, roughly
+	size += entryOverhead
 	s := c.stripe(k)
 	s.mu.Lock()
 	if _, dup := s.m[k]; !dup {
-		if s.bytes+size > c.maxBytes/cacheStripes && len(s.m) > 0 {
-			c.entries.Add(-int64(len(s.m)))
-			c.bytes.Add(-s.bytes)
-			s.m = make(map[CacheKey]any)
-			s.bytes = 0
-		}
+		c.insertLocked(s, k, v, size)
+	}
+	s.mu.Unlock()
+}
+
+// entryOverhead approximates the key + map bookkeeping cost per entry.
+const entryOverhead = 48
+
+// insertLocked performs the evict-then-insert step of store under the
+// stripe's lock, counting segment evictions.
+func (c *Cache) insertLocked(s *cacheStripe, k CacheKey, v any, size int64) {
+	if s.bytes+size > c.maxBytes/cacheStripes && len(s.m) > 0 {
+		c.entries.Add(-int64(len(s.m)))
+		c.bytes.Add(-s.bytes)
+		c.evictions.Add(1)
+		c.evictedEntries.Add(int64(len(s.m)))
+		s.m = make(map[CacheKey]any)
+		s.bytes = 0
+	}
+	s.m[k] = v
+	s.bytes += size
+	c.entries.Add(1)
+	c.bytes.Add(size)
+}
+
+// storeReplace inserts like store, but when the key already holds an entry
+// it asks better(old) whether the new value is more useful and replaces the
+// old one if so, adjusting the byte accounting by oldSize(old). Entry kinds
+// with a single slot per key and a usefulness order (ExistsOutcome's
+// budget-monotonic preference) store through this; everything else keeps
+// the cheaper first-writer-wins store.
+func (c *Cache) storeReplace(k CacheKey, v any, size int64, better func(old any) bool, oldSize func(old any) int64) {
+	size += entryOverhead
+	s := c.stripe(k)
+	s.mu.Lock()
+	old, dup := s.m[k]
+	switch {
+	case !dup:
+		c.insertLocked(s, k, v, size)
+	case better(old):
+		prev := oldSize(old) + entryOverhead
 		s.m[k] = v
-		s.bytes += size
-		c.entries.Add(1)
-		c.bytes.Add(size)
+		s.bytes += size - prev
+		c.bytes.Add(size - prev)
 	}
 	s.mu.Unlock()
 }
@@ -253,7 +375,7 @@ func (c *Cache) LookupSeedOutcome(set, inst logic.Fingerprint, budget int) (Seed
 
 // StoreSeedOutcome records the battery outcome of the seed.
 func (c *Cache) StoreSeedOutcome(set, inst logic.Fingerprint, budget int, o SeedOutcome) {
-	c.store(outcomeKey(set, inst, budget), o, int64(len(o.Method)+len(o.Evidence))+8)
+	c.store(outcomeKey(set, inst, budget), o, seedOutcomeSize(o))
 }
 
 func seedIndexKey(set, inst logic.Fingerprint) CacheKey {
@@ -273,14 +395,7 @@ func (c *Cache) LookupSeedIndex(set, inst logic.Fingerprint) (*SeedIndex, bool) 
 // StoreSeedIndex records the root trigger index. The index must not be
 // mutated afterwards.
 func (c *Cache) StoreSeedIndex(set, inst logic.Fingerprint, si *SeedIndex) {
-	size := int64(24)
-	for _, tr := range si.Triggers {
-		size += 32
-		for _, t := range tr.Bind {
-			size += int64(len(t.Name)) + 24
-		}
-	}
-	c.store(seedIndexKey(set, inst), si, size)
+	c.store(seedIndexKey(set, inst), si, seedIndexSize(si))
 }
 
 func seedPoolKey(set logic.Fingerprint, maxSeeds int) CacheKey {
@@ -316,25 +431,159 @@ func (c *Cache) LookupStageOutcomes(set logic.Fingerprint, salt uint64) (*StageO
 // StoreStageOutcomes records a portfolio run's stage outcomes. The entry
 // must not be mutated afterwards.
 func (c *Cache) StoreStageOutcomes(set logic.Fingerprint, salt uint64, o *StageOutcomes) {
-	size := int64(48 + len(o.Verdict) + len(o.DecidedBy))
-	for _, r := range o.Records {
-		size += int64(len(r.Stage)+len(r.Verdict)+len(r.Detail)) + 48
-	}
-	c.store(stageOutcomesKey(set, salt), o, size)
+	c.store(stageOutcomesKey(set, salt), o, stageOutcomesSize(o))
 }
 
 // StoreSeedPool records the candidate-seed pool. The pool must not be
 // mutated afterwards.
 func (c *Cache) StoreSeedPool(set logic.Fingerprint, maxSeeds int, p *SeedPool) {
+	c.store(seedPoolKey(set, maxSeeds), p, seedPoolSize(p))
+}
+
+func stickyOutcomeKey(set logic.Fingerprint, maxStates int) CacheKey {
+	return CacheKey{Set: set, Salt: kindStickyOutcome | uint64(uint32(maxStates))}
+}
+
+// LookupStickyOutcome returns the cached sticky Büchi decision of the set
+// under the per-component state bound. The caller must not mutate the
+// result.
+func (c *Cache) LookupStickyOutcome(set logic.Fingerprint, maxStates int) (*StickyOutcome, bool) {
+	v, ok := c.lookup(stickyOutcomeKey(set, maxStates))
+	if !ok {
+		return nil, false
+	}
+	return v.(*StickyOutcome), true
+}
+
+// StoreStickyOutcome records a sticky Büchi decision. The entry must not be
+// mutated afterwards.
+func (c *Cache) StoreStickyOutcome(set logic.Fingerprint, maxStates int, o *StickyOutcome) {
+	c.store(stickyOutcomeKey(set, maxStates), o, stickyOutcomeSize(o))
+}
+
+func existsOutcomeKey(set, inst logic.Fingerprint, strat SearchStrategy, maxAtoms int) CacheKey {
+	return CacheKey{
+		Set:  set,
+		Inst: inst,
+		Salt: kindExistsOutcome | uint64(strat)<<48 | uint64(uint32(maxAtoms)),
+	}
+}
+
+// LookupExistsOutcome returns a cached ∀∃ search outcome able to serve a
+// query at the given state budget under the budget-monotonicity rule (see
+// ExistsOutcome). An entry present but unable to serve counts as a miss.
+// The caller must not mutate the result.
+func (c *Cache) LookupExistsOutcome(set, inst logic.Fingerprint, strat SearchStrategy, maxAtoms, maxStates int) (*ExistsOutcome, bool) {
+	k := existsOutcomeKey(set, inst, strat, maxAtoms)
+	s := c.stripe(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		if o := v.(*ExistsOutcome); o.serves(maxStates) {
+			c.hits.Add(1)
+			return o, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// StoreExistsOutcome records a search outcome, keeping the more useful of
+// the new and any existing entry: a decisive outcome beats an inconclusive
+// one; between decisive outcomes the lower budget wins and between
+// inconclusive ones the higher budget wins — in both cases the keeper
+// serves a superset of future budgets. The entry must not be mutated
+// afterwards.
+func (c *Cache) StoreExistsOutcome(set, inst logic.Fingerprint, strat SearchStrategy, maxAtoms int, o *ExistsOutcome) {
+	c.storeReplace(existsOutcomeKey(set, inst, strat, maxAtoms), o, existsOutcomeSize(o),
+		func(old any) bool {
+			p := old.(*ExistsOutcome)
+			switch {
+			case o.decisive() != p.decisive():
+				return o.decisive()
+			case o.decisive():
+				return o.Budget < p.Budget
+			default:
+				return o.Budget > p.Budget
+			}
+		},
+		func(old any) int64 { return existsOutcomeSize(old.(*ExistsOutcome)) })
+}
+
+// forEachEntry visits every entry, one stripe at a time under its lock, in
+// unspecified order — the snapshot writer's iteration. Entries are
+// immutable, so f may retain them.
+func (c *Cache) forEachEntry(f func(k CacheKey, v any)) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			f(k, v)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// The per-kind size estimators, shared by the Store methods and the
+// snapshot loader so a restored cache accounts bytes like the cache that
+// wrote it.
+
+func termsSize(ts []logic.Term) int64 {
+	size := int64(0)
+	for _, t := range ts {
+		size += int64(len(t.Name)) + 24
+	}
+	return size
+}
+
+func stringsSize(ss []string) int64 {
+	size := int64(0)
+	for _, s := range ss {
+		size += int64(len(s)) + 16
+	}
+	return size
+}
+
+func seedOutcomeSize(o SeedOutcome) int64 {
+	return int64(len(o.Method)+len(o.Evidence)) + 16
+}
+
+func seedIndexSize(si *SeedIndex) int64 {
+	size := int64(24)
+	for _, tr := range si.Triggers {
+		size += 32 + termsSize(tr.Bind)
+	}
+	return size
+}
+
+func seedPoolSize(p *SeedPool) int64 {
 	size := int64(24)
 	for _, atoms := range p.Seeds {
 		size += 24
 		for _, a := range atoms {
-			size += int64(len(a.Pred.Name)) + 32
-			for _, t := range a.Args {
-				size += int64(len(t.Name)) + 24
-			}
+			size += int64(len(a.Pred.Name)) + 32 + termsSize(a.Args)
 		}
 	}
-	c.store(seedPoolKey(set, maxSeeds), p, size)
+	return size
+}
+
+func stageOutcomesSize(o *StageOutcomes) int64 {
+	size := int64(48 + len(o.Verdict) + len(o.DecidedBy))
+	for _, r := range o.Records {
+		size += int64(len(r.Stage)+len(r.Verdict)+len(r.Detail)) + 72
+	}
+	return size
+}
+
+func stickyOutcomeSize(o *StickyOutcome) int64 {
+	return int64(len(o.Method)) + 64 + stringsSize(o.LassoPrefix) + stringsSize(o.LassoCycle)
+}
+
+func existsOutcomeSize(o *ExistsOutcome) int64 {
+	size := int64(96)
+	for _, st := range o.Derivation {
+		size += 56 + termsSize(st.Vars) + termsSize(st.Vals)
+	}
+	return size
 }

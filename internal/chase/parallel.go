@@ -72,6 +72,7 @@ type stateRec struct {
 	tgd      int32  // producing TGD index; -1 at the root
 	size     int32  // instance atom count (heap priority under SmallestFirst)
 	seq      uint64 // global generation counter; heap tie-break and bfs/dfs order
+	btrig    int32  // parent's active-trigger count at generation; 0 at the root
 }
 
 // claimStatus is the outcome of stateTable.claim.
@@ -156,7 +157,7 @@ func (h *recHeap) Len() int { return len(h.nodes) }
 
 func (h *recHeap) Less(i, j int) bool {
 	a, b := h.nodes[i], h.nodes[j]
-	return frontierLess(h.strat, int64(a.size), int64(a.seq), int64(b.size), int64(b.seq))
+	return frontierLess(h.strat, int64(a.size), int64(a.btrig), int64(a.seq), int64(b.size), int64(b.btrig), int64(b.seq))
 }
 
 func (h *recHeap) Swap(i, j int) { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
@@ -588,6 +589,7 @@ func (w *parallelWorker) expand(rec *stateRec) {
 					tgd:      int32(tgd),
 					size:     rec.size + int32(added),
 					seq:      w.ps.seq.Add(1),
+					btrig:    int32(idx.total),
 				}
 				return child
 			}) {

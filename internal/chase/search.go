@@ -60,6 +60,12 @@ const (
 	// DepthFirst expands the most recently generated state first; finds
 	// deep fixpoints fast but can chase a divergent branch to the budget.
 	DepthFirst
+	// IndexAware is SmallestFirst refined by the trigger index's free
+	// branching-factor signal: among equal sizes, states generated under a
+	// parent with fewer active triggers come first (they sit in a thinner
+	// part of the derivation tree, closer to a fixpoint). The signal costs
+	// nothing — trigIndex.total is already computed for every expansion.
+	IndexAware
 )
 
 func (s SearchStrategy) String() string {
@@ -70,6 +76,8 @@ func (s SearchStrategy) String() string {
 		return "bfs"
 	case DepthFirst:
 		return "dfs"
+	case IndexAware:
+		return "index"
 	default:
 		return fmt.Sprintf("SearchStrategy(%d)", uint8(s))
 	}
@@ -84,8 +92,10 @@ func ParseSearchStrategy(s string) (SearchStrategy, error) {
 		return BreadthFirst, nil
 	case "dfs":
 		return DepthFirst, nil
+	case "index":
+		return IndexAware, nil
 	default:
-		return 0, fmt.Errorf("chase: unknown search strategy %q (want smallest, bfs or dfs)", s)
+		return 0, fmt.Errorf("chase: unknown search strategy %q (want smallest, bfs, dfs or index)", s)
 	}
 }
 
@@ -108,6 +118,14 @@ type SearchOptions struct {
 	// work-stealing victim order). Verdicts are seed-invariant; schedules,
 	// witnesses and stats need not be. Ignored by the sequential search.
 	Seed int64
+	// Cache, when non-nil, memoises whole search outcomes across runs as
+	// ExistsOutcome entries keyed by (set fingerprint, instance fingerprint,
+	// strategy, MaxAtoms) under the budget-monotonicity rule — see
+	// ExistsOutcome. A hit replays the recorded run's verdict, witness and
+	// statistics without exploring a single state; cancelled runs are never
+	// stored. The key excludes Workers: verdicts are worker-invariant, so a
+	// warm hit may replay a run recorded at a different worker count.
+	Cache *Cache
 
 	// fullRescan disables the delta-maintained trigger index and rebuilds
 	// every popped state's active-trigger set by full re-enumeration — the
@@ -155,6 +173,7 @@ type searchNode struct {
 	size   int           // instance atom count
 	fp     logic.Fingerprint
 	seq    int        // generation counter; heap tie-break
+	btrig  int32      // parent's active-trigger count at generation; 0 at the root
 	idx    *trigIndex // active-trigger index, set when the node is expanded
 	kids   int        // frontier children that may still repair from idx
 }
@@ -162,13 +181,23 @@ type searchNode struct {
 // frontierLess is the one definition of the frontier disciplines, shared by
 // the sequential searchFrontier and the parallel recHeap so the two can
 // never drift: SmallestFirst orders by (size, seq), BreadthFirst by seq
-// ascending, DepthFirst by seq descending.
-func frontierLess(strat SearchStrategy, sizeA, seqA, sizeB, seqB int64) bool {
+// ascending, DepthFirst by seq descending, IndexAware by (size, trig, seq)
+// where trig is the parent's active-trigger count at generation —
+// trigIndex.total, the free branching-factor signal.
+func frontierLess(strat SearchStrategy, sizeA, trigA, seqA, sizeB, trigB, seqB int64) bool {
 	switch strat {
 	case BreadthFirst:
 		return seqA < seqB
 	case DepthFirst:
 		return seqA > seqB
+	case IndexAware:
+		if sizeA != sizeB {
+			return sizeA < sizeB
+		}
+		if trigA != trigB {
+			return trigA < trigB
+		}
+		return seqA < seqB
 	default: // SmallestFirst
 		if sizeA != sizeB {
 			return sizeA < sizeB
@@ -187,7 +216,7 @@ func (f *searchFrontier) Len() int { return len(f.nodes) }
 
 func (f *searchFrontier) Less(i, j int) bool {
 	a, b := f.nodes[i], f.nodes[j]
-	return frontierLess(f.strat, int64(a.size), int64(a.seq), int64(b.size), int64(b.seq))
+	return frontierLess(f.strat, int64(a.size), int64(a.btrig), int64(a.seq), int64(b.size), int64(b.btrig), int64(b.seq))
 }
 
 func (f *searchFrontier) Swap(i, j int) { f.nodes[i], f.nodes[j] = f.nodes[j], f.nodes[i] }
@@ -513,22 +542,79 @@ func SearchTerminatingDerivationContext(ctx context.Context, db *instance.Databa
 	if opts.MaxAtoms <= 0 {
 		opts.MaxAtoms = 200
 	}
+	var setFP, instFP logic.Fingerprint
+	if opts.Cache != nil {
+		setFP = set.Fingerprint()
+		instFP = logic.FingerprintAtoms(db.Atoms())
+		if o, ok := opts.Cache.LookupExistsOutcome(setFP, instFP, opts.Strategy, opts.MaxAtoms, opts.MaxStates); ok {
+			return replayExistsOutcome(set, o)
+		}
+	}
+	var res *ExistsResult
 	if opts.Workers > 1 {
-		return newParallelSearch(db, set, opts).runContext(ctx)
+		res = newParallelSearch(db, set, opts).runContext(ctx)
+	} else {
+		s := &searcher{
+			expander: newExpander(db, set),
+			opts:     opts,
+			done:     ctx.Done(),
+			memo:     make(map[logic.Fingerprint]struct{}),
+			front:    searchFrontier{strat: opts.Strategy},
+			res:      &ExistsResult{Exhausted: true},
+		}
+		root := &searchNode{trig: -1, delta: s.rootDelta, size: s.rootSize, fp: s.rootFp}
+		s.memo[root.fp] = struct{}{}
+		heap.Push(&s.front, root)
+		s.loop()
+		res = s.res
 	}
-	s := &searcher{
-		expander: newExpander(db, set),
-		opts:     opts,
-		done:     ctx.Done(),
-		memo:     make(map[logic.Fingerprint]struct{}),
-		front:    searchFrontier{strat: opts.Strategy},
-		res:      &ExistsResult{Exhausted: true},
+	if opts.Cache != nil && !res.Cancelled {
+		opts.Cache.StoreExistsOutcome(setFP, instFP, opts.Strategy, opts.MaxAtoms, recordExistsOutcome(res, opts.MaxStates))
 	}
-	root := &searchNode{trig: -1, delta: s.rootDelta, size: s.rootSize, fp: s.rootFp}
-	s.memo[root.fp] = struct{}{}
-	heap.Push(&s.front, root)
-	s.loop()
-	return s.res
+	return res
+}
+
+// recordExistsOutcome converts a finished, uncancelled search result into
+// the portable cache entry: the derivation's triggers become (TGD index,
+// sorted variable/value pairs) with terms by value, so the entry holds no
+// interner-bound identity.
+func recordExistsOutcome(res *ExistsResult, maxStates int) *ExistsOutcome {
+	o := &ExistsOutcome{
+		Found:         res.Found,
+		Exhausted:     res.Exhausted,
+		Budget:        maxStates,
+		StatesVisited: res.StatesVisited,
+		Stats:         res.Stats,
+	}
+	for _, tr := range res.Derivation {
+		vars := tr.TGD.BodyVars().Sorted()
+		st := ExistsStep{TGD: int32(tr.TGDIndex), Vars: vars, Vals: make([]logic.Term, len(vars))}
+		for i, v := range vars {
+			st.Vals[i] = tr.H[v]
+		}
+		o.Derivation = append(o.Derivation, st)
+	}
+	return o
+}
+
+// replayExistsOutcome rebuilds the recorded run's ExistsResult against the
+// caller's set. Trigger rendering sorts bindings, so a replayed witness
+// prints byte-identically to the recorded one.
+func replayExistsOutcome(set *tgds.Set, o *ExistsOutcome) *ExistsResult {
+	res := &ExistsResult{
+		Found:         o.Found,
+		Exhausted:     o.Exhausted,
+		StatesVisited: o.StatesVisited,
+		Stats:         o.Stats,
+	}
+	for _, st := range o.Derivation {
+		h := logic.NewSubstitution()
+		for i, v := range st.Vars {
+			h[v] = st.Vals[i]
+		}
+		res.Derivation = append(res.Derivation, Trigger{TGDIndex: int(st.TGD), TGD: set.TGDs[st.TGD], H: h})
+	}
+	return res
 }
 
 func (s *searcher) loop() {
@@ -628,6 +714,7 @@ func (s *searcher) generate(cur *searchNode, inst *instance.Instance, idx *trigI
 				size:   cur.size + added,
 				fp:     childFp,
 				seq:    s.seq,
+				btrig:  int32(idx.total),
 			}
 			s.seq++
 			cur.kids++

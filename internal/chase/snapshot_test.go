@@ -1,0 +1,265 @@
+package chase
+
+// Unit tests for the persistent cache tier: a snapshot must round-trip
+// every entry kind by value, produce deterministic bytes, refuse foreign
+// headers cleanly, and degrade per-entry — never crash, never poison the
+// cache — under byte-level corruption.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"airct/internal/logic"
+)
+
+// populateAllKinds stores one entry of each of the six kinds and returns
+// the stored values for later comparison.
+func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutcomes, *StickyOutcome, *ExistsOutcome) {
+	set, inst := fpOf("set"), fpOf("inst")
+	so := SeedOutcome{Diverges: true, Method: "pump", Evidence: "step 3: R(a,n1)", Steps: 17}
+	c.StoreSeedOutcome(set, inst, 100, so)
+	si := &SeedIndex{Triggers: []SeedTrigger{
+		{TGD: 0, Active: true, Bind: []logic.Term{logic.Const("a"), logic.NewNull("n1")}},
+		{TGD: 2, Active: false, Bind: []logic.Term{logic.Var("X")}},
+	}}
+	c.StoreSeedIndex(set, inst, si)
+	sp := &SeedPool{Seeds: [][]logic.Atom{
+		{logic.MustAtom("R", logic.Const("a"), logic.Const("b"))},
+		{logic.MustAtom("S", logic.NewNull("n2"))},
+		nil,
+	}}
+	c.StoreSeedPool(set, 8, sp)
+	sg := &StageOutcomes{Verdict: "terminating", DecidedBy: "probe", Records: []StageRecord{
+		{Stage: "full-set", Tier: 0, Decided: false, Verdict: "unknown", Detail: "not full", Steps: 1, DurationNS: 12345},
+		{Stage: "probe", Tier: 1, Decided: true, Verdict: "terminating", Detail: "saturated", Steps: 9, DurationNS: 6789, Seeds: 4, Saturated: 4, Depth: 3},
+	}}
+	c.StoreStageOutcomes(set, 0xBEEF, sg)
+	st := &StickyOutcome{Terminates: false, Method: "büchi lasso", Complete: true,
+		StatesExplored: 42, SeedIndex: -1,
+		LassoPrefix: []string{"q0", "q1"}, LassoCycle: []string{"q1", "q2"}, LassoGap: 1}
+	c.StoreStickyOutcome(set, 200000, st)
+	eo := &ExistsOutcome{Found: true, Budget: 500, StatesVisited: 37,
+		Derivation: []ExistsStep{{
+			TGD:  1,
+			Vars: []logic.Term{logic.Var("V1"), logic.Var("V2")},
+			Vals: []logic.Term{logic.Const("a"), logic.NewNull("n3")},
+		}},
+		Stats: SearchStats{StatesExpanded: 36, MemoHits: 2, PeakFrontier: 5, IndexRepairs: 30, IndexRebuilds: 1, ActivityRechecks: 7}}
+	c.StoreExistsOutcome(set, inst, SmallestFirst, 200, eo)
+	return so, si, sp, sg, st, eo
+}
+
+func TestSnapshotRoundTripAllKinds(t *testing.T) {
+	c := NewCache()
+	so, si, sp, sg, st, eo := populateAllKinds(c)
+	set, inst := fpOf("set"), fpOf("inst")
+
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	c2, rep, err := LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	if rep.Restored != 6 || rep.Skipped != 0 || rep.Truncated {
+		t.Fatalf("LoadReport = %+v, want 6 restored, clean", rep)
+	}
+
+	if got, ok := c2.LookupSeedOutcome(set, inst, 100); !ok || !reflect.DeepEqual(got, so) {
+		t.Errorf("SeedOutcome round-trip = %+v, %v; want %+v", got, ok, so)
+	}
+	if got, ok := c2.LookupSeedIndex(set, inst); !ok || !reflect.DeepEqual(got, si) {
+		t.Errorf("SeedIndex round-trip = %+v, %v; want %+v", got, ok, si)
+	}
+	if got, ok := c2.LookupSeedPool(set, 8); !ok || !reflect.DeepEqual(got, sp) {
+		t.Errorf("SeedPool round-trip = %+v, %v; want %+v", got, ok, sp)
+	}
+	if got, ok := c2.LookupStageOutcomes(set, 0xBEEF); !ok || !reflect.DeepEqual(got, sg) {
+		t.Errorf("StageOutcomes round-trip = %+v, %v; want %+v", got, ok, sg)
+	}
+	if got, ok := c2.LookupStickyOutcome(set, 200000); !ok || !reflect.DeepEqual(got, st) {
+		t.Errorf("StickyOutcome round-trip = %+v, %v; want %+v", got, ok, st)
+	}
+	if got, ok := c2.LookupExistsOutcome(set, inst, SmallestFirst, 200, 500); !ok || !reflect.DeepEqual(got, eo) {
+		t.Errorf("ExistsOutcome round-trip = %+v, %v; want %+v", got, ok, eo)
+	}
+
+	// Restored entries went through the normal store path: entry and byte
+	// accounting must match the source cache exactly.
+	a, b := c.Stats(), c2.Stats()
+	if a.Entries != b.Entries || a.Bytes != b.Bytes {
+		t.Errorf("accounting drifted across round-trip: source %d entries/%dB, restored %d entries/%dB",
+			a.Entries, a.Bytes, b.Entries, b.Bytes)
+	}
+}
+
+// TestSnapshotDeterministicBytes: equal contents stored in different orders
+// must snapshot to identical bytes (entries are sorted by key on write).
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	mk := func(reverse bool) []byte {
+		c := NewCache()
+		keys := []int{100, 200, 300}
+		if reverse {
+			keys = []int{300, 100, 200}
+		}
+		for _, budget := range keys {
+			c.StoreSeedOutcome(fpOf("set"), fpOf("inst"), budget, SeedOutcome{Method: "m", Steps: budget})
+		}
+		c.StoreStickyOutcome(fpOf("other"), 99, &StickyOutcome{Terminates: true, Method: "sticky"})
+		var buf bytes.Buffer
+		if err := c.Snapshot(&buf); err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(false), mk(true)
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots of equal caches differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func TestSnapshotEmptyCacheRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCache().Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	c, rep, err := LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil || rep.Restored != 0 || rep.Skipped != 0 || rep.Truncated {
+		t.Fatalf("empty round-trip: report %+v, err %v", rep, err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("empty snapshot restored %d entries", st.Entries)
+	}
+}
+
+// TestSnapshotRefusesForeignHeaders: a bad magic or an unknown version is
+// an ErrSnapshotFormat refusal before any entry is restored.
+func TestSnapshotRefusesForeignHeaders(t *testing.T) {
+	c := NewCache()
+	populateAllKinds(c)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:10],
+		"bad magic": append([]byte("notacsnp"), good[8:]...),
+		"version 2": func() []byte {
+			b := bytes.Clone(good)
+			binary.LittleEndian.PutUint32(b[8:12], 2)
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		c2 := NewCache()
+		rep, err := c2.Restore(bytes.NewReader(b))
+		if !errors.Is(err, ErrSnapshotFormat) {
+			t.Errorf("%s: err = %v, want ErrSnapshotFormat", name, err)
+		}
+		if rep.Restored != 0 {
+			t.Errorf("%s: restored %d entries from a refused stream", name, rep.Restored)
+		}
+		if st := c2.Stats(); st.Entries != 0 {
+			t.Errorf("%s: refused stream left %d entries in the cache", name, st.Entries)
+		}
+	}
+}
+
+// TestSnapshotCorruptionIsContained: a flipped payload byte fails that
+// entry's CRC and skips it — the frames after it still restore. Truncation
+// mid-frame stops cleanly with the prior entries intact. A nonsense frame
+// length desynchronises and stops. None of it errors or panics.
+func TestSnapshotCorruptionIsContained(t *testing.T) {
+	c := NewCache()
+	populateAllKinds(c)
+	total := int(c.Stats().Entries)
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+
+	t.Run("flipped byte", func(t *testing.T) {
+		b := bytes.Clone(good)
+		// 16-byte header, 8-byte first frame header, then the payload: flip
+		// a byte inside the first entry's key.
+		b[16+8+3] ^= 0xFF
+		c2 := NewCache()
+		rep, err := c2.Restore(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if rep.Skipped != 1 || rep.Restored != total-1 || rep.Truncated {
+			t.Errorf("report = %+v, want 1 skipped, %d restored, not truncated", rep, total-1)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		c2 := NewCache()
+		rep, err := c2.Restore(bytes.NewReader(good[:len(good)-5]))
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if !rep.Truncated || rep.Restored != total-1 {
+			t.Errorf("report = %+v, want truncated with %d restored", rep, total-1)
+		}
+	})
+
+	t.Run("nonsense frame length", func(t *testing.T) {
+		b := bytes.Clone(good)
+		binary.LittleEndian.PutUint32(b[16:20], 1<<30)
+		c2 := NewCache()
+		rep, err := c2.Restore(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+		if !rep.Truncated || rep.Restored != 0 {
+			t.Errorf("report = %+v, want truncated, 0 restored", rep)
+		}
+	})
+
+	// Every-offset fuzz: flipping any single byte anywhere in the stream
+	// must never panic and never error beyond a format refusal.
+	t.Run("every offset", func(t *testing.T) {
+		for i := 0; i < len(good); i++ {
+			b := bytes.Clone(good)
+			b[i] ^= 0xFF
+			c2 := NewCache()
+			if _, err := c2.Restore(bytes.NewReader(b)); err != nil && !errors.Is(err, ErrSnapshotFormat) {
+				t.Fatalf("offset %d: unexpected error %v", i, err)
+			}
+		}
+	})
+}
+
+// TestSnapshotFileSaveLoad exercises the atomic file helpers, including the
+// missing-file path callers use to detect a cold start.
+func TestSnapshotFileSaveLoad(t *testing.T) {
+	c := NewCache()
+	populateAllKinds(c)
+	path := t.TempDir() + "/cache.snap"
+
+	if _, _, err := LoadCacheFile(path); err == nil {
+		t.Fatal("LoadCacheFile on a missing path succeeded")
+	}
+	if err := SaveCacheFile(c, path); err != nil {
+		t.Fatalf("SaveCacheFile: %v", err)
+	}
+	c2, rep, err := LoadCacheFile(path)
+	if err != nil {
+		t.Fatalf("LoadCacheFile: %v", err)
+	}
+	if rep.Restored != int(c.Stats().Entries) || rep.Skipped != 0 || rep.Truncated {
+		t.Errorf("LoadReport = %+v, want all %d restored", rep, c.Stats().Entries)
+	}
+	if a, b := c.Stats(), c2.Stats(); a.Entries != b.Entries || a.Bytes != b.Bytes {
+		t.Errorf("file round-trip drifted: %d/%dB vs %d/%dB", a.Entries, a.Bytes, b.Entries, b.Bytes)
+	}
+}

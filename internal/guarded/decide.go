@@ -140,33 +140,36 @@ func DecideContext(ctx context.Context, set *tgds.Set, opts DecideOptions) (*Ver
 
 // chaseSeed runs one seed's bounded restricted chases (fair FIFO plus
 // perturbed orders) and returns a divergence verdict, or nil when every
-// order saturated quietly. SeedsTried and Budget are filled by the caller.
-// With a cache, the battery outcome is keyed by (set fingerprint, seed
+// order saturated quietly, plus the battery's saturation depth — the
+// deepest chase among the orders on a saturating seed, or the diverging
+// run's step count. SeedsTried and Budget are filled by the caller. With a
+// cache, the battery outcome is keyed by (set fingerprint, seed
 // fingerprint, budget): a hit rebuilds the verdict around the caller's own
-// seed database without chasing; the three chase orders of a miss share
-// the engine-level seed-index entries through chase.Options.Cache.
-func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache, setFP, seedFP logic.Fingerprint) *Verdict {
+// seed database without chasing and replays the recorded depth; the three
+// chase orders of a miss share the engine-level seed-index entries through
+// chase.Options.Cache.
+func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache, setFP, seedFP logic.Fingerprint) (*Verdict, int) {
 	if cache != nil {
 		if o, ok := cache.LookupSeedOutcome(setFP, seedFP, budget); ok {
 			if !o.Diverges {
-				return nil
+				return nil, o.Steps
 			}
-			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence}
+			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence}, o.Steps
 		}
 	}
-	v := chaseSeedBattery(ctx, set, seed, budget, cache)
+	v, steps := chaseSeedBattery(ctx, set, seed, budget, cache)
 	if v == cancelledVerdict {
 		// A cancelled battery proves nothing; never cache it.
-		return v
+		return v, steps
 	}
 	if cache != nil {
-		o := chase.SeedOutcome{}
+		o := chase.SeedOutcome{Steps: steps}
 		if v != nil {
-			o = chase.SeedOutcome{Diverges: true, Method: v.Method, Evidence: v.Evidence}
+			o = chase.SeedOutcome{Diverges: true, Method: v.Method, Evidence: v.Evidence, Steps: steps}
 		}
 		cache.StoreSeedOutcome(setFP, seedFP, budget, o)
 	}
-	return v
+	return v, steps
 }
 
 // cancelledVerdict is the in-package sentinel a battery returns when its
@@ -175,8 +178,10 @@ func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budg
 var cancelledVerdict = &Verdict{Method: "cancelled"}
 
 // chaseSeedBattery is the uncached battery: fair FIFO, then a perturbed
-// Random order, then LIFO.
-func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache) *Verdict {
+// Random order, then LIFO. The returned depth is the deepest chase among
+// the orders (the diverging run's step count when an order diverged).
+func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Database, budget int, cache *chase.Cache) (*Verdict, int) {
+	depth := 0
 	for _, o := range []chase.Options{
 		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: budget, Cache: cache},
 		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 1, MaxSteps: budget, Cache: cache},
@@ -184,7 +189,10 @@ func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Databas
 	} {
 		run := chase.RunChaseContext(ctx, seed, set, o)
 		if run.Reason == chase.Cancelled {
-			return cancelledVerdict
+			return cancelledVerdict, depth
+		}
+		if run.StepsTaken > depth {
+			depth = run.StepsTaken
 		}
 		if run.Terminated() {
 			continue
@@ -195,7 +203,7 @@ func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Databas
 				Method:     "divergence-witness",
 				Witness:    seed,
 				Evidence:   ev,
-			}
+			}, run.StepsTaken
 		}
 		// Budget exhausted without a pump: report divergence with weaker
 		// evidence rather than silently claiming termination.
@@ -204,9 +212,9 @@ func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Databas
 			Method:     "budget-exhausted",
 			Witness:    seed,
 			Evidence:   fmt.Sprintf("no fixpoint after %d steps (no pump found)", budget),
-		}
+		}, run.StepsTaken
 	}
-	return nil
+	return nil, depth
 }
 
 // chaseSeedsContext computes every seed's outcome on a bounded worker pool. The
@@ -243,7 +251,10 @@ func chaseSeedsContext(ctx context.Context, set *tgds.Set, seeds []*instance.Dat
 	if cache != nil {
 		setFP = set.Fingerprint()
 	}
-	chaseOne := func(i int) *Verdict { return chaseSeed(ctx, set, seeds[i], budget, cache, setFP, fps[i]) }
+	chaseOne := func(i int) *Verdict {
+		v, _ := chaseSeed(ctx, set, seeds[i], budget, cache, setFP, fps[i])
+		return v
+	}
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}

@@ -44,6 +44,11 @@ type ProbeOutcome struct {
 	// WeaklyAcyclic is true when the pool was never probed because the
 	// weak-acyclicity shortcut already decides the set.
 	WeaklyAcyclic bool
+	// Depth is the probe's saturation depth: the deepest chase among the
+	// saturating batteries swept (0 when nothing was probed). On a Decided
+	// probe it is the exact fixpoint depth of the hardest seed — the
+	// budget-k runs are prefixes of any larger-budget run.
+	Depth int
 }
 
 // ProbeSeeds runs the bounded k-round probe over the set's seed pool. When
@@ -97,7 +102,7 @@ func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSte
 		if ctx.Err() != nil {
 			return out, ctx.Err()
 		}
-		v := chaseSeed(ctx, set, seeds[u.i], k, cache, setFP, u.fp)
+		v, steps := chaseSeed(ctx, set, seeds[u.i], k, cache, setFP, u.fp)
 		if v == cancelledVerdict {
 			return out, ctx.Err()
 		}
@@ -106,8 +111,14 @@ func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSte
 			return out, nil
 		}
 		out.Saturated++
+		if steps > out.Depth {
+			out.Depth = steps
+		}
 		if cache != nil && k < budget {
-			cache.StoreSeedOutcome(setFP, u.fp, budget, chase.SeedOutcome{})
+			// Sound at the full budget: the budget-k runs reached their
+			// fixpoints, so the budget-B runs are the same runs — including
+			// their depth.
+			cache.StoreSeedOutcome(setFP, u.fp, budget, chase.SeedOutcome{Steps: steps})
 		}
 	}
 	out.Decided = true

@@ -55,7 +55,8 @@ type Options struct {
 	// Guarded tunes the guarded racer and the Tier 1 probe. Its Cache field
 	// is overwritten with Options.Cache.
 	Guarded guarded.DecideOptions
-	// Sticky tunes the sticky racer.
+	// Sticky tunes the sticky racer. Its Cache field is overwritten with
+	// Options.Cache, so a warm cache also serves the Büchi lasso verdicts.
 	Sticky sticky.DecideOptions
 	// MFASteps bounds the MFA check (0: 20_000, matching core.Options).
 	MFASteps int
@@ -124,6 +125,13 @@ type StageOutcome struct {
 	// Duration is the stage's wall-clock cost when it ran live (zero for
 	// cache-replayed stages).
 	Duration time.Duration
+	// Seeds, Saturated and Depth are the Tier 1 probe's diagnostics: the
+	// distinct seed pool size, how many seeds' whole batteries saturated
+	// within the probe budget, and the deepest saturating chase. Zero for
+	// every other stage; preserved across cache replays.
+	Seeds     int
+	Saturated int
+	Depth     int
 }
 
 // Result is the portfolio's combined answer.
@@ -157,6 +165,7 @@ func Analyze(ctx context.Context, set *tgds.Set, opts Options) (*Result, error) 
 		return nil, fmt.Errorf("portfolio: empty TGD set")
 	}
 	opts.Guarded.Cache = opts.Cache
+	opts.Sticky.Cache = opts.Cache
 	var setFP, salt = set.Fingerprint(), opts.salt()
 	if opts.Cache != nil {
 		if so, ok := opts.Cache.LookupStageOutcomes(setFP, salt); ok {
@@ -302,10 +311,13 @@ func (r *runner) tier1(ctx context.Context) error {
 		return err
 	}
 	s := StageOutcome{
-		Stage:    "probe",
-		Tier:     1,
-		Steps:    out.ProbeSteps,
-		Duration: time.Since(start),
+		Stage:     "probe",
+		Tier:      1,
+		Steps:     out.ProbeSteps,
+		Duration:  time.Since(start),
+		Seeds:     out.Seeds,
+		Saturated: out.Saturated,
+		Depth:     out.Depth,
 	}
 	switch {
 	case out.Decided && out.WeaklyAcyclic:
@@ -548,6 +560,9 @@ func record(res *Result) *chase.StageOutcomes {
 			Detail:     s.Detail,
 			Steps:      s.Steps,
 			DurationNS: int64(s.Duration),
+			Seeds:      s.Seeds,
+			Saturated:  s.Saturated,
+			Depth:      s.Depth,
 		}
 	}
 	return so
@@ -570,6 +585,9 @@ func replay(so *chase.StageOutcomes) *Result {
 			Conclusion: parseConclusion(rec.Verdict),
 			Detail:     rec.Detail,
 			Steps:      rec.Steps,
+			Seeds:      rec.Seeds,
+			Saturated:  rec.Saturated,
+			Depth:      rec.Depth,
 		}
 	}
 	return res

@@ -34,6 +34,14 @@ type Verdict struct {
 type DecideOptions struct {
 	// MaxStates bounds each component's explored state space (0: 200_000).
 	MaxStates int
+	// Cache, when non-nil, memoises whole decisions across runs as
+	// chase.StickyOutcome entries keyed by (set fingerprint, MaxStates). A
+	// warm hit replays the identical Verdict — including the witness seed
+	// and lasso — without building or exploring a single automaton; the
+	// lasso is stored symbolically (interner-free) and the witness seed as
+	// its index into the deterministic Seeds enumeration. Cancelled calls
+	// are never stored.
+	Cache *chase.Cache
 }
 
 func (o DecideOptions) maxStates() int {
@@ -67,8 +75,16 @@ func DecideContext(ctx context.Context, set *tgds.Set, opts DecideOptions) (*Ver
 	} else if !ok {
 		return nil, fmt.Errorf("sticky: input is not sticky: %v", m.Violation())
 	}
+	var setFP logic.Fingerprint
+	if opts.Cache != nil {
+		setFP = set.Fingerprint()
+		if o, ok := opts.Cache.LookupStickyOutcome(setFP, opts.maxStates()); ok {
+			return replayVerdict(set, o), nil
+		}
+	}
 	verdict := &Verdict{Terminates: true, Method: "buchi-empty", Complete: true}
-	for _, seed := range Seeds(set) {
+	seedIndex := int32(-1)
+	for i, seed := range Seeds(set) {
 		a, err := BuildAutomaton(set, seed)
 		if err != nil {
 			return nil, err
@@ -83,17 +99,65 @@ func DecideContext(ctx context.Context, set *tgds.Set, opts DecideOptions) (*Ver
 		}
 		if lasso, ok := explored.NonEmpty(); ok {
 			seedCopy := seed
-			return &Verdict{
+			verdict = &Verdict{
 				Terminates:     false,
 				Method:         "buchi-witness",
 				Seed:           &seedCopy,
 				Lasso:          lasso,
 				StatesExplored: verdict.StatesExplored,
 				Complete:       true,
-			}, nil
+			}
+			seedIndex = int32(i)
+			break
 		}
 	}
+	if opts.Cache != nil {
+		opts.Cache.StoreStickyOutcome(setFP, opts.maxStates(), recordVerdict(verdict, seedIndex))
+	}
 	return verdict, nil
+}
+
+// recordVerdict converts a finished decision into the portable cache entry:
+// the witness seed as its Seeds index, the lasso's symbol keys copied by
+// value so the entry stays immutable however the caller uses the Verdict.
+func recordVerdict(v *Verdict, seedIndex int32) *chase.StickyOutcome {
+	o := &chase.StickyOutcome{
+		Terminates:     v.Terminates,
+		Method:         v.Method,
+		Complete:       v.Complete,
+		StatesExplored: v.StatesExplored,
+		SeedIndex:      seedIndex,
+	}
+	if v.Lasso != nil {
+		o.LassoPrefix = append([]string(nil), v.Lasso.Prefix...)
+		o.LassoCycle = append([]string(nil), v.Lasso.Cycle...)
+		o.LassoGap = v.Lasso.Gap
+	}
+	return o
+}
+
+// replayVerdict rebuilds the recorded Verdict: the witness seed comes back
+// out of the deterministic Seeds enumeration and the lasso slices are
+// copied, so a replay and a live run hand the caller equal — and equally
+// mutable — witness material.
+func replayVerdict(set *tgds.Set, o *chase.StickyOutcome) *Verdict {
+	v := &Verdict{
+		Terminates:     o.Terminates,
+		Method:         o.Method,
+		Complete:       o.Complete,
+		StatesExplored: o.StatesExplored,
+	}
+	if o.SeedIndex >= 0 {
+		seeds := Seeds(set)
+		seedCopy := seeds[o.SeedIndex]
+		v.Seed = &seedCopy
+		v.Lasso = &buchi.Lasso{
+			Prefix: append([]string(nil), o.LassoPrefix...),
+			Cycle:  append([]string(nil), o.LassoCycle...),
+			Gap:    o.LassoGap,
+		}
+	}
+	return v
 }
 
 // MaterializeWitness turns an accepting lasso into a concrete finitary

@@ -7,7 +7,10 @@
 # refactors don't flap, while a regression that deletes tests fails loudly.
 #
 # Measured at the PR 5 ratchet: internal/chase 90.5%, internal/guarded
-# 91.9%. At the PR 6 ratchet: internal/portfolio 80.0%.
+# 91.9%. At the PR 6 ratchet: internal/portfolio 80.0%. At the PR 7
+# ratchet (snapshot codec + sticky/exists cache paths landed with their
+# corruption and round-trip suites): internal/chase 91.2%, internal/guarded
+# 92.5%, internal/portfolio 80.1%, internal/sticky 86.5%.
 set -eu
 
 check() {
@@ -24,6 +27,7 @@ check() {
 	echo "check-coverage: $pkg ${total}% (floor ${floor}%)"
 }
 
-check ./internal/chase 88.5
-check ./internal/guarded 89.9
-check ./internal/portfolio 78.0
+check ./internal/chase 89.2
+check ./internal/guarded 90.5
+check ./internal/portfolio 78.1
+check ./internal/sticky 84.5
