@@ -5,14 +5,23 @@
 package airct_test
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"airct/internal/chase"
 )
 
 var (
@@ -29,7 +38,7 @@ func binary(t *testing.T, name string) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"termcheck", "chase", "benchgen", "experiments"} {
+		for _, cmd := range []string{"termcheck", "termcheckd", "chase", "benchgen", "experiments"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(buildDir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = &buildFailure{cmd: cmd, out: string(out), err: err}
@@ -197,7 +206,8 @@ func TestTermcheckProfiles(t *testing.T) {
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cache-file", "-cpuprofile", "-memprofile"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cache-file", "-cache-save-every", "-cpuprofile", "-memprofile"},
+	"termcheckd":  {"-addr", "-cache-file", "-cache-save-every", "-max-inflight", "-request-timeout", "-workers"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},
@@ -493,5 +503,207 @@ func TestExperimentsSelectedSubset(t *testing.T) {
 	// E5's verdict line is the Example 5.6 reproduction.
 	if !strings.Contains(out, "treeified D_ac") || !strings.Contains(out, "diverges") {
 		t.Errorf("E5 table incomplete:\n%s", out)
+	}
+}
+
+// startTermcheckd launches the daemon, scrapes the resolved listen address
+// from its banner line, and returns the process and base URL. The caller
+// owns shutdown.
+func startTermcheckd(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(binary(t, "termcheckd"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "termcheckd: listening on "); ok {
+			go io.Copy(io.Discard, stdout) // keep the pipe drained
+			return cmd, "http://" + addr
+		}
+	}
+	t.Fatalf("termcheckd exited without a listening banner (scan err %v)", sc.Err())
+	return nil, ""
+}
+
+// TestTermcheckdServes pins the daemon end to end: serve verdicts over
+// HTTP that match the CLI's, report stats, shut down gracefully on SIGTERM
+// with exit 0 and a final cache snapshot, and restart warm from that
+// snapshot.
+func TestTermcheckdServes(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "served.cache")
+	cmd, base := startTermcheckd(t, "-cache-file", snap, "-cache-save-every", "0")
+
+	src, err := os.ReadFile("testdata/conformance/swap-intro.chase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"program":%q}`, src)
+
+	postDecide := func(url string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/decide", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("decide status %d: %s", resp.StatusCode, data)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	// swap-intro terminates (the CLI exits 0 on it); the daemon must agree.
+	if got := postDecide(base); got["verdict"] != "terminates" {
+		t.Errorf("served verdict = %v, want terminates", got["verdict"])
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %v %v", err, resp)
+	}
+	var stats struct {
+		Requests struct {
+			Decide int64 `json:"decide"`
+		} `json:"requests"`
+		Cache chase.CacheStats `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests.Decide != 1 {
+		t.Errorf("stats decide tally = %d, want 1", stats.Requests.Decide)
+	}
+	if stats.Cache.Entries == 0 {
+		t.Errorf("stats cache entries = 0; the decide left nothing in the shared cache")
+	}
+
+	// Graceful shutdown: SIGTERM → drain, final snapshot, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("termcheckd exit after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no cache snapshot after graceful shutdown: %v", err)
+	}
+
+	// Restart from the snapshot: the same decide must now hit the restored
+	// cache.
+	cmd2, base2 := startTermcheckd(t, "-cache-file", snap, "-cache-save-every", "0")
+	if got := postDecide(base2); got["verdict"] != "terminates" {
+		t.Errorf("restarted verdict = %v, want terminates", got["verdict"])
+	}
+	resp, err = http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats2 struct {
+		Cache chase.CacheStats `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats2)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Cache.Hits == 0 {
+		t.Errorf("restarted daemon served the decide without hitting the restored cache: %+v", stats2.Cache)
+	}
+	cmd2.Process.Signal(syscall.SIGTERM)
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("second daemon exit: %v", err)
+	}
+}
+
+// TestTermcheckCacheSaveEveryKillMidRun pins the periodic snapshotter's
+// crash story: under -cache-save-every the snapshot on disk is refreshed
+// WHILE the run is still going, and a kill -9 mid-run leaves a cleanly
+// loadable snapshot — at most one interval of warm work is lost, never the
+// whole cache.
+func TestTermcheckCacheSaveEveryKillMidRun(t *testing.T) {
+	bin := binary(t, "termcheck")
+	snap := filepath.Join(t.TempDir(), "midrun.cache")
+
+	// Warm the snapshot with a fast run, so the slow run below starts with
+	// restorable entries in its cache.
+	if out, code := run(t, bin, "-cache-file", snap, "testdata/conformance/swap-intro.chase"); code != 0 {
+		t.Fatalf("warming run exit = %d\n%s", code, out)
+	}
+	before, err := os.Stat(snap)
+	if err != nil {
+		t.Fatalf("warming run left no snapshot: %v", err)
+	}
+
+	// The slow run: a ~10s ∀∃ sweep (stage-grid at n=13 explores 3^13
+	// states) with a 50ms snapshot cadence.
+	prog := filepath.Join(t.TempDir(), "grid.chase")
+	grid, code := run(t, binary(t, "benchgen"), "-family", "stage-grid", "-n", "13")
+	if code != 0 {
+		t.Fatalf("benchgen exit = %d\n%s", code, grid)
+	}
+	if err := os.WriteFile(prog, []byte(grid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-exists", "-exists-states", "100000000", "-exists-atoms", "100",
+		"-cache-file", snap, "-cache-save-every", "50ms", prog)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Wait for the ticker to overwrite the snapshot mid-run (a newer mtime
+	// than the warming run's file), then crash the process.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot not refreshed mid-run within 10s")
+		}
+		st, err := os.Stat(snap)
+		if err == nil && st.ModTime().After(before.ModTime()) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The kill -9 skipped the exit-time save; the mid-run snapshot must
+	// still restore cleanly, entries intact.
+	c, rep, err := chase.LoadCacheFile(snap)
+	if err != nil || rep.Truncated || rep.Skipped > 0 {
+		t.Fatalf("snapshot after kill -9 did not load cleanly: %v %+v", err, rep)
+	}
+	if c.Stats().Entries == 0 {
+		t.Error("snapshot after kill -9 restored no entries")
 	}
 }

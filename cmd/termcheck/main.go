@@ -63,6 +63,7 @@ import (
 	"airct/internal/guarded"
 	"airct/internal/parser"
 	"airct/internal/portfolio"
+	"airct/internal/serve"
 	"airct/internal/sticky"
 )
 
@@ -78,6 +79,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers for the -exists search and the -portfolio Tier 2 race (1 = sequential)")
 	useCache := flag.Bool("cache", false, "memoise chase work (guarded seeds, sticky Büchi verdicts, -exists searches, portfolio runs) in a cross-run cache and report a cache: stats line")
 	cacheFile := flag.String("cache-file", "", "persist the cross-run cache: load the snapshot at this path if it exists and save it back atomically on exit (implies -cache)")
+	cacheSaveEvery := flag.Duration("cache-save-every", 0, "also snapshot the -cache-file cache on this cadence during the run, so a crash loses at most one interval of warm work (0: save at exit only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to the file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to the file before exiting")
 	flag.Parse()
@@ -105,7 +107,7 @@ func main() {
 				}
 			}()
 		}
-		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache, *cacheFile)
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache, *cacheFile, *cacheSaveEvery)
 	}())
 }
 
@@ -119,7 +121,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool, cacheFile string) int {
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool, cacheFile string, cacheSaveEvery time.Duration) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		return fail(err)
@@ -134,9 +136,13 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	if exists && usePortfolio {
 		return fail(fmt.Errorf("-exists and -portfolio ask different questions; choose one"))
 	}
-	cache, err := openCache(useCache, cacheFile)
-	if err != nil {
-		return fail(err)
+	cache := openCache(useCache, cacheFile)
+	var snap *serve.Snapshotter
+	if cache != nil && cacheFile != "" {
+		// The snapshotter owns persistence: a background ticker under
+		// -cache-save-every (so a killed run keeps its last interval of warm
+		// work), plus the historic save-at-exit on Close.
+		snap = serve.NewSnapshotter(cache, cacheFile, cacheSaveEvery, logfStderr)
 	}
 	code := func() int {
 		if exists {
@@ -147,48 +153,37 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 		}
 		return runAnalyze(prog, guardedBudget, stickyStates, cache)
 	}()
-	if cache != nil && cacheFile != "" {
-		if err := chase.SaveCacheFile(cache, cacheFile); err != nil {
+	if snap != nil {
+		if err := snap.Close(); err != nil {
 			return fail(err)
 		}
 	}
 	return code
 }
 
+func logfStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "termcheck: "+format+"\n", args...)
+}
+
 // openCache builds the run's shared cache: empty under plain -cache, warm
-// under -cache-file when a loadable snapshot exists. A missing snapshot
-// file starts cold silently; a corrupt or version-mismatched one is
-// reported to stderr and ignored (the run proceeds cold and overwrites it
-// on exit) — persistence must never turn a decidable input into an error.
-func openCache(useCache bool, cacheFile string) (*chase.Cache, error) {
+// under -cache-file when a loadable snapshot exists (the shared loader in
+// internal/serve reports corrupt or partial snapshots to stderr and never
+// turns a decidable input into an error).
+func openCache(useCache bool, cacheFile string) *chase.Cache {
 	if !useCache && cacheFile == "" {
-		return nil, nil
+		return nil
 	}
 	if cacheFile != "" {
-		loaded, rep, err := chase.LoadCacheFile(cacheFile)
-		switch {
-		case err == nil:
-			if rep.Skipped > 0 || rep.Truncated {
-				fmt.Fprintf(os.Stderr, "termcheck: cache file %s: restored %d entries, skipped %d corrupt, truncated=%t\n",
-					cacheFile, rep.Restored, rep.Skipped, rep.Truncated)
-			}
-			return loaded, nil
-		case os.IsNotExist(err):
-			// First run: start cold, save on exit.
-		default:
-			fmt.Fprintf(os.Stderr, "termcheck: ignoring cache file %s: %v\n", cacheFile, err)
-		}
+		return serve.OpenCacheFile(cacheFile, logfStderr)
 	}
-	return chase.NewCache(), nil
+	return chase.NewCache()
 }
 
 func printCacheStats(cache *chase.Cache) {
 	if cache == nil {
 		return
 	}
-	st := cache.Stats()
-	fmt.Printf("cache: hits=%d misses=%d entries=%d bytes=%d evictions=%d evicted-entries=%d\n",
-		st.Hits, st.Misses, st.Entries, st.Bytes, st.Evictions, st.EvictedEntries)
+	fmt.Println(cache.Stats().String())
 }
 
 // runAnalyze answers the ∀∀ question through the plain sequential analysis.

@@ -27,7 +27,10 @@ package airct_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,6 +41,7 @@ import (
 	"airct/internal/guarded"
 	"airct/internal/parser"
 	"airct/internal/portfolio"
+	"airct/internal/serve"
 )
 
 const (
@@ -132,6 +136,10 @@ func TestConformanceCorpus(t *testing.T) {
 	if err != nil || len(files) == 0 {
 		t.Fatalf("no conformance corpus found: %v", err)
 	}
+	// The served column's daemon: ONE server (and hence one shared cache)
+	// across the whole corpus, as termcheckd would run it.
+	daemon := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer daemon.Close()
 	for _, file := range files {
 		t.Run(strings.TrimSuffix(filepath.Base(file), ".chase"), func(t *testing.T) {
 			raw, err := os.ReadFile(file)
@@ -153,7 +161,61 @@ func TestConformanceCorpus(t *testing.T) {
 				runDecideColumn(t, prog, want, expect["decide-method"])
 			}
 			runPortfolioColumn(t, prog)
+			runServedColumn(t, daemon.URL, string(raw), prog, expect)
 		})
+	}
+}
+
+// runServedColumn drives the program through the HTTP serving front end at
+// the harness budgets and holds the served verdicts to the same golden
+// directives as the in-process columns: the ∀∀ decision must agree with
+// core.Analyze (and with decide= where the set is guarded), and exists=
+// must come back verbatim over the wire.
+func runServedColumn(t *testing.T, baseURL, src string, prog *parser.Program, expect map[string]string) {
+	post := func(path string, req, out any) {
+		t.Helper()
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(baseURL+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("served%s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("served%s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("served%s: %v", path, err)
+		}
+	}
+
+	rep, err := core.Analyze(prog.TGDs, core.Options{
+		GuardedOptions: guarded.DecideOptions{MaxSteps: confDecideSteps},
+	})
+	if err != nil {
+		t.Fatalf("served: core.Analyze: %v", err)
+	}
+	var dec serve.DecideResponse
+	post("/v1/decide", serve.DecideRequest{Program: src, GuardedBudget: confDecideSteps}, &dec)
+	if dec.Verdict != rep.Conclusion.String() {
+		t.Errorf("served/decide: verdict = %s, want %s (core.Analyze)", dec.Verdict, rep.Conclusion)
+	}
+	if want, ok := expect["decide"]; ok && dec.Verdict != want {
+		t.Errorf("served/decide: verdict = %s, want %s (golden)", dec.Verdict, want)
+	}
+	var pf serve.DecideResponse
+	post("/v1/decide", serve.DecideRequest{Program: src, Portfolio: true, GuardedBudget: confDecideSteps}, &pf)
+	if pf.Verdict != rep.Conclusion.String() {
+		t.Errorf("served/portfolio: verdict = %s, want %s (core.Analyze)", pf.Verdict, rep.Conclusion)
+	}
+	if want, ok := expect["exists"]; ok {
+		var ex serve.ExistsResponse
+		post("/v1/exists", serve.ExistsRequest{Program: src, MaxStates: confExistsStates, MaxAtoms: confExistsAtoms}, &ex)
+		if ex.Verdict != want {
+			t.Errorf("served/exists: verdict = %s, want %s (golden)", ex.Verdict, want)
+		}
 	}
 }
 

@@ -47,6 +47,8 @@ package chase
 // bookkeeping; a dropped segment is 1/64 of the cache.
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -81,20 +83,46 @@ type CacheKey struct {
 	Salt uint64
 }
 
-// CacheStats is a point-in-time snapshot of the cache's counters.
+// CacheStats is a point-in-time snapshot of the cache's counters. It is
+// the one stats shape shared by every surface that reports cache work —
+// the CLI's `cache:` line (String) and the daemon's /v1/stats JSON (the
+// field tags) render the same struct, and TestCacheStatsRoundTrip pins the
+// two renderings key-for-key so they can never drift.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int64
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries"`
 	// Bytes estimates the retained footprint (keys, strings, slices).
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 	// Evictions counts stripe segment evictions (a store that would
 	// overflow its stripe's byte share drops the whole stripe first);
 	// EvictedEntries totals the entries those evictions discarded. A warm
 	// entry silently lost to eviction is otherwise unobservable, and the
 	// planned age/size-aware policy needs this signal.
-	Evictions      int64
-	EvictedEntries int64
+	Evictions      int64 `json:"evictions"`
+	EvictedEntries int64 `json:"evicted-entries"`
+}
+
+// String renders the canonical `cache:` stats line (without a trailing
+// newline), exactly as termcheck prints it. The key names are the JSON
+// field tags, in struct order.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache: hits=%d misses=%d entries=%d bytes=%d evictions=%d evicted-entries=%d",
+		s.Hits, s.Misses, s.Entries, s.Bytes, s.Evictions, s.EvictedEntries)
+}
+
+// ParseCacheStatsLine parses a String-rendered `cache:` line back into the
+// struct — the round-trip direction that keeps the text rendering honest
+// against the JSON shape.
+func ParseCacheStatsLine(line string) (CacheStats, error) {
+	var s CacheStats
+	_, err := fmt.Sscanf(strings.TrimSpace(line),
+		"cache: hits=%d misses=%d entries=%d bytes=%d evictions=%d evicted-entries=%d",
+		&s.Hits, &s.Misses, &s.Entries, &s.Bytes, &s.Evictions, &s.EvictedEntries)
+	if err != nil {
+		return CacheStats{}, fmt.Errorf("chase: malformed cache stats line %q: %w", line, err)
+	}
+	return s, nil
 }
 
 // SeedOutcome is a cached per-seed decision outcome: what the guarded

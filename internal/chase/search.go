@@ -143,25 +143,27 @@ type SearchOptions struct {
 	onExpand func(inst *instance.Instance, active []Trigger)
 }
 
-// SearchStats counts the search's work.
+// SearchStats counts the search's work. The JSON tags are the stable wire
+// shape served by termcheckd's /v1/exists and /v1/stats responses; the
+// `trigger-index:` CLI line reports the last three fields.
 type SearchStats struct {
 	// StatesExpanded counts popped states whose triggers were enumerated.
-	StatesExpanded int
+	StatesExpanded int `json:"states-expanded"`
 	// MemoHits counts generated successors that merged into a visited state.
-	MemoHits int
+	MemoHits int `json:"memo-hits"`
 	// PeakFrontier is the largest frontier size reached. Under parallelism
 	// it is the peak of the atomically tracked total across all per-worker
 	// frontiers — approximate, since pushes and pops race.
-	PeakFrontier int
+	PeakFrontier int `json:"peak-frontier"`
 	// IndexRepairs counts expanded states whose active-trigger index was
 	// inherited from the parent and repaired with the delta; IndexRebuilds
 	// counts full re-enumerations (the root, parallel steal boundaries, and
 	// every state when the index is disabled).
-	IndexRepairs  int
-	IndexRebuilds int
+	IndexRepairs  int `json:"index-repairs"`
+	IndexRebuilds int `json:"index-rebuilds"`
 	// ActivityRechecks counts delta-pinned activity re-checks of inherited
 	// candidates — the repair path's work currency.
-	ActivityRechecks int
+	ActivityRechecks int `json:"activity-rechecks"`
 }
 
 // searchNode is one chase state: the delta against its parent plus the

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -97,6 +98,16 @@ func (o Options) mfaSteps() int {
 // Analyze inspects the set and decides CT^res_∀∀ membership where the
 // paper's results make that possible.
 func Analyze(set *tgds.Set, opts Options) (*Report, error) {
+	return AnalyzeContext(context.Background(), set, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: the context is threaded into
+// the sticky Büchi exploration and the guarded seed search (the two
+// procedures that can run long), which observe it inside their inner loops
+// and return its error promptly. The report is bit-identical to Analyze's
+// on an uncancelled context — the baselines and the procedure order are
+// unchanged.
+func AnalyzeContext(ctx context.Context, set *tgds.Set, opts Options) (*Report, error) {
 	if set.Len() == 0 {
 		return nil, fmt.Errorf("core: empty TGD set")
 	}
@@ -143,7 +154,7 @@ func Analyze(set *tgds.Set, opts Options) (*Report, error) {
 		}
 	}
 	if r.Sticky {
-		v, err := sticky.Decide(set, opts.StickyOptions)
+		v, err := sticky.DecideContext(ctx, set, opts.StickyOptions)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +172,7 @@ func Analyze(set *tgds.Set, opts Options) (*Report, error) {
 		}
 	}
 	if r.Guarded {
-		v, err := guarded.Decide(set, opts.GuardedOptions)
+		v, err := guarded.DecideContext(ctx, set, opts.GuardedOptions)
 		if err != nil {
 			return nil, err
 		}

@@ -177,3 +177,45 @@ func RandomAutomaton(seed int64, nStates int) *buchi.Automaton {
 		Accepting: func(state string) bool { return accepting[state] },
 	}
 }
+
+// ServeRequest is one request of a serving workload: which endpoint of the
+// analysis daemon it targets and the .chase program text it carries.
+type ServeRequest struct {
+	// Endpoint is "decide", "decide-portfolio" or "exists".
+	Endpoint string
+	// Source is the full program text (facts + TGDs).
+	Source string
+}
+
+// RepeatedMixedRequests models a termination-analysis daemon's steady
+// state: k rounds over a fixed mixed pool of programs sized by n — plain
+// ∀∀ decides, portfolio decides and ∀∃ searches, terminating and diverging
+// families alike. Every round repeats the same programs (as monitoring,
+// CI and retry traffic do), so under ONE shared cross-run cache round 1 is
+// cold and rounds 2..k replay; without one, every round pays full price.
+// The serving benchmarks (internal/serve) measure that gap end to end.
+func RepeatedMixedRequests(n, k int) []ServeRequest {
+	grid := StageGrid(n)
+	var gridSrc strings.Builder
+	for _, a := range grid.Database.Atoms() {
+		gridSrc.WriteString(a.String())
+		gridSrc.WriteString(".\n")
+	}
+	for _, t := range grid.TGDs.TGDs {
+		gridSrc.WriteString(t.String())
+		gridSrc.WriteString(".\n")
+	}
+	base := []ServeRequest{
+		{Endpoint: "decide", Source: SwapIntro(n).Source},
+		{Endpoint: "decide-portfolio", Source: SwapIntro(n).Source},
+		{Endpoint: "decide", Source: GuardedLadder(n).Source},
+		{Endpoint: "decide-portfolio", Source: LinearCycle(n).Source},
+		{Endpoint: "decide-portfolio", Source: StickyRelay(n).Source},
+		{Endpoint: "exists", Source: gridSrc.String()},
+	}
+	out := make([]ServeRequest, 0, len(base)*k)
+	for round := 0; round < k; round++ {
+		out = append(out, base...)
+	}
+	return out
+}

@@ -10,7 +10,9 @@
 # 91.9%. At the PR 6 ratchet: internal/portfolio 80.0%. At the PR 7
 # ratchet (snapshot codec + sticky/exists cache paths landed with their
 # corruption and round-trip suites): internal/chase 91.2%, internal/guarded
-# 92.5%, internal/portfolio 80.1%, internal/sticky 86.5%.
+# 92.5%, internal/portfolio 80.1%, internal/sticky 86.5%. At the PR 8
+# ratchet (serving front end with its e2e + concurrency suites):
+# internal/serve 93.8%.
 set -eu
 
 check() {
@@ -31,3 +33,4 @@ check ./internal/chase 89.2
 check ./internal/guarded 90.5
 check ./internal/portfolio 78.1
 check ./internal/sticky 84.5
+check ./internal/serve 91.8
