@@ -206,8 +206,8 @@ func TestTermcheckProfiles(t *testing.T) {
 // command. TestCLIHelpMatchesDocs asserts each appears both in the
 // command's -h output and in the doc file, so the three stay in sync.
 var documentedFlags = map[string][]string{
-	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-workers", "-cache", "-cache-file", "-cache-save-every", "-cpuprofile", "-memprofile"},
-	"termcheckd":  {"-addr", "-cache-file", "-cache-save-every", "-max-inflight", "-request-timeout", "-workers"},
+	"termcheck":   {"-guarded-budget", "-sticky-states", "-exists", "-exists-states", "-exists-atoms", "-exists-strategy", "-portfolio", "-probe-steps", "-adaptive", "-workers", "-cache", "-cache-file", "-cache-save-every", "-cpuprofile", "-memprofile"},
+	"termcheckd":  {"-addr", "-adaptive", "-cache-file", "-cache-save-every", "-max-inflight", "-request-timeout", "-workers"},
 	"chase":       {"-variant", "-strategy", "-seed", "-max-steps", "-max-atoms", "-quiet", "-core"},
 	"benchgen":    {"-family", "-n", "-db", "-size", "-seed"},
 	"experiments": {"-only", "-quick"},
@@ -373,6 +373,25 @@ func TestTermcheckPortfolio(t *testing.T) {
 	}
 	if !regexp.MustCompile(`(?m)^portfolio-stage: name=\S+ tier=\d+ decided=(true|false) verdict=\S+ steps=\d+ saturated=\d+/\d+ depth=\d+ elapsed=\S+ detail="`).MatchString(out) {
 		t.Errorf("swap-intro cached: portfolio-stage line lacks probe diagnostics fields:\n%s", out)
+	}
+
+	// The Tier 1 rejecting fast path: guard-chain-pump diverges, is guarded
+	// non-sticky, and must be decided by the probe itself — its stage line
+	// carries the full-budget-confirmed pump certificate.
+	out, code = run(t, bin, "-portfolio", "testdata/conformance/guard-chain-pump.chase")
+	if code != 1 {
+		t.Fatalf("guard-chain-pump: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "verdict=diverges decided-by=probe") {
+		t.Errorf("guard-chain-pump: probe reject did not decide:\n%s", out)
+	}
+	if !regexp.MustCompile(`(?m)^portfolio-stage: name=probe tier=1 decided=true verdict=diverges .*detail="probe: pump at depth \d+ within k=\d+`).MatchString(out) {
+		t.Errorf("guard-chain-pump: rejecting probe stage line lacks the certificate:\n%s", out)
+	}
+	// -adaptive reorders and re-budgets but never changes the verdict.
+	out, code = run(t, bin, "-portfolio", "-adaptive", "testdata/conformance/guard-chain-pump.chase")
+	if code != 1 || !strings.Contains(out, "verdict=diverges decided-by=probe") {
+		t.Errorf("guard-chain-pump -adaptive: exit %d, want 1 with the probe deciding:\n%s", code, out)
 	}
 
 	if out, code = run(t, bin, "-portfolio", "-exists", "testdata/conformance/ladder.chase"); code != 3 {

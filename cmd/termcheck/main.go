@@ -76,6 +76,7 @@ func main() {
 	existsStrategy := flag.String("exists-strategy", "smallest", "frontier discipline for the -exists search: smallest, bfs, dfs or index")
 	usePortfolio := flag.Bool("portfolio", false, "answer the all-instances question through the staged decider portfolio (cheap checks, k-round probe, raced semantic deciders)")
 	probeSteps := flag.Int("probe-steps", guarded.DefaultProbeSteps, "per-seed step budget k of the -portfolio Tier 1 probe")
+	adaptive := flag.Bool("adaptive", false, "let an online cost model reorder the -portfolio cheap stages per workload class and pick the probe budget (persists through -cache-file; verdicts are unchanged; an explicit -probe-steps is respected)")
 	workers := flag.Int("workers", 1, "parallel workers for the -exists search and the -portfolio Tier 2 race (1 = sequential)")
 	useCache := flag.Bool("cache", false, "memoise chase work (guarded seeds, sticky Büchi verdicts, -exists searches, portfolio runs) in a cross-run cache and report a cache: stats line")
 	cacheFile := flag.String("cache-file", "", "persist the cross-run cache: load the snapshot at this path if it exists and save it back atomically on exit (implies -cache)")
@@ -107,7 +108,18 @@ func main() {
 				}
 			}()
 		}
-		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, *probeSteps, *workers, *useCache, *cacheFile, *cacheSaveEvery)
+		resolvedProbe := *probeSteps
+		if *adaptive {
+			// Under -adaptive an unset -probe-steps means "let the model
+			// pick"; an explicit value wins either way.
+			resolvedProbe = 0
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "probe-steps" {
+					resolvedProbe = *probeSteps
+				}
+			})
+		}
+		return run(*guardedBudget, *stickyStates, *exists, *existsStates, *existsAtoms, *existsStrategy, *usePortfolio, resolvedProbe, *adaptive, *workers, *useCache, *cacheFile, *cacheSaveEvery)
 	}())
 }
 
@@ -121,7 +133,7 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
-func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps, workers int, useCache bool, cacheFile string, cacheSaveEvery time.Duration) int {
+func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms int, existsStrategy string, usePortfolio bool, probeSteps int, adaptive bool, workers int, useCache bool, cacheFile string, cacheSaveEvery time.Duration) int {
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		return fail(err)
@@ -149,7 +161,7 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 			return runExists(prog, existsStates, existsAtoms, existsStrategy, workers, cache)
 		}
 		if usePortfolio {
-			return runPortfolio(prog, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers, cache)
+			return runPortfolio(prog, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, adaptive, workers, cache)
 		}
 		return runAnalyze(prog, guardedBudget, stickyStates, cache)
 	}()
@@ -214,13 +226,19 @@ func runAnalyze(prog *parser.Program, guardedBudget, stickyStates int, cache *ch
 // runPortfolio answers the ∀∀ question through the staged portfolio and
 // reports per-stage work. The exit code funnel matches the plain analysis:
 // the portfolio's conclusion is pinned bit-identical to core.Analyze's.
-func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps, workers int, cache *chase.Cache) int {
+func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsStates, existsAtoms, probeSteps int, adaptive bool, workers int, cache *chase.Cache) int {
 	opts := portfolio.Options{
 		Guarded:    guarded.DecideOptions{MaxSteps: guardedBudget},
 		Sticky:     sticky.DecideOptions{MaxStates: stickyStates},
 		ProbeSteps: probeSteps,
 		Workers:    workers,
 		Cache:      cache,
+	}
+	if adaptive {
+		// A one-shot process only benefits across runs: the model pulls
+		// learned state from the cache (warm under -cache-file) and pushes
+		// this run's observations back before the exit snapshot.
+		opts.Model = portfolio.NewCostModel()
 	}
 	if prog.Database.Len() > 0 {
 		fmt.Printf("note: %d facts feed the non-authoritative ∀∃ racer only (the question is all-instances)\n", prog.Database.Len())

@@ -49,11 +49,12 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "maximum concurrently executing analyses before requests are shed with 429 (0: 2×GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 0, "wall-clock cap per request; also the default for requests without timeout-ms (0: unbounded)")
 	workers := flag.Int("workers", 1, "default worker count for requests that omit workers (exists search shards, portfolio race pool)")
+	adaptive := flag.Bool("adaptive", false, "give portfolio requests a shared online cost model: cheap stages reorder per workload class and the probe budget adapts, learned state persists through -cache-file (verdicts are unchanged)")
 	flag.Parse()
-	os.Exit(run(*addr, *cacheFile, *saveEvery, *maxInflight, *requestTimeout, *workers))
+	os.Exit(run(*addr, *cacheFile, *saveEvery, *maxInflight, *requestTimeout, *workers, *adaptive))
 }
 
-func run(addr, cacheFile string, saveEvery time.Duration, maxInflight int, requestTimeout time.Duration, workers int) int {
+func run(addr, cacheFile string, saveEvery time.Duration, maxInflight int, requestTimeout time.Duration, workers int, adaptive bool) int {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "termcheckd: "+format+"\n", args...)
 	}
@@ -68,6 +69,7 @@ func run(addr, cacheFile string, saveEvery time.Duration, maxInflight int, reque
 		DefaultTimeout: requestTimeout,
 		MaxTimeout:     requestTimeout,
 		Workers:        workers,
+		Adaptive:       adaptive,
 		Snapshot:       snap,
 		Logf:           logf,
 	})

@@ -6,7 +6,7 @@ package chase
 // does constantly, both inside one Decide call (each seed runs a battery of
 // trigger orders; treeification re-derives seeds) and across Decide calls
 // (a served workload repeats programs) — costs one map probe instead of a
-// chase. Six entry kinds share the store:
+// chase. Seven entry kinds share the store:
 //
 //   - seed outcomes (guarded.chaseSeed): the per-seed divergence verdict of
 //     the bounded chase battery, keyed additionally by the step budget. A
@@ -71,6 +71,7 @@ const (
 	kindStageOutcomes uint64 = 4 << 56
 	kindStickyOutcome uint64 = 5 << 56
 	kindExistsOutcome uint64 = 6 << 56
+	kindCostModel     uint64 = 7 << 56
 )
 
 // CacheKey identifies one cached chase artefact.
@@ -169,11 +170,15 @@ type SeedPool struct {
 // ("terminates"/"diverges"/"unknown") keep the entry free of higher-layer
 // types; Steps and DurationNS record the stage's work when it ran live.
 type StageRecord struct {
-	Stage      string
-	Tier       int
-	Decided    bool
-	Verdict    string
-	Detail     string
+	Stage   string
+	Tier    int
+	Decided bool
+	Verdict string
+	Detail  string
+	// Evidence carries a stage's divergence certificate (the Tier 1
+	// probe's confirmed guard-chain pump) so warm replays serve the
+	// certificate string, not just the verdict.
+	Evidence   string
 	Steps      int
 	DurationNS int64
 	// Seeds, Saturated and Depth carry the Tier 1 probe's diagnostics
@@ -187,12 +192,39 @@ type StageRecord struct {
 
 // StageOutcomes is a cached portfolio run: the per-stage records plus the
 // combined verdict and the deciding stage. Entries are keyed by the set
-// fingerprint and an options salt (the caller folds its budgets into it),
-// never by worker counts — verdicts are worker-invariant by construction.
+// fingerprint, the instance fingerprint of the request's database (zero
+// for pure rule sets — keeping the ledger's diagnostics honest about which
+// database they describe) and an options salt (the caller folds its
+// budgets into it), never by worker counts — verdicts are worker-invariant
+// by construction.
 type StageOutcomes struct {
 	Records   []StageRecord
 	Verdict   string
 	DecidedBy string
+}
+
+// StageCostRecord is one stage's learned cost statistics inside a cached
+// CostModelEntry: EWMA run cost in nanoseconds (integer — the codec stores
+// no floats), attempt and decision counts, and for the probe stage the
+// EWMA saturation depth of its decisive runs.
+type StageCostRecord struct {
+	Stage     string
+	EwmaNS    int64
+	Attempts  int64
+	Decided   int64
+	EwmaDepth int64
+}
+
+// CostModelEntry is a cached per-workload-class stage cost model: the
+// portfolio's online EWMA cost/decisiveness statistics for one class of
+// TGD sets (internal/portfolio.CostModel), persisted so the learned
+// ordering survives restarts and is shared fleet-wide through the daemon's
+// cache. Keyed by a fingerprint of the class string; richer-observation
+// entries replace poorer ones (attempts are monotone across a model's
+// pushes).
+type CostModelEntry struct {
+	Class  string
+	Stages []StageCostRecord
 }
 
 // StickyOutcome is a cached sticky Büchi decision, keyed by (set
@@ -277,6 +309,14 @@ type Cache struct {
 	bytes          atomic.Int64
 	evictions      atomic.Int64
 	evictedEntries atomic.Int64
+
+	// Aggregated engine activity across cache-sharing runs (NoteRunActivity).
+	actRuns      atomic.Int64
+	actChecks    atomic.Int64
+	actBirth     atomic.Int64
+	actWatermark atomic.Int64
+	actDelta     atomic.Int64
+	actSeedHits  atomic.Int64
 }
 
 // NewCache returns an empty cache bounded by DefaultCacheBytes.
@@ -440,16 +480,17 @@ func (c *Cache) LookupSeedPool(set logic.Fingerprint, maxSeeds int) (*SeedPool, 
 	return v.(*SeedPool), true
 }
 
-func stageOutcomesKey(set logic.Fingerprint, salt uint64) CacheKey {
+func stageOutcomesKey(set, inst logic.Fingerprint, salt uint64) CacheKey {
 	// Mask the caller's salt into the low 56 bits so the kind tag stays
 	// collision-free against the other entry kinds.
-	return CacheKey{Set: set, Salt: kindStageOutcomes | (salt &^ (uint64(0xFF) << 56))}
+	return CacheKey{Set: set, Inst: inst, Salt: kindStageOutcomes | (salt &^ (uint64(0xFF) << 56))}
 }
 
 // LookupStageOutcomes returns the cached portfolio stage outcomes of the
-// set under the options salt. The caller must not mutate the result.
-func (c *Cache) LookupStageOutcomes(set logic.Fingerprint, salt uint64) (*StageOutcomes, bool) {
-	v, ok := c.lookup(stageOutcomesKey(set, salt))
+// (set, database) pair under the options salt (inst is the zero
+// fingerprint for pure rule sets). The caller must not mutate the result.
+func (c *Cache) LookupStageOutcomes(set, inst logic.Fingerprint, salt uint64) (*StageOutcomes, bool) {
+	v, ok := c.lookup(stageOutcomesKey(set, inst, salt))
 	if !ok {
 		return nil, false
 	}
@@ -458,8 +499,41 @@ func (c *Cache) LookupStageOutcomes(set logic.Fingerprint, salt uint64) (*StageO
 
 // StoreStageOutcomes records a portfolio run's stage outcomes. The entry
 // must not be mutated afterwards.
-func (c *Cache) StoreStageOutcomes(set logic.Fingerprint, salt uint64, o *StageOutcomes) {
-	c.store(stageOutcomesKey(set, salt), o, stageOutcomesSize(o))
+func (c *Cache) StoreStageOutcomes(set, inst logic.Fingerprint, salt uint64, o *StageOutcomes) {
+	c.store(stageOutcomesKey(set, inst, salt), o, stageOutcomesSize(o))
+}
+
+func costModelKey(class string) CacheKey {
+	// The class string is the identity: fingerprint it into the key's Set
+	// half (the Inst half stays zero — a class spans databases).
+	return CacheKey{Set: logic.FingerprintString(class), Salt: kindCostModel}
+}
+
+// LookupCostModel returns the cached stage cost model of the workload
+// class. The caller must not mutate the result.
+func (c *Cache) LookupCostModel(class string) (*CostModelEntry, bool) {
+	v, ok := c.lookup(costModelKey(class))
+	if !ok {
+		return nil, false
+	}
+	return v.(*CostModelEntry), true
+}
+
+// StoreCostModel records a stage cost model for the class, keeping the
+// entry with more total observations (a model's attempt counts only grow,
+// so the richer entry subsumes the poorer one). The entry must not be
+// mutated afterwards.
+func (c *Cache) StoreCostModel(e *CostModelEntry) {
+	attempts := func(e *CostModelEntry) int64 {
+		var n int64
+		for _, s := range e.Stages {
+			n += s.Attempts
+		}
+		return n
+	}
+	c.storeReplace(costModelKey(e.Class), e, costModelSize(e),
+		func(old any) bool { return attempts(e) > attempts(old.(*CostModelEntry)) },
+		func(old any) int64 { return costModelSize(old.(*CostModelEntry)) })
 }
 
 // StoreSeedPool records the candidate-seed pool. The pool must not be
@@ -539,6 +613,51 @@ func (c *Cache) StoreExistsOutcome(set, inst logic.Fingerprint, strat SearchStra
 		func(old any) int64 { return existsOutcomeSize(old.(*ExistsOutcome)) })
 }
 
+// ActivityTotals aggregates the engine's delta-activity diagnostics across
+// every cache-sharing chase run — the process-wide view of the per-run
+// `trigger-index:`/Activity numbers, exported by the daemon's /v1/stats.
+type ActivityTotals struct {
+	// Runs counts the chase runs that reported into the totals.
+	Runs int64 `json:"runs"`
+	// ActivityChecks totals Stats.ActivityChecks (IsActive evaluations).
+	ActivityChecks int64 `json:"activity-checks"`
+	// BirthChecks/WatermarkSkips/DeltaRechecks total the delta-maintained
+	// activity machinery's work (DeltaActivityStats).
+	BirthChecks    int64 `json:"birth-checks"`
+	WatermarkSkips int64 `json:"watermark-skips"`
+	DeltaRechecks  int64 `json:"delta-rechecks"`
+	// SeedIndexHits counts runs whose initial pending queue loaded from
+	// the cached root trigger index instead of being enumerated.
+	SeedIndexHits int64 `json:"seed-index-hits"`
+}
+
+// NoteRunActivity folds one finished chase run's bookkeeping counters into
+// the cache's activity totals. The engine calls it for every run that
+// shares this cache (Options.Cache).
+func (c *Cache) NoteRunActivity(stats Stats, act DeltaActivityStats) {
+	c.actRuns.Add(1)
+	c.actChecks.Add(int64(stats.ActivityChecks))
+	c.actBirth.Add(int64(act.BirthChecks))
+	c.actWatermark.Add(int64(act.WatermarkSkips))
+	c.actDelta.Add(int64(act.DeltaRechecks))
+	if act.SeedIndexHit {
+		c.actSeedHits.Add(1)
+	}
+}
+
+// ActivityTotals snapshots the aggregated engine activity counters. Taken
+// without locks; fields are individually consistent under concurrency.
+func (c *Cache) ActivityTotals() ActivityTotals {
+	return ActivityTotals{
+		Runs:           c.actRuns.Load(),
+		ActivityChecks: c.actChecks.Load(),
+		BirthChecks:    c.actBirth.Load(),
+		WatermarkSkips: c.actWatermark.Load(),
+		DeltaRechecks:  c.actDelta.Load(),
+		SeedIndexHits:  c.actSeedHits.Load(),
+	}
+}
+
 // forEachEntry visits every entry, one stripe at a time under its lock, in
 // unspecified order — the snapshot writer's iteration. Entries are
 // immutable, so f may retain them.
@@ -599,7 +718,15 @@ func seedPoolSize(p *SeedPool) int64 {
 func stageOutcomesSize(o *StageOutcomes) int64 {
 	size := int64(48 + len(o.Verdict) + len(o.DecidedBy))
 	for _, r := range o.Records {
-		size += int64(len(r.Stage)+len(r.Verdict)+len(r.Detail)) + 72
+		size += int64(len(r.Stage)+len(r.Verdict)+len(r.Detail)+len(r.Evidence)) + 88
+	}
+	return size
+}
+
+func costModelSize(e *CostModelEntry) int64 {
+	size := int64(24 + len(e.Class))
+	for _, s := range e.Stages {
+		size += int64(len(s.Stage)) + 48
 	}
 	return size
 }

@@ -343,6 +343,9 @@ func RunChaseContext(ctx context.Context, db *instance.Database, set *tgds.Set, 
 	}
 	e.loop()
 	e.run.Final = e.inst
+	if opts.Cache != nil {
+		opts.Cache.NoteRunActivity(e.run.Stats, e.run.Activity)
+	}
 	return e.run
 }
 

@@ -130,3 +130,39 @@ func TestEngineSeedIndexCacheRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheActivityTotalsAggregateRuns pins the /v1/stats engine-activity
+// surface: every run sharing the cache reports into ActivityTotals, and the
+// totals mirror the per-run Activity/Stats counters it folded in.
+func TestCacheActivityTotalsAggregateRuns(t *testing.T) {
+	cache := NewCache()
+	if got := cache.ActivityTotals(); got != (ActivityTotals{}) {
+		t.Fatalf("fresh cache has activity: %+v", got)
+	}
+	prog := parser.MustParse(`
+		E(X,Y) -> E(Y,Z).
+		E(a,b).
+	`)
+	var wantChecks, wantBirth, wantSeedHits int64
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		run := RunChase(prog.Database, prog.TGDs, Options{
+			Variant: Restricted, MaxSteps: 20, Cache: cache,
+		})
+		wantChecks += int64(run.Stats.ActivityChecks)
+		wantBirth += int64(run.Activity.BirthChecks)
+		if run.Activity.SeedIndexHit {
+			wantSeedHits++
+		}
+	}
+	got := cache.ActivityTotals()
+	if got.Runs != runs {
+		t.Errorf("runs = %d, want %d", got.Runs, runs)
+	}
+	if got.ActivityChecks != wantChecks || got.BirthChecks != wantBirth {
+		t.Errorf("totals %+v drifted from per-run sums (checks %d, birth %d)", got, wantChecks, wantBirth)
+	}
+	if got.SeedIndexHits != wantSeedHits || wantSeedHits == 0 {
+		t.Errorf("seed-index hits = %d, want %d (>0: repeat runs load the cached root index)", got.SeedIndexHits, wantSeedHits)
+	}
+}

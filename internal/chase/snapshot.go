@@ -44,8 +44,10 @@ import (
 // old snapshots wholesale — the loader refuses rather than guess at a
 // foreign layout.
 const (
-	snapshotMagic   = "airctcsn"
-	snapshotVersion = 1
+	snapshotMagic = "airctcsn"
+	// Version 2 (PR 9): StageRecord gained Evidence, StageOutcomes keys
+	// gained the instance fingerprint, and the CostModelEntry kind joined.
+	snapshotVersion = 2
 
 	// maxEntryLen bounds a single entry frame; a larger declared length is
 	// treated as corruption (the whole remaining stream is untrustworthy).
@@ -272,11 +274,22 @@ func appendEntry(b []byte, k CacheKey, v any) []byte {
 			b = appendBool(b, r.Decided)
 			b = appendString(b, r.Verdict)
 			b = appendString(b, r.Detail)
+			b = appendString(b, r.Evidence)
 			b = appendInt(b, int64(r.Steps))
 			b = appendInt(b, r.DurationNS)
 			b = appendInt(b, int64(r.Seeds))
 			b = appendInt(b, int64(r.Saturated))
 			b = appendInt(b, int64(r.Depth))
+		}
+	case *CostModelEntry:
+		b = appendString(b, e.Class)
+		b = binary.AppendUvarint(b, uint64(len(e.Stages)))
+		for _, s := range e.Stages {
+			b = appendString(b, s.Stage)
+			b = appendInt(b, s.EwmaNS)
+			b = appendInt(b, s.Attempts)
+			b = appendInt(b, s.Decided)
+			b = appendInt(b, s.EwmaDepth)
 		}
 	case *StickyOutcome:
 		b = appendBool(b, e.Terminates)
@@ -377,6 +390,7 @@ func (c *Cache) restoreEntry(payload []byte) bool {
 				Decided:    d.bool(),
 				Verdict:    d.string(),
 				Detail:     d.string(),
+				Evidence:   d.string(),
 				Steps:      int(d.int()),
 				DurationNS: d.int(),
 				Seeds:      int(d.int()),
@@ -385,6 +399,26 @@ func (c *Cache) restoreEntry(payload []byte) bool {
 			})
 		}
 		v, size = o, stageOutcomesSize(o)
+	case kindCostModel:
+		e := &CostModelEntry{Class: d.string()}
+		n := d.count()
+		for i := 0; i < n && d.err == nil; i++ {
+			e.Stages = append(e.Stages, StageCostRecord{
+				Stage:     d.string(),
+				EwmaNS:    d.int(),
+				Attempts:  d.int(),
+				Decided:   d.int(),
+				EwmaDepth: d.int(),
+			})
+		}
+		if d.err == nil && len(d.b) == d.off {
+			// Replace-preferring store: a restored model merges with live
+			// entries by observation count, like StoreExistsOutcome's
+			// budget preference.
+			c.StoreCostModel(e)
+			return true
+		}
+		return false
 	case kindStickyOutcome:
 		o := &StickyOutcome{
 			Terminates:     d.bool(),

@@ -15,9 +15,9 @@ import (
 	"airct/internal/logic"
 )
 
-// populateAllKinds stores one entry of each of the six kinds and returns
+// populateAllKinds stores one entry of each of the seven kinds and returns
 // the stored values for later comparison.
-func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutcomes, *StickyOutcome, *ExistsOutcome) {
+func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutcomes, *StickyOutcome, *ExistsOutcome, *CostModelEntry) {
 	set, inst := fpOf("set"), fpOf("inst")
 	so := SeedOutcome{Diverges: true, Method: "pump", Evidence: "step 3: R(a,n1)", Steps: 17}
 	c.StoreSeedOutcome(set, inst, 100, so)
@@ -34,9 +34,9 @@ func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutco
 	c.StoreSeedPool(set, 8, sp)
 	sg := &StageOutcomes{Verdict: "terminating", DecidedBy: "probe", Records: []StageRecord{
 		{Stage: "full-set", Tier: 0, Decided: false, Verdict: "unknown", Detail: "not full", Steps: 1, DurationNS: 12345},
-		{Stage: "probe", Tier: 1, Decided: true, Verdict: "terminating", Detail: "saturated", Steps: 9, DurationNS: 6789, Seeds: 4, Saturated: 4, Depth: 3},
+		{Stage: "probe", Tier: 1, Decided: true, Verdict: "terminating", Detail: "saturated", Steps: 9, DurationNS: 6789, Seeds: 4, Saturated: 4, Depth: 3, Evidence: "σ2 guard-chain pump"},
 	}}
-	c.StoreStageOutcomes(set, 0xBEEF, sg)
+	c.StoreStageOutcomes(set, inst, 0xBEEF, sg)
 	st := &StickyOutcome{Terminates: false, Method: "büchi lasso", Complete: true,
 		StatesExplored: 42, SeedIndex: -1,
 		LassoPrefix: []string{"q0", "q1"}, LassoCycle: []string{"q1", "q2"}, LassoGap: 1}
@@ -49,12 +49,17 @@ func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutco
 		}},
 		Stats: SearchStats{StatesExpanded: 36, MemoHits: 2, PeakFrontier: 5, IndexRepairs: 30, IndexRebuilds: 1, ActivityRechecks: 7}}
 	c.StoreExistsOutcome(set, inst, SmallestFirst, 200, eo)
-	return so, si, sp, sg, st, eo
+	cm := &CostModelEntry{Class: "g1s0f0:b2", Stages: []StageCostRecord{
+		{Stage: "mfa", EwmaNS: 17_000_000, Attempts: 9, Decided: 1, EwmaDepth: 0},
+		{Stage: "probe", EwmaNS: 350_000, Attempts: 9, Decided: 8, EwmaDepth: 21},
+	}}
+	c.StoreCostModel(cm)
+	return so, si, sp, sg, st, eo, cm
 }
 
 func TestSnapshotRoundTripAllKinds(t *testing.T) {
 	c := NewCache()
-	so, si, sp, sg, st, eo := populateAllKinds(c)
+	so, si, sp, sg, st, eo, cm := populateAllKinds(c)
 	set, inst := fpOf("set"), fpOf("inst")
 
 	var buf bytes.Buffer
@@ -65,8 +70,8 @@ func TestSnapshotRoundTripAllKinds(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadCache: %v", err)
 	}
-	if rep.Restored != 6 || rep.Skipped != 0 || rep.Truncated {
-		t.Fatalf("LoadReport = %+v, want 6 restored, clean", rep)
+	if rep.Restored != 7 || rep.Skipped != 0 || rep.Truncated {
+		t.Fatalf("LoadReport = %+v, want 7 restored, clean", rep)
 	}
 
 	if got, ok := c2.LookupSeedOutcome(set, inst, 100); !ok || !reflect.DeepEqual(got, so) {
@@ -78,7 +83,7 @@ func TestSnapshotRoundTripAllKinds(t *testing.T) {
 	if got, ok := c2.LookupSeedPool(set, 8); !ok || !reflect.DeepEqual(got, sp) {
 		t.Errorf("SeedPool round-trip = %+v, %v; want %+v", got, ok, sp)
 	}
-	if got, ok := c2.LookupStageOutcomes(set, 0xBEEF); !ok || !reflect.DeepEqual(got, sg) {
+	if got, ok := c2.LookupStageOutcomes(set, inst, 0xBEEF); !ok || !reflect.DeepEqual(got, sg) {
 		t.Errorf("StageOutcomes round-trip = %+v, %v; want %+v", got, ok, sg)
 	}
 	if got, ok := c2.LookupStickyOutcome(set, 200000); !ok || !reflect.DeepEqual(got, st) {
@@ -86,6 +91,9 @@ func TestSnapshotRoundTripAllKinds(t *testing.T) {
 	}
 	if got, ok := c2.LookupExistsOutcome(set, inst, SmallestFirst, 200, 500); !ok || !reflect.DeepEqual(got, eo) {
 		t.Errorf("ExistsOutcome round-trip = %+v, %v; want %+v", got, ok, eo)
+	}
+	if got, ok := c2.LookupCostModel(cm.Class); !ok || !reflect.DeepEqual(got, cm) {
+		t.Errorf("CostModelEntry round-trip = %+v, %v; want %+v", got, ok, cm)
 	}
 
 	// Restored entries went through the normal store path: entry and byte
@@ -151,9 +159,9 @@ func TestSnapshotRefusesForeignHeaders(t *testing.T) {
 		"empty":     {},
 		"short":     good[:10],
 		"bad magic": append([]byte("notacsnp"), good[8:]...),
-		"version 2": func() []byte {
+		"version 3": func() []byte {
 			b := bytes.Clone(good)
-			binary.LittleEndian.PutUint32(b[8:12], 2)
+			binary.LittleEndian.PutUint32(b[8:12], 3)
 			return b
 		}(),
 	}

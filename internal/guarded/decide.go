@@ -31,6 +31,13 @@ type Verdict struct {
 	Witness *instance.Database
 	// Evidence describes the divergence certificate (guard-chain pump).
 	Evidence string
+	// PumpDepth is, on a "divergence-witness" verdict, the length of the
+	// shortest run prefix that already carries the certificate — the later
+	// step of the repeated signature pair, 1-based. The certificate is
+	// budget-independent: any chase of this seed under the same order that
+	// runs at least PumpDepth steps surfaces it. Zero when the verdict was
+	// replayed from a cache or carries no pump ("budget-exhausted").
+	PumpDepth int
 	// SeedsTried counts candidate databases examined.
 	SeedsTried int
 	// Budget is the per-seed step budget used.
@@ -58,6 +65,14 @@ type DecideOptions struct {
 	// a cache, and across cold and warm caches. Safe to share one cache
 	// across concurrent Decide calls and across the seed worker pool.
 	Cache *chase.Cache
+	// ProbeAcceptOnly restricts ProbeSeeds to its accept-only behaviour:
+	// a probe never rejects, a pump surfaced at budget k only routes the
+	// input onward. The zero value enables the rejecting fast path (a
+	// pump on a seed's k-prefix is a budget-independent divergence
+	// certificate and decides outright — see ProbeSeeds). The toggle
+	// exists so benchmarks can reproduce the pre-reject cascade as a
+	// baseline; it does not affect Decide itself.
+	ProbeAcceptOnly bool
 }
 
 func (o DecideOptions) maxSteps() int {
@@ -197,12 +212,13 @@ func chaseSeedBattery(ctx context.Context, set *tgds.Set, seed *instance.Databas
 		if run.Terminated() {
 			continue
 		}
-		if ev, ok := DivergenceEvidence(run); ok {
+		if ev, depth, ok := DivergencePump(run); ok {
 			return &Verdict{
 				Terminates: false,
 				Method:     "divergence-witness",
 				Witness:    seed,
 				Evidence:   ev,
+				PumpDepth:  depth,
 			}, run.StepsTaken
 		}
 		// Budget exhausted without a pump: report divergence with weaker
@@ -315,63 +331,77 @@ func chaseSeedsContext(ctx context.Context, set *tgds.Set, seeds []*instance.Dat
 	return out, nil
 }
 
-// generateSeedsCached wraps GenerateSeeds with the cross-run seed-pool
-// cache: generation — including the oblivious-chase treeification
-// expansions, the expensive part — runs once per (set fingerprint, pool
-// cap); a hit rebuilds fresh Database values from the stored atoms in the
-// stored order, reproducing the generated pool exactly.
-func generateSeedsCached(set *tgds.Set, maxSeeds int, cache *chase.Cache) []*instance.Database {
-	if cache == nil {
-		return GenerateSeeds(set, maxSeeds)
+// cachedSeedPool rebuilds the cross-run cached seed pool for (set
+// fingerprint, pool cap): fresh Database values from the stored atoms in
+// the stored order, reproducing the generated pool exactly.
+func cachedSeedPool(setFP logic.Fingerprint, maxSeeds int, cache *chase.Cache) ([]*instance.Database, bool) {
+	pool, ok := cache.LookupSeedPool(setFP, maxSeeds)
+	if !ok {
+		return nil, false
 	}
-	setFP := set.Fingerprint()
-	if pool, ok := cache.LookupSeedPool(setFP, maxSeeds); ok {
-		out := make([]*instance.Database, len(pool.Seeds))
-		for i, atoms := range pool.Seeds {
-			db := instance.NewDatabase()
-			for _, a := range atoms {
-				if err := db.Add(a); err != nil {
-					// Cached pools are GenerateSeeds output: ground atoms a
-					// Database already accepted once.
-					panic(err)
-				}
+	out := make([]*instance.Database, len(pool.Seeds))
+	for i, atoms := range pool.Seeds {
+		db := instance.NewDatabase()
+		for _, a := range atoms {
+			if err := db.Add(a); err != nil {
+				// Cached pools are GenerateSeeds output: ground atoms a
+				// Database already accepted once.
+				panic(err)
 			}
-			out[i] = db
 		}
-		return out
+		out[i] = db
 	}
-	seeds := GenerateSeeds(set, maxSeeds)
+	return out, true
+}
+
+// storeSeedPool records a fully generated pool in the cross-run cache.
+func storeSeedPool(setFP logic.Fingerprint, maxSeeds int, cache *chase.Cache, seeds []*instance.Database) {
 	pool := &chase.SeedPool{Seeds: make([][]logic.Atom, len(seeds))}
 	for i, db := range seeds {
 		pool.Seeds[i] = append([]logic.Atom(nil), db.Atoms()...)
 	}
 	cache.StoreSeedPool(setFP, maxSeeds, pool)
+}
+
+// generateSeedsCached wraps GenerateSeeds with the cross-run seed-pool
+// cache: generation — including the oblivious-chase treeification
+// expansions, the expensive part — runs once per (set fingerprint, pool
+// cap).
+func generateSeedsCached(set *tgds.Set, maxSeeds int, cache *chase.Cache) []*instance.Database {
+	if cache == nil {
+		return GenerateSeeds(set, maxSeeds)
+	}
+	setFP := set.Fingerprint()
+	if pool, ok := cachedSeedPool(setFP, maxSeeds, cache); ok {
+		return pool
+	}
+	seeds := GenerateSeeds(set, maxSeeds)
+	storeSeedPool(setFP, maxSeeds, cache, seeds)
 	return seeds
 }
 
-// GenerateSeeds produces candidate databases for the search: every frozen
-// body of every TGD under every unification of its body variables (the
-// canonical databases, refined by equality type), plus Treeification
-// expansions computed from real-oblivious-chase fragments of those seeds
-// (Appendix C.2's remote-side-parent service).
-func GenerateSeeds(set *tgds.Set, maxSeeds int) []*instance.Database {
-	var out []*instance.Database
-	seen := make(map[logic.Fingerprint]bool)
-	add := func(db *instance.Database) {
-		if len(out) >= maxSeeds {
-			return
-		}
-		// Isomorphism-insensitive dedup: canonicalise, then take the
-		// order-independent set fingerprint — no key strings rendered or
-		// sorted. canonicalizeAtoms renames injectively, so the canonical
-		// slice is duplicate-free as FingerprintAtoms requires.
-		key := logic.FingerprintAtoms(canonicalizeAtoms(db.Atoms()))
-		if seen[key] {
-			return
-		}
-		seen[key] = true
-		out = append(out, db)
-	}
+// seedEnum enumerates the GenerateSeeds pool incrementally, in exactly
+// GenerateSeeds' order: first every frozen body of every TGD under every
+// unification of its body variables (the canonical databases, refined by
+// equality type), then the Treeification expansions computed from
+// real-oblivious-chase fragments of those base seeds (Appendix C.2's
+// remote-side-parent service). The cheap canonical phase runs eagerly at
+// construction; each treeification expansion — the expensive part — is
+// built only when the consumer asks for the next seed, so a sweep that
+// stops early (the probe deciding on, or stopped by, an early seed) never
+// pays for the bases it does not reach.
+type seedEnum struct {
+	set      *tgds.Set
+	maxSeeds int
+	seen     map[logic.Fingerprint]bool
+	pool     []*instance.Database
+	nbase    int // phase-one prefix length: the treeification bases
+	base     int // next base to expand
+	next     int // next pool index to yield
+}
+
+func newSeedEnum(set *tgds.Set, maxSeeds int) *seedEnum {
+	e := &seedEnum{set: set, maxSeeds: maxSeeds, seen: make(map[logic.Fingerprint]bool)}
 	namer := logic.NewFreshNamer("s")
 	for _, t := range set.TGDs {
 		for _, unified := range unifications(t.Body) {
@@ -385,24 +415,65 @@ func GenerateSeeds(set *tgds.Set, maxSeeds int) []*instance.Database {
 				}
 			}
 			if okAll {
-				add(db)
+				e.add(db)
 			}
 		}
 	}
-	// Treeification expansions on the first-round seeds.
-	base := append([]*instance.Database(nil), out...)
-	for _, seed := range base {
-		if len(out) >= maxSeeds {
-			break
+	e.nbase = len(e.pool)
+	return e
+}
+
+func (e *seedEnum) add(db *instance.Database) {
+	if len(e.pool) >= e.maxSeeds {
+		return
+	}
+	// Isomorphism-insensitive dedup: canonicalise, then take the
+	// order-independent set fingerprint — no key strings rendered or
+	// sorted. canonicalizeAtoms renames injectively, so the canonical
+	// slice is duplicate-free as FingerprintAtoms requires.
+	key := logic.FingerprintAtoms(canonicalizeAtoms(db.Atoms()))
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	e.pool = append(e.pool, db)
+}
+
+// Next yields the pool's next seed, expanding treeifications on demand.
+func (e *seedEnum) Next() (*instance.Database, bool) {
+	for e.next >= len(e.pool) {
+		if e.base >= e.nbase || len(e.pool) >= e.maxSeeds {
+			return nil, false
 		}
-		g := ochase.Build(seed, set, ochase.BuildOptions{MaxNodes: 600, MaxDepth: 6})
+		seed := e.pool[e.base]
+		e.base++
+		g := ochase.Build(seed, e.set, ochase.BuildOptions{MaxNodes: 600, MaxDepth: 6})
 		tr, err := Treeify(g, TreeifyOptions{IncludeDirect: true})
 		if err != nil {
 			continue
 		}
-		add(tr.Database())
+		e.add(tr.Database())
 	}
-	return out
+	db := e.pool[e.next]
+	e.next++
+	return db, true
+}
+
+// drained reports whether the enumeration ran to completion, i.e. the pool
+// slice now equals GenerateSeeds' output.
+func (e *seedEnum) drained() bool {
+	return e.next >= len(e.pool) && (e.base >= e.nbase || len(e.pool) >= e.maxSeeds)
+}
+
+// GenerateSeeds produces candidate databases for the search — see seedEnum
+// for the enumeration order.
+func GenerateSeeds(set *tgds.Set, maxSeeds int) []*instance.Database {
+	e := newSeedEnum(set, maxSeeds)
+	for {
+		if _, ok := e.Next(); !ok {
+			return e.pool
+		}
+	}
 }
 
 // canonicalizeAtoms renames constants by first occurrence so seed dedup is
@@ -451,12 +522,23 @@ func unifications(body []logic.Atom) [][]logic.Atom {
 }
 
 // DivergenceEvidence mines a budget-exhausted restricted chase run for a
-// guard-chain pump: two steps on the same guard-ancestor chain whose
-// produced atoms share the (TGD, equality type, guard-sharing pattern)
-// signature, with the later atom introducing fresh nulls. Over the finite
-// alphabet Λ_T such a repetition witnesses an infinite regular chaseable
-// abstract join tree, i.e. genuine divergence.
+// guard-chain pump, discarding the pump depth DivergencePump also reports.
 func DivergenceEvidence(run *chase.Run) (string, bool) {
+	ev, _, ok := DivergencePump(run)
+	return ev, ok
+}
+
+// DivergencePump mines a restricted chase run for a guard-chain pump: two
+// steps on the same guard-ancestor chain whose produced atoms share the
+// (TGD, equality type, guard-sharing pattern) signature, with the later
+// atom introducing fresh nulls. Over the finite alphabet Λ_T such a
+// repetition witnesses an infinite regular chaseable abstract join tree,
+// i.e. genuine divergence. The returned depth is the 1-based index of the
+// later step of the repeated pair: the certificate lives entirely in the
+// run's depth-step prefix, so it is independent of the budget the run was
+// chased under — a pump found on a k-step probe prefix is the same witness
+// a full-budget chase of the same order would surface.
+func DivergencePump(run *chase.Run) (string, int, bool) {
 	type info struct {
 		step     int
 		parentFP logic.Fingerprint // guard image atom hash
@@ -469,7 +551,7 @@ func DivergenceEvidence(run *chase.Run) (string, bool) {
 		tr := step.Trigger
 		guard, ok := tr.TGD.Guard()
 		if !ok {
-			return "", false
+			return "", 0, false
 		}
 		guardImage := guard.Apply(tr.H)
 		produced := step.Result[0]
@@ -502,7 +584,7 @@ func DivergenceEvidence(run *chase.Run) (string, bool) {
 			if first, dup := seenSigs[infos[parentStep].sig]; dup && infos[parentStep].fresh && infos[first].fresh {
 				tr := run.Steps[parentStep].Trigger
 				return fmt.Sprintf("guard-chain pump: %s repeats signature between steps %d and %d (period %d)",
-					tr.TGD.Label, parentStep, first, first-parentStep), true
+					tr.TGD.Label, parentStep, first, first-parentStep), first + 1, true
 			}
 			if _, dup := seenSigs[infos[parentStep].sig]; !dup {
 				seenSigs[infos[parentStep].sig] = parentStep
@@ -510,7 +592,7 @@ func DivergenceEvidence(run *chase.Run) (string, bool) {
 			cur = parentStep
 		}
 	}
-	return "", false
+	return "", 0, false
 }
 
 // introducesFreshNull reports whether the produced atom carries a null that

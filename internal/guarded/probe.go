@@ -6,11 +6,25 @@ package guarded
 // order is deterministic and a fixpoint reached within k steps is the same
 // fixpoint any larger budget reaches, "all seeds saturate at k" implies
 // Decide at any budget ≥ k returns the identical seed-exhaustion verdict —
-// so a probe that decides is sound and bit-compatible with the full
-// procedure, at a fraction of its cost. A probe that does NOT decide claims
-// nothing: a pump found at budget k does not imply the full-budget battery
-// diverges (the longer run may still reach a fixpoint), so non-saturation
-// only routes the input onward to Tier 2.
+// so an accepting probe is sound and bit-compatible with the full
+// procedure, at a fraction of its cost.
+//
+// The probe can also REJECT. A guard-chain pump surfaced on a seed's
+// k-step prefix is the SAME certificate the full procedure trusts: Decide
+// at budget B mines its budget-exhausted runs — themselves just truncated
+// prefixes — with the identical DivergencePump lemma, and the repetition's
+// soundness (an infinite regular chaseable abstract join tree over Λ_T)
+// does not depend on how far past the repetition the run was chased. So a
+// pump at k decides Diverges outright, at probe cost: no full-budget
+// battery, no Tier 2. Because every earlier distinct seed saturated within
+// k — and a saturated fixpoint is the same fixpoint at any larger budget —
+// DecideContext's first-non-nil scan lands on the same seed and, when its
+// full-budget run exhausts the budget, mines a pump from the same chain
+// (the k-prefix is a prefix of that run), so the conclusion and method
+// agree; only the pump pair quoted in the evidence string may differ with
+// the prefix length. A probe whose first non-saturating seed carries no
+// pump claims nothing and routes the input onward to Tier 2.
+// DecideOptions.ProbeAcceptOnly restores the accept-only probe.
 
 import (
 	"context"
@@ -18,6 +32,7 @@ import (
 
 	"airct/internal/acyclicity"
 	"airct/internal/chase"
+	"airct/internal/instance"
 	"airct/internal/logic"
 	"airct/internal/tgds"
 )
@@ -27,8 +42,11 @@ const DefaultProbeSteps = 64
 
 // ProbeOutcome summarises a k-round probe sweep over the seed pool.
 type ProbeOutcome struct {
-	// Seeds counts the distinct seed databases in the pool (after exact
-	// fingerprint dedup, as Decide chases them).
+	// Seeds counts the distinct seed databases swept (after exact
+	// fingerprint dedup, as Decide chases them), up to and including the
+	// seed that decided or stopped the probe. On a full sweep it is the
+	// whole pool's distinct count; an early stop leaves the rest of the
+	// pool not only unswept but — on a cold cache — ungenerated.
 	Seeds int
 	// Saturated counts the seeds whose whole battery (FIFO, Random, LIFO)
 	// reached a fixpoint within ProbeSteps, up to the first one that did
@@ -37,26 +55,50 @@ type ProbeOutcome struct {
 	// ProbeSteps is the k actually used: the requested value clamped to
 	// the full Decide budget.
 	ProbeSteps int
-	// Decided is true when every seed saturated within k (or weak
-	// acyclicity short-circuited the pool entirely): DecideContext with
-	// the same options is then guaranteed to return a terminating verdict.
+	// Decided is true when the probe settled the question either way:
+	// every seed saturated within k (or weak acyclicity short-circuited
+	// the pool — acceptance), or a seed's k-prefix carried a guard-chain
+	// pump (rejection). An acceptance is bit-compatible with
+	// DecideContext; a rejection reaches DecideContext's conclusion and
+	// method through the same certificate lemma (see the package comment).
 	Decided bool
+	// Rejected is true when the probe decided by divergence: a guard-chain
+	// pump surfaced on a seed's k-prefix. Method/Evidence/SeedsTried carry
+	// the certificate.
+	Rejected bool
+	// Method is "divergence-witness" on a rejected probe — the pump is a
+	// certificate, never a bounded budget-exhaustion claim. Empty
+	// otherwise.
+	Method string
+	// Evidence is the divergence certificate on a rejected probe. Empty
+	// otherwise.
+	Evidence string
+	// SeedsTried is, on a rejected probe, the 1-based position of the
+	// rejecting seed in the pool — the same SeedsTried DecideContext
+	// reports. 0 otherwise.
+	SeedsTried int
 	// WeaklyAcyclic is true when the pool was never probed because the
 	// weak-acyclicity shortcut already decides the set.
 	WeaklyAcyclic bool
 	// Depth is the probe's saturation depth: the deepest chase among the
-	// saturating batteries swept (0 when nothing was probed). On a Decided
-	// probe it is the exact fixpoint depth of the hardest seed — the
-	// budget-k runs are prefixes of any larger-budget run.
+	// saturating batteries swept (0 when nothing was probed). On an
+	// accepting probe it is the exact fixpoint depth of the hardest seed —
+	// the budget-k runs are prefixes of any larger-budget run. On a
+	// rejecting probe it is the pump depth — the shortest prefix length
+	// that still carries the certificate — maxed with the saturation
+	// depths swept before it: the k a later probe of the class can shrink
+	// towards without losing either the certificate or the saturations.
 	Depth int
 }
 
 // ProbeSeeds runs the bounded k-round probe over the set's seed pool. When
-// the outcome is Decided, a saturated seed's (empty) battery outcome is
-// also stored in opts.Cache under the FULL Decide budget — sound, because
-// the budget-k runs are prefixes of the budget-B runs and all reached their
-// fixpoints — so a follow-up DecideContext skips those seeds entirely. A
-// cancelled probe returns ctx's error.
+// the outcome is an acceptance, a saturated seed's (empty) battery outcome
+// is also stored in opts.Cache under the FULL Decide budget — sound,
+// because the budget-k runs are prefixes of the budget-B runs and all
+// reached their fixpoints — so a follow-up DecideContext skips those seeds
+// entirely. A rejection's diverging battery lands in the cache keyed at
+// the probe budget through chaseSeed's own store. A cancelled probe
+// returns ctx's error.
 func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSteps int) (ProbeOutcome, error) {
 	out := ProbeOutcome{}
 	if !set.IsGuarded() {
@@ -77,37 +119,89 @@ func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSte
 	}
 	out.ProbeSteps = k
 	cache := opts.Cache
-	seeds := generateSeedsCached(set, opts.maxSeeds(), cache)
-	seeds = append(seeds, opts.ExtraSeeds...)
-	seen := make(map[logic.Fingerprint]struct{}, len(seeds))
 	var setFP logic.Fingerprint
 	if cache != nil {
 		setFP = set.Fingerprint()
 	}
-	type uniqSeed struct {
-		i  int
-		fp logic.Fingerprint
+	// Warm path: a cached pool is already materialised — sweep it directly.
+	// Cold path: enumerate the pool lazily, in GenerateSeeds' exact order,
+	// so a probe that decides on (or is stopped by) an early seed never
+	// pays to generate the rest of the pool — in particular its
+	// treeification expansions, the dominant generation cost.
+	var pooled []*instance.Database
+	var enum *seedEnum
+	if cache != nil {
+		pooled, _ = cachedSeedPool(setFP, opts.maxSeeds(), cache)
 	}
-	var uniq []uniqSeed
-	for i, s := range seeds {
+	if pooled == nil {
+		enum = newSeedEnum(set, opts.maxSeeds())
+	}
+	pi, extra := 0, 0
+	nextSeed := func() (*instance.Database, bool) {
+		if pooled != nil {
+			if pi < len(pooled) {
+				s := pooled[pi]
+				pi++
+				return s, true
+			}
+		} else if s, ok := enum.Next(); ok {
+			return s, true
+		}
+		if extra < len(opts.ExtraSeeds) {
+			s := opts.ExtraSeeds[extra]
+			extra++
+			return s, true
+		}
+		return nil, false
+	}
+	seen := make(map[logic.Fingerprint]struct{})
+	i := -1 // 0-based position in the pool Decide scans, counting duplicates
+	for {
+		s, ok := nextSeed()
+		if !ok {
+			break
+		}
+		i++
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
 		fp := logic.FingerprintAtoms(s.Atoms())
 		if _, dup := seen[fp]; dup {
 			continue
 		}
 		seen[fp] = struct{}{}
-		uniq = append(uniq, uniqSeed{i: i, fp: fp})
-	}
-	out.Seeds = len(uniq)
-	for _, u := range uniq {
-		if ctx.Err() != nil {
-			return out, ctx.Err()
-		}
-		v, steps := chaseSeed(ctx, set, seeds[u.i], k, cache, setFP, u.fp)
+		out.Seeds++
+		v, steps := chaseSeed(ctx, set, s, k, cache, setFP, fp)
 		if v == cancelledVerdict {
 			return out, ctx.Err()
 		}
 		if v != nil {
-			// Not saturated at k: the probe cannot decide; stop sweeping.
+			// Not saturated at k. A pump on the k-prefix is a
+			// budget-independent divergence certificate — the same lemma
+			// Decide applies to its own budget-truncated runs — so it
+			// decides outright, at probe cost (see the package comment).
+			// "budget-exhausted" at k carries no certificate and claims
+			// nothing.
+			if !opts.ProbeAcceptOnly && v.Method == "divergence-witness" {
+				out.Decided = true
+				out.Rejected = true
+				out.Method = v.Method
+				out.Evidence = v.Evidence
+				out.SeedsTried = i + 1
+				// The shortest certifying prefix, not the truncated run's
+				// length: this is what an adaptive probe budget should
+				// converge towards (still covering the saturating seeds
+				// swept before it, hence the max).
+				d := steps
+				if v.PumpDepth > 0 {
+					d = v.PumpDepth
+				}
+				if d > out.Depth {
+					out.Depth = d
+				}
+				return out, nil
+			}
+			// No certificate: the probe cannot decide; stop sweeping.
 			return out, nil
 		}
 		out.Saturated++
@@ -118,9 +212,16 @@ func ProbeSeeds(ctx context.Context, set *tgds.Set, opts DecideOptions, probeSte
 			// Sound at the full budget: the budget-k runs reached their
 			// fixpoints, so the budget-B runs are the same runs — including
 			// their depth.
-			cache.StoreSeedOutcome(setFP, u.fp, budget, chase.SeedOutcome{Steps: steps})
+			cache.StoreSeedOutcome(setFP, fp, budget, chase.SeedOutcome{Steps: steps})
 		}
 	}
 	out.Decided = true
+	if cache != nil && enum != nil && enum.drained() {
+		// A fully drained cold enumeration IS GenerateSeeds' pool: store it
+		// so the follow-up Decide — and future probes — skip generation. An
+		// early-stopped probe stores nothing; the onward Decide generates
+		// (and stores) the pool itself.
+		storeSeedPool(setFP, opts.maxSeeds(), cache, enum.pool)
+	}
 	return out, nil
 }

@@ -51,7 +51,13 @@ func TestProbeDecidesSwapIntroAndPinsDecide(t *testing.T) {
 	}
 }
 
-func TestProbeUndecidedOnDivergingSet(t *testing.T) {
+// TestProbeRejectsDivergingSetAndPinsDecide pins the rejecting fast path: a
+// pump surfaced on the k-prefix decides Diverges at probe cost, and the
+// full procedure at a 125× larger budget reaches the same conclusion
+// through the same lemma on the same seed — method and seed position
+// agree; only the pump pair quoted in the evidence may differ with the
+// prefix length mined.
+func TestProbeRejectsDivergingSetAndPinsDecide(t *testing.T) {
 	set, err := parser.ParseTGDs(`
 		S(X) -> R(X,Y).
 		R(X,Y) -> S(Y).
@@ -59,12 +65,53 @@ func TestProbeUndecidedOnDivergingSet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ProbeSeeds(context.Background(), set, DecideOptions{MaxSteps: 2000}, 16)
+	opts := DecideOptions{MaxSteps: 2000}
+	out, err := ProbeSeeds(context.Background(), set, opts, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Decided {
-		t.Fatalf("probe decided a diverging set: %+v", out)
+	if !out.Decided || !out.Rejected {
+		t.Fatalf("probe did not reject a diverging set: %+v", out)
+	}
+	if out.Method != "divergence-witness" || out.Evidence == "" {
+		t.Fatalf("rejecting probe without a certificate: %+v", out)
+	}
+	if out.Depth <= 0 || out.Depth > 16 {
+		t.Errorf("pump depth %d outside the probe's own prefix (k=16)", out.Depth)
+	}
+	v, err := Decide(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Terminates {
+		t.Fatalf("Decide terminates on a set the probe rejected: %+v", v)
+	}
+	if v.Method != out.Method || v.SeedsTried != out.SeedsTried {
+		t.Errorf("rejecting probe drifted from Decide:\nprobe  method=%q seeds=%d\ndecide method=%q seeds=%d",
+			out.Method, out.SeedsTried, v.Method, v.SeedsTried)
+	}
+	if v.Evidence == "" {
+		t.Errorf("Decide's divergence verdict carries no certificate: %+v", v)
+	}
+}
+
+// TestProbeAcceptOnlyRestoresOldBehaviour pins the baseline toggle: with
+// ProbeAcceptOnly set, a diverging set leaves the probe undecided exactly as
+// the pre-reject cascade did.
+func TestProbeAcceptOnlyRestoresOldBehaviour(t *testing.T) {
+	set, err := parser.ParseTGDs(`
+		S(X) -> R(X,Y).
+		R(X,Y) -> S(Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ProbeSeeds(context.Background(), set, DecideOptions{MaxSteps: 2000, ProbeAcceptOnly: true}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Decided || out.Rejected {
+		t.Fatalf("accept-only probe decided a diverging set: %+v", out)
 	}
 	if out.Saturated >= out.Seeds && out.Seeds > 0 {
 		t.Errorf("undecided probe with a fully saturated pool: %+v", out)

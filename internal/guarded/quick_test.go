@@ -1,6 +1,7 @@
 package guarded
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -116,6 +117,53 @@ func TestQuickTreeifyAlwaysAcyclic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: the Tier 1 rejecting probe never contradicts the full semantic
+// procedure. On random guarded sets, whenever a ProbeSeeds k-prefix carries
+// a divergence certificate, Decide with the same options reaches the same
+// diverging conclusion on the same seed through the same lemma — this is
+// the empirical tripwire for the one corner the certificate argument leaves
+// open (a budget-B run saturating past k would make bounded
+// seed-exhaustion miss the divergence the pump soundly witnesses). The
+// evidence strings are NOT compared: the pump pair quoted depends on the
+// prefix length mined. Runs under the CI -race job alongside the other
+// quick suites.
+// Rejecting probes are rare on random sets (~1.5% of seeds), so this sweep
+// is deterministic rather than quick.Check-sampled: every seed in the range
+// is tried, which both pins the coverage floor and keeps failures
+// reproducible by seed.
+func TestQuickProbeRejectNeverContradictsDecide(t *testing.T) {
+	rejected := 0
+	for seed := int64(0); seed < 2000; seed++ {
+		set := workload.RandomTGDSet(seed, workload.RandomOptions{Rules: 3, ExistentialBias: 60})
+		if !set.IsGuarded() {
+			continue
+		}
+		opts := DecideOptions{MaxSteps: 400}
+		out, err := ProbeSeeds(context.Background(), set, opts, 16)
+		if err != nil || !out.Rejected {
+			continue
+		}
+		rejected++
+		if out.Method != "divergence-witness" || out.Evidence == "" || out.Depth <= 0 || out.Depth > 16 {
+			t.Fatalf("seed %d: reject without an in-prefix certificate: %+v", seed, out)
+		}
+		v, err := Decide(set, opts)
+		if err != nil {
+			t.Fatalf("seed %d: Decide error: %v", seed, err)
+		}
+		if v.Terminates {
+			t.Fatalf("seed %d: probe rejected but Decide terminates: %+v\nset:\n%v", seed, v, set)
+		}
+		if v.Method != out.Method || v.SeedsTried != out.SeedsTried {
+			t.Errorf("seed %d: reject drifted from Decide:\nprobe  %q / seed %d\ndecide %q / seed %d",
+				seed, out.Method, out.SeedsTried, v.Method, v.SeedsTried)
+		}
+	}
+	if rejected < 10 {
+		t.Fatalf("only %d rejecting probes exercised; generator too narrow", rejected)
 	}
 }
 

@@ -566,6 +566,11 @@ func (db *Database) Len() int { return db.inst.Len() }
 // Has reports membership.
 func (db *Database) Has(a logic.Atom) bool { return db.inst.Has(a) }
 
+// Fingerprint returns the order-independent content fingerprint of the
+// database's fact set — the instance half of the (set, instance) identity
+// cross-run caches key per-database artefacts on.
+func (db *Database) Fingerprint() logic.Fingerprint { return db.inst.Fingerprint() }
+
 // Dom returns the database's active domain (constants only).
 func (db *Database) Dom() logic.TermSet { return db.inst.Dom() }
 

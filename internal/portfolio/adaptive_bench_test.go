@@ -1,0 +1,125 @@
+package portfolio
+
+// BenchmarkAdaptiveColdPath measures cold time-to-verdict (no cache on
+// either side — the ledger replay win is BENCH_portfolio.json's story) of
+// the adaptive cascade against the PR 6 static cascade on a
+// diverging-heavy mixed workload of guarded sets. "static" is the old
+// configuration restored exactly: static stage order, accept-only probe
+// (guarded.DecideOptions.ProbeAcceptOnly), no cost model — so a diverging
+// input walks every Tier 0 check, probes without deciding, and pays the
+// Tier 2 race: full seed-pool generation plus a full-budget battery.
+// "adaptive" is the PR 9 cold path: a cost model pre-trained by a few
+// untimed runs (the state any warmed-up daemon carries) moves the probe
+// ahead of the stages that never decide on the class and shrinks its
+// budget towards the learned pump depth; the probe then rejects on the
+// k-prefix pump certificate at Tier 1 — sweeping the lazily enumerated
+// seed pool only as far as the rejecting seed, so the bulk of the pool is
+// never generated and no full-budget chase ever runs. Conclusions are
+// asserted identical to core.Analyze before the timer and on every timed
+// iteration, so the speedup recorded in BENCH_adaptive.json is never
+// bought with verdict drift.
+// Run with `go test ./internal/portfolio -bench BenchmarkAdaptiveColdPath -benchtime 20x`.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"airct/internal/core"
+	"airct/internal/guarded"
+	"airct/internal/parser"
+	"airct/internal/tgds"
+	"airct/internal/workload"
+)
+
+// adaptiveBenchSteps is the guarded budget for this benchmark — the
+// conformance-suite budget (confDecideSteps), under which every diverging
+// family still yields its divergence-witness verdict. The MFA budget stays
+// at its 20k default, as every cold serving path runs it.
+const adaptiveBenchSteps = 500
+
+// adaptiveBenchFamilies is the diverging-heavy mix: four guarded diverging
+// shapes (where the rejecting probe and the learned order pay off) and two
+// terminating ones (where the adaptive cascade must not regress the cheap
+// Tier 0 exits).
+func adaptiveBenchFamilies() []struct {
+	name string
+	set  *tgds.Set
+} {
+	parse := func(src string) *tgds.Set {
+		set, err := parser.ParseTGDs(src)
+		if err != nil {
+			panic(err)
+		}
+		return set
+	}
+	return []struct {
+		name string
+		set  *tgds.Set
+	}{
+		{"guarded-ladder-2", workload.GuardedLadder(2).Set},
+		{"guarded-ladder-3", workload.GuardedLadder(3).Set},
+		{"guard-chain", parse(`
+			G(X,Y), S(X) -> G(Y,Z).
+			G(X,Y) -> S(Y).`)},
+		{"example-5.6", parse(`
+			S(X,Y) -> T(X).
+			R(X,Y), T(Y) -> P(X,Y).
+			P(X,Y) -> P(Y,Z).`)},
+		{"swap-intro-2", workload.SwapIntro(2).Set},
+		{"existential-chain-3", workload.ExistentialChain(3).Set},
+	}
+}
+
+func BenchmarkAdaptiveColdPath(b *testing.B) {
+	for _, fam := range adaptiveBenchFamilies() {
+		coreOpts := core.Options{GuardedOptions: guarded.DecideOptions{MaxSteps: adaptiveBenchSteps}}
+		rep, err := core.Analyze(fam.set, coreOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := rep.Conclusion
+
+		// Drift gate: both configurations must reach core.Analyze's
+		// conclusion before either is timed.
+		staticOpts := Options{
+			Guarded: guarded.DecideOptions{MaxSteps: adaptiveBenchSteps, ProbeAcceptOnly: true},
+			Workers: 2,
+		}
+		check := func(opts Options, label string) {
+			res, err := Analyze(context.Background(), fam.set, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Conclusion != want {
+				b.Fatalf("%s/%s drifted: %v by %q, want %v (core.Analyze)",
+					fam.name, label, res.Conclusion, res.DecidedBy, want)
+			}
+		}
+		check(staticOpts, "static")
+
+		b.Run(fmt.Sprintf("%s/static", fam.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				check(staticOpts, "static")
+			}
+		})
+		b.Run(fmt.Sprintf("%s/adaptive", fam.name), func(b *testing.B) {
+			b.ReportAllocs()
+			opts := Options{
+				Guarded: guarded.DecideOptions{MaxSteps: adaptiveBenchSteps},
+				Workers: 2,
+				Model:   NewCostModel(),
+			}
+			// Pre-train past the reorder gates, untimed — the state any
+			// warmed-up daemon carries before the request being measured.
+			for warm := 0; warm < 6; warm++ {
+				check(opts, "adaptive")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				check(opts, "adaptive")
+			}
+		})
+	}
+}

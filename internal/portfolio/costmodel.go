@@ -1,0 +1,352 @@
+package portfolio
+
+// The online cost model behind the adaptive cascade: per workload class it
+// tracks an EWMA of each cheap stage's cost and how often the stage decides,
+// and uses the two to reorder the Tier 0 checks and the Tier 1 probe so the
+// historically cheapest-per-decision stage runs first. Reordering the cheap
+// prefix is conclusion-safe by construction: every Tier 0 check is sound for
+// acceptance only and the Tier 1 probe confirms both of its verdicts against
+// the full guarded procedure (guarded.ProbeSeeds), so each stage either
+// fixes the exact conclusion core.Analyze would reach or abstains — running
+// any subset in any order decides iff the static cascade decides, with the
+// identical conclusion. Tier 2 is untouched and always runs last.
+//
+// The model also adapts the probe's step budget k: the fixpoint depths of
+// past decisive probes in the class feed an EWMA, and the next probe runs at
+// twice that depth (clamped to [16, 512]) instead of the static
+// guarded.DefaultProbeSteps. The resolved k participates in the portfolio
+// cache salt, so warm replays stay keyed by the budgets that actually ran.
+//
+// Learned state persists through the cross-run cache as CostModelEntry
+// records (one per class, kind 7 in internal/chase), which ride the same
+// snapshot codec as verdicts: a termcheckd fleet sharing a cache file shares
+// its cost model. Sync is attempts-monotone — the richer record (more total
+// attempts) wins in both directions — so concurrent writers converge
+// instead of ping-ponging.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"airct/internal/chase"
+	"airct/internal/tgds"
+)
+
+// stageOrderStatic is core.Analyze's cheap-stage order: the five Tier 0
+// checks in cost order, then the Tier 1 probe. The adaptive cascade permutes
+// exactly this list; Tier 2 racers are never reordered.
+var stageOrderStatic = []string{
+	"full", "weak-acyclicity", "joint-acyclicity", "jointree-prune", "mfa", "probe",
+}
+
+const (
+	// ewmaAlpha weights the newest observation in the cost and depth EWMAs.
+	ewmaAlpha = 0.3
+	// minStageAttempts gates reordering: every stage observed in a class
+	// must have been attempted at least this often before its statistics
+	// are trusted to permute the cascade.
+	minStageAttempts = 3
+	// minClassRuns gates reordering on the class as a whole.
+	minClassRuns = 5
+	// minProbeSteps and maxProbeSteps clamp the adaptive probe budget.
+	minProbeSteps = 16
+	maxProbeSteps = 512
+)
+
+// stageStats accumulates one stage's history within a class.
+type stageStats struct {
+	ewmaNS    float64 // EWMA cost per attempt, nanoseconds
+	attempts  int64
+	decided   int64
+	ewmaDepth float64 // probe only: EWMA fixpoint depth of decisive probes
+}
+
+// classStats is the per-workload-class ledger.
+type classStats struct {
+	stages map[string]*stageStats
+}
+
+// runs estimates how many portfolio runs fed the class: every live run
+// attempts at least one cheap stage, so the busiest stage's attempt count is
+// a lower bound that is exact under a fixed order.
+func (c *classStats) runs() int64 {
+	var max int64
+	for _, st := range c.stages {
+		if st.attempts > max {
+			max = st.attempts
+		}
+	}
+	return max
+}
+
+// CostModel is the shared, thread-safe cost ledger. The zero value is not
+// usable; construct with NewCostModel. One model typically serves a whole
+// process (termcheckd builds one per daemon) and synchronises with the
+// cross-run cache per class on every Analyze call.
+type CostModel struct {
+	mu      sync.RWMutex
+	classes map[string]*classStats
+}
+
+// NewCostModel returns an empty model.
+func NewCostModel() *CostModel {
+	return &CostModel{classes: make(map[string]*classStats)}
+}
+
+// classOf buckets a set into a workload class: the three syntactic flags
+// that gate stages (guardedness, stickiness, existential-freeness) plus a
+// coarse size bucket, so sets that exercise the same stages with similar
+// cost pool their statistics.
+func classOf(set *tgds.Set) string {
+	b := 0
+	for n := set.Len(); n > 4; n >>= 1 {
+		b++
+	}
+	g, s, f := 0, 0, 0
+	if set.IsGuarded() {
+		g = 1
+	}
+	if set.IsSticky() {
+		s = 1
+	}
+	if set.IsFull() {
+		f = 1
+	}
+	return fmt.Sprintf("g%ds%df%d:b%d", g, s, f, b)
+}
+
+// Observe folds one finished live run's cheap-stage outcomes (tiers 0 and 1)
+// into the class ledger. Replayed results must not be observed — their
+// durations are zero and would drag every EWMA toward free.
+func (m *CostModel) Observe(class string, stages []StageOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.classes[class]
+	if c == nil {
+		c = &classStats{stages: make(map[string]*stageStats)}
+		m.classes[class] = c
+	}
+	for _, s := range stages {
+		if s.Tier > 1 {
+			continue
+		}
+		st := c.stages[s.Stage]
+		if st == nil {
+			st = &stageStats{}
+			c.stages[s.Stage] = st
+		}
+		st.attempts++
+		st.ewmaNS = ewma(st.ewmaNS, float64(s.Duration), st.attempts)
+		if s.Decided {
+			st.decided++
+			if s.Stage == "probe" && s.Depth > 0 {
+				n := st.decided
+				st.ewmaDepth = ewma(st.ewmaDepth, float64(s.Depth), n)
+			}
+		}
+	}
+}
+
+// ewma folds x into the running average; the first observation seeds it.
+func ewma(old, x float64, n int64) float64 {
+	if n <= 1 {
+		return x
+	}
+	return ewmaAlpha*x + (1-ewmaAlpha)*old
+}
+
+// Order returns the stage order to run for the class. Until the class has
+// enough history (minClassRuns runs, and minStageAttempts attempts on every
+// stage observed so far) it returns static unchanged. With history, stages
+// sort by EWMA cost per unit of decisiveness — ewmaNS / (decisionRate +
+// 0.05) — ascending, so a stage that is cheap or decides often moves
+// forward. Stages never observed in the class (gated off, or always
+// shadowed by an earlier decider) sort last, in static order. Any
+// permutation is conclusion-safe; see the file comment.
+func (m *CostModel) Order(class string, static []string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.classes[class]
+	if c == nil || c.runs() < minClassRuns {
+		return static
+	}
+	for _, st := range c.stages {
+		if st.attempts > 0 && st.attempts < minStageAttempts {
+			return static
+		}
+	}
+	type scored struct {
+		name  string
+		score float64
+		pos   int
+	}
+	out := make([]scored, len(static))
+	for i, name := range static {
+		sc := math.Inf(1)
+		if st := c.stages[name]; st != nil && st.attempts >= minStageAttempts {
+			rate := float64(st.decided) / float64(st.attempts)
+			sc = st.ewmaNS / (rate + 0.05)
+		}
+		out[i] = scored{name: name, score: sc, pos: i}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score < out[j].score
+		}
+		return out[i].pos < out[j].pos
+	})
+	order := make([]string, len(out))
+	for i, s := range out {
+		order[i] = s.name
+	}
+	return order
+}
+
+// ProbeSteps resolves the Tier 1 probe budget for the class. An explicit
+// request is always respected. Otherwise, once the class has seen enough
+// decisive probes, the budget is twice the EWMA decisive depth clamped to
+// [minProbeSteps, maxProbeSteps]; with no history it returns 0, which
+// downstream resolves to guarded.DefaultProbeSteps.
+func (m *CostModel) ProbeSteps(class string, requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := m.classes[class]
+	if c == nil {
+		return 0
+	}
+	st := c.stages["probe"]
+	if st == nil || st.decided < minStageAttempts || st.ewmaDepth <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(2 * st.ewmaDepth))
+	if k < minProbeSteps {
+		k = minProbeSteps
+	}
+	if k > maxProbeSteps {
+		k = maxProbeSteps
+	}
+	return k
+}
+
+// pull adopts the cache's record for the class when it is richer (more
+// total attempts) than the local one, making the model fleet-wide under a
+// shared cache file.
+func (m *CostModel) pull(cache *chase.Cache, class string) {
+	if cache == nil {
+		return
+	}
+	e, ok := cache.LookupCostModel(class)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.classes[class]
+	if c != nil && totalAttempts(c) >= entryAttempts(e) {
+		return
+	}
+	c = &classStats{stages: make(map[string]*stageStats, len(e.Stages))}
+	for _, r := range e.Stages {
+		c.stages[r.Stage] = &stageStats{
+			ewmaNS:    float64(r.EwmaNS),
+			attempts:  r.Attempts,
+			decided:   r.Decided,
+			ewmaDepth: float64(r.EwmaDepth),
+		}
+	}
+	m.classes[class] = c
+}
+
+// push publishes the class ledger to the cache. chase.StoreCostModel keeps
+// whichever record carries more total attempts, so concurrent pushers
+// converge on the richest history.
+func (m *CostModel) push(cache *chase.Cache, class string) {
+	if cache == nil {
+		return
+	}
+	m.mu.RLock()
+	c := m.classes[class]
+	var e *chase.CostModelEntry
+	if c != nil {
+		e = &chase.CostModelEntry{Class: class, Stages: make([]chase.StageCostRecord, 0, len(c.stages))}
+		names := make([]string, 0, len(c.stages))
+		for name := range c.stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := c.stages[name]
+			e.Stages = append(e.Stages, chase.StageCostRecord{
+				Stage:     name,
+				EwmaNS:    int64(st.ewmaNS),
+				Attempts:  st.attempts,
+				Decided:   st.decided,
+				EwmaDepth: int64(st.ewmaDepth),
+			})
+		}
+	}
+	m.mu.RUnlock()
+	if e != nil {
+		cache.StoreCostModel(e)
+	}
+}
+
+func totalAttempts(c *classStats) int64 {
+	var n int64
+	for _, st := range c.stages {
+		n += st.attempts
+	}
+	return n
+}
+
+func entryAttempts(e *chase.CostModelEntry) int64 {
+	var n int64
+	for _, r := range e.Stages {
+		n += r.Attempts
+	}
+	return n
+}
+
+// ClassState is one class's learned policy, as exported through
+// termcheckd's /v1/stats.
+type ClassState struct {
+	// Class is the workload-class label (see classOf).
+	Class string `json:"class"`
+	// Runs is the class's estimated live-run count.
+	Runs int64 `json:"runs"`
+	// Order is the stage order the class would run now.
+	Order []string `json:"order"`
+	// ProbeSteps is the adaptive probe budget the class would use now
+	// (0: no history yet, guarded.DefaultProbeSteps applies).
+	ProbeSteps int `json:"probe-steps"`
+}
+
+// States snapshots every class's current policy, sorted by class label.
+func (m *CostModel) States() []ClassState {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.classes))
+	for name := range m.classes {
+		names = append(names, name)
+	}
+	runs := make(map[string]int64, len(names))
+	for _, name := range names {
+		runs[name] = m.classes[name].runs()
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]ClassState, 0, len(names))
+	for _, name := range names {
+		out = append(out, ClassState{
+			Class:      name,
+			Runs:       runs[name],
+			Order:      m.Order(name, stageOrderStatic),
+			ProbeSteps: m.ProbeSteps(name, 0),
+		})
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"airct/internal/chase"
+	"airct/internal/core"
+	"airct/internal/workload"
+)
+
+// observeRuns feeds n identical synthetic runs into the model: every stage
+// in costs is attempted, and decider (if any) decides.
+func observeRuns(m *CostModel, class string, n int, costs map[string]time.Duration, decider string, depth int) {
+	for i := 0; i < n; i++ {
+		var stages []StageOutcome
+		for _, name := range stageOrderStatic {
+			d, ok := costs[name]
+			if !ok {
+				continue
+			}
+			s := StageOutcome{Stage: name, Duration: d}
+			if name == "probe" {
+				s.Tier = 1
+				s.Depth = depth
+			}
+			if name == decider {
+				s.Decided = true
+				s.Conclusion = core.Terminates
+			}
+			stages = append(stages, s)
+		}
+		m.Observe(class, stages)
+	}
+}
+
+// TestOrderGatesOnHistory pins the cold-start contract: with no history —
+// or with fewer runs than the gate — Order returns the static cascade
+// untouched, and a nil model downstream means static everywhere.
+func TestOrderGatesOnHistory(t *testing.T) {
+	m := NewCostModel()
+	if got := m.Order("g1s0f0:b0", stageOrderStatic); !reflect.DeepEqual(got, stageOrderStatic) {
+		t.Fatalf("empty model reordered: %v", got)
+	}
+	costs := map[string]time.Duration{"full": time.Microsecond, "mfa": time.Millisecond, "probe": 10 * time.Microsecond}
+	observeRuns(m, "g1s0f0:b0", minClassRuns-1, costs, "probe", 8)
+	if got := m.Order("g1s0f0:b0", stageOrderStatic); !reflect.DeepEqual(got, stageOrderStatic) {
+		t.Fatalf("under-gate class reordered: %v", got)
+	}
+}
+
+// TestOrderMovesDecisiveCheapStageForward pins the reorder itself: after a
+// workload where MFA is expensive and never decides while the probe is
+// cheap and always decides, the probe must run before MFA — and repeated
+// calls must return the same order (determinism, stable tiebreak).
+func TestOrderMovesDecisiveCheapStageForward(t *testing.T) {
+	m := NewCostModel()
+	class := "g1s0f0:b1"
+	costs := map[string]time.Duration{
+		"full":             2 * time.Microsecond,
+		"weak-acyclicity":  5 * time.Microsecond,
+		"joint-acyclicity": 5 * time.Microsecond,
+		"jointree-prune":   8 * time.Microsecond,
+		"mfa":              20 * time.Millisecond,
+		"probe":            300 * time.Microsecond,
+	}
+	observeRuns(m, class, 10, costs, "probe", 24)
+	got := m.Order(class, stageOrderStatic)
+	pos := make(map[string]int, len(got))
+	for i, name := range got {
+		pos[name] = i
+	}
+	if len(pos) != len(stageOrderStatic) {
+		t.Fatalf("order is not a permutation: %v", got)
+	}
+	if pos["probe"] > pos["mfa"] {
+		t.Errorf("probe (cheap, decisive) still behind mfa (dear, never decides): %v", got)
+	}
+	if again := m.Order(class, stageOrderStatic); !reflect.DeepEqual(again, got) {
+		t.Errorf("order not deterministic: %v vs %v", again, got)
+	}
+}
+
+// TestProbeStepsAdaptsAndClamps pins the adaptive budget: explicit requests
+// pass through untouched, no history yields 0 (DefaultProbeSteps
+// downstream), and a learned depth d yields 2·d clamped to
+// [minProbeSteps, maxProbeSteps].
+func TestProbeStepsAdaptsAndClamps(t *testing.T) {
+	m := NewCostModel()
+	class := "g1s0f0:b0"
+	if got := m.ProbeSteps(class, 99); got != 99 {
+		t.Errorf("explicit request overridden: %d", got)
+	}
+	if got := m.ProbeSteps(class, 0); got != 0 {
+		t.Errorf("no history: got %d, want 0", got)
+	}
+	costs := map[string]time.Duration{"probe": time.Microsecond}
+	observeRuns(m, class, 5, costs, "probe", 40)
+	if got := m.ProbeSteps(class, 0); got != 80 {
+		t.Errorf("depth 40: got %d, want 80", got)
+	}
+	observeRuns(m, "shallow", 5, costs, "probe", 2)
+	if got := m.ProbeSteps("shallow", 0); got != minProbeSteps {
+		t.Errorf("shallow class: got %d, want clamp %d", got, minProbeSteps)
+	}
+	observeRuns(m, "deep", 5, costs, "probe", 100_000)
+	if got := m.ProbeSteps("deep", 0); got != maxProbeSteps {
+		t.Errorf("deep class: got %d, want clamp %d", got, maxProbeSteps)
+	}
+}
+
+// TestPullPushAttemptsMonotone pins the fleet-sync rule in both directions:
+// the record with more total attempts wins; the poorer side never
+// overwrites the richer one.
+func TestPullPushAttemptsMonotone(t *testing.T) {
+	cache := chase.NewCache()
+	class := "g1s0f0:b2"
+	costs := map[string]time.Duration{"mfa": time.Millisecond, "probe": 10 * time.Microsecond}
+
+	rich := NewCostModel()
+	observeRuns(rich, class, 20, costs, "probe", 30)
+	rich.push(cache, class)
+	entry, ok := cache.LookupCostModel(class)
+	if !ok {
+		t.Fatal("push stored nothing")
+	}
+	if entryAttempts(entry) != 40 { // 20 runs × 2 stages
+		t.Fatalf("entry attempts = %d, want 40", entryAttempts(entry))
+	}
+
+	// A poorer model must not clobber the cache...
+	poor := NewCostModel()
+	observeRuns(poor, class, 2, costs, "probe", 5)
+	poor.push(cache, class)
+	after, _ := cache.LookupCostModel(class)
+	if entryAttempts(after) != 40 {
+		t.Errorf("poorer push clobbered the cache: %d attempts", entryAttempts(after))
+	}
+	// ...and pulling adopts the richer fleet history.
+	poor.pull(cache, class)
+	poor.mu.RLock()
+	adopted := totalAttempts(poor.classes[class])
+	poor.mu.RUnlock()
+	if adopted != 40 {
+		t.Errorf("pull did not adopt the richer record: %d attempts", adopted)
+	}
+
+	// The rich model keeps its own (equal-or-richer) local state on pull.
+	rich.pull(cache, class)
+	rich.mu.RLock()
+	kept := totalAttempts(rich.classes[class])
+	rich.mu.RUnlock()
+	if kept != 40 {
+		t.Errorf("pull degraded the richer local state: %d attempts", kept)
+	}
+}
+
+// TestStatesExportsLearnedPolicy pins the /v1/stats surface: class labels
+// sorted, run counts, the live order and the adaptive budget.
+func TestStatesExportsLearnedPolicy(t *testing.T) {
+	m := NewCostModel()
+	costs := map[string]time.Duration{"mfa": time.Millisecond, "probe": 10 * time.Microsecond}
+	observeRuns(m, "zz", 6, costs, "probe", 20)
+	observeRuns(m, "aa", 2, costs, "", 0)
+	states := m.States()
+	if len(states) != 2 || states[0].Class != "aa" || states[1].Class != "zz" {
+		t.Fatalf("states = %+v", states)
+	}
+	if states[0].Runs != 2 || states[1].Runs != 6 {
+		t.Errorf("run counts: %+v", states)
+	}
+	if states[0].ProbeSteps != 0 {
+		t.Errorf("undecided class exported an adaptive budget: %+v", states[0])
+	}
+	if states[1].ProbeSteps != 40 {
+		t.Errorf("learned budget = %d, want 40 (2×20)", states[1].ProbeSteps)
+	}
+	if pos := indexOf(states[1].Order, "probe"); pos > indexOf(states[1].Order, "mfa") {
+		t.Errorf("exported order did not learn: %v", states[1].Order)
+	}
+}
+
+func indexOf(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestClassOfBucketsByFlagsAndSize pins the class key: syntactic flags and
+// the coarse size bucket, nothing else.
+func TestClassOfBucketsByFlagsAndSize(t *testing.T) {
+	ladder := workload.GuardedLadder(2).Set
+	if got := classOf(ladder); got != "g1s0f0:b0" {
+		t.Errorf("guarded ladder class = %q", got)
+	}
+	full := workload.DatalogChain(3).Set
+	if got := classOf(full); got[:6] != "g1s1f1" {
+		t.Errorf("datalog chain class = %q, want g1s1f1 prefix", got)
+	}
+	big := workload.GuardedLadder(16).Set
+	if classOf(big) == classOf(ladder) {
+		t.Errorf("size bucket did not separate ladder(2)=%q from ladder(16)=%q", classOf(ladder), classOf(big))
+	}
+}

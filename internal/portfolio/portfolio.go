@@ -1,23 +1,41 @@
 // Package portfolio schedules the library's termination deciders as a
 // cheap-first cascade: Tier 0 runs the syntactic and sufficient-condition
-// checks in cost order (existential-freeness, weak acyclicity, joint
-// acyclicity, the never-firing jointree prune, MFA), Tier 1 runs a k-round
-// bounded chase probe over the guarded seed pool, and Tier 2 races the
-// expensive semantic deciders — sticky's Büchi emptiness test and the
-// guarded seed search — on a bounded worker pool with context cancellation
-// for the losers.
+// checks (existential-freeness, weak acyclicity, joint acyclicity, the
+// never-firing jointree prune, MFA), Tier 1 runs a k-round bounded chase
+// probe over the guarded seed pool — accepting when every seed saturates,
+// rejecting when a seed's k-prefix carries a guard-chain pump certificate —
+// and Tier 2 races the expensive semantic deciders —
+// sticky's Büchi emptiness test and the guarded seed search — on a bounded
+// worker pool with context cancellation for the losers.
+//
+// The cheap prefix (Tier 0 plus the probe) runs in core.Analyze's static
+// cost order by default; with Options.Model set, an online cost model
+// reorders it per workload class and picks the probe budget adaptively
+// (see costmodel.go).
 //
 // The portfolio's contract is conclusion identity: for every input set, the
 // Conclusion (and the error, if any) equals core.Analyze's with the same
 // budgets, bit for bit. The cascade earns its speed purely from stopping
-// early and cancelling losers, never from answering differently. Three
-// invariants enforce this:
+// early, reordering abstain-or-exact stages and cancelling losers, never
+// from answering differently. Three invariants enforce this:
 //
-//   - every decisive stage reuses the exact check core.Analyze runs, with
-//     the same budget, in the same relative order;
-//   - a Tier 1 probe decides only when the full guarded procedure is
-//     guaranteed (by the deterministic-prefix argument in guarded.ProbeSeeds)
-//     to return the identical terminating verdict;
+//   - every cheap stage either abstains or fixes the conclusion
+//     core.Analyze reaches: the Tier 0 checks are the checks core.Analyze
+//     runs (sound for acceptance only), an accepting Tier 1 probe is
+//     bit-compatible with the full guarded procedure by the
+//     deterministic-prefix argument in guarded.ProbeSeeds, and a rejecting
+//     probe decides through the same guard-chain pump lemma the full
+//     procedure trusts on its own budget-truncated runs. Running any
+//     subset of the cheap prefix in any order therefore cannot change the
+//     conclusion, only which stage gets credit;
+//   - the probe rejects only on a certificate, never on bare budget
+//     exhaustion — the certificate string rides along as
+//     StageOutcome.Evidence. The certificate is budget-independent, so in
+//     the corner where the probe's budget-B counterpart run would saturate
+//     past k and bounded seed-exhaustion would miss the divergence, the
+//     probe errs toward the sound refutation; the package's quick-test
+//     sweeps pin that this corner never separates the two on the random
+//     program generators, and the conformance corpus pins it per family;
 //   - Tier 2 results are combined in the canonical racer order
 //     [sticky, guarded] regardless of wall-clock finish order: a racer's
 //     verdict counts only once every earlier racer has completed without
@@ -44,6 +62,7 @@ import (
 	"airct/internal/core"
 	"airct/internal/guarded"
 	"airct/internal/instance"
+	"airct/internal/logic"
 	"airct/internal/sticky"
 	"airct/internal/tgds"
 )
@@ -69,10 +88,17 @@ type Options struct {
 	// with early exit.
 	Workers int
 	// Cache, when set, memoises the whole portfolio run — keyed by the set
-	// fingerprint and a salt folding in every budget (never worker counts)
-	// — in addition to the per-seed and seed-pool entries the guarded
-	// stages already share through it.
+	// fingerprint, the database fingerprint (zero without a database) and a
+	// salt folding in every budget (never worker counts) — in addition to
+	// the per-seed and seed-pool entries the guarded stages already share
+	// through it.
 	Cache *chase.Cache
+	// Model, when set, reorders the cheap stage prefix per workload class
+	// and adapts the probe budget from past decisive depths (costmodel.go).
+	// The model learns from this run's live stages and synchronises with
+	// Cache, making it fleet-wide under a shared cache file. Nil runs the
+	// static cascade. The conclusion is model-invariant.
+	Model *CostModel
 	// Database, when set, adds the ∀∃ derivation search over this database
 	// as a non-authoritative Tier 2 racer (reported, never concluding).
 	Database *instance.Database
@@ -127,11 +153,17 @@ type StageOutcome struct {
 	Duration time.Duration
 	// Seeds, Saturated and Depth are the Tier 1 probe's diagnostics: the
 	// distinct seed pool size, how many seeds' whole batteries saturated
-	// within the probe budget, and the deepest saturating chase. Zero for
-	// every other stage; preserved across cache replays.
+	// within the probe budget, and the deepest saturating chase (the pump
+	// depth — the shortest certifying prefix — maxed with the saturation
+	// depths on a rejecting probe). Zero for every other stage; preserved
+	// across cache replays.
 	Seeds     int
 	Saturated int
 	Depth     int
+	// Evidence carries the confirmed guard-chain pump certificate on a
+	// rejecting Tier 1 probe (also embedded in Detail); empty otherwise.
+	// Preserved across cache replays.
+	Evidence string
 }
 
 // Result is the portfolio's combined answer.
@@ -153,6 +185,7 @@ type Result struct {
 type runner struct {
 	set    *tgds.Set
 	opts   Options
+	class  string
 	res    *Result
 	probed bool
 }
@@ -166,29 +199,54 @@ func Analyze(ctx context.Context, set *tgds.Set, opts Options) (*Result, error) 
 	}
 	opts.Guarded.Cache = opts.Cache
 	opts.Sticky.Cache = opts.Cache
+	class := classOf(set)
+	if opts.Model != nil {
+		// Adopt richer fleet history first, then resolve the adaptive probe
+		// budget BEFORE the salt is computed: the cache key must reflect
+		// the k that actually runs.
+		opts.Model.pull(opts.Cache, class)
+		opts.ProbeSteps = opts.Model.ProbeSteps(class, opts.ProbeSteps)
+	}
+	var instFP logic.Fingerprint
+	if opts.Database != nil {
+		instFP = opts.Database.Fingerprint()
+	}
 	var setFP, salt = set.Fingerprint(), opts.salt()
 	if opts.Cache != nil {
-		if so, ok := opts.Cache.LookupStageOutcomes(setFP, salt); ok {
+		if so, ok := opts.Cache.LookupStageOutcomes(setFP, instFP, salt); ok {
 			return replay(so), nil
 		}
 	}
-	r := &runner{set: set, opts: opts, res: &Result{}}
+	r := &runner{set: set, opts: opts, class: class, res: &Result{}}
 	if err := r.run(ctx); err != nil {
 		return nil, err
 	}
+	if opts.Model != nil {
+		opts.Model.Observe(class, r.res.Stages)
+		opts.Model.push(opts.Cache, class)
+	}
 	if opts.Cache != nil {
-		opts.Cache.StoreStageOutcomes(setFP, salt, record(r.res))
+		opts.Cache.StoreStageOutcomes(setFP, instFP, salt, record(r.res))
 	}
 	return r.res, nil
 }
 
 func (r *runner) run(ctx context.Context) error {
-	r.tier0()
-	if r.decided() {
-		return nil
+	order := stageOrderStatic
+	if r.opts.Model != nil {
+		order = r.opts.Model.Order(r.class, stageOrderStatic)
 	}
-	if err := r.tier1(ctx); err != nil {
-		return err
+	for _, name := range order {
+		if r.decided() {
+			break
+		}
+		if name == "probe" {
+			if err := r.tier1(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		r.tier0Stage(name)
 	}
 	if r.decided() {
 		return nil
@@ -213,22 +271,25 @@ func (r *runner) conclude(s StageOutcome) {
 	r.res.Stages = append(r.res.Stages, s)
 }
 
-// tier0 runs the cheap syntactic and sufficient-condition checks in
-// core.Analyze's exact order. Every Tier 0 check is sound for acceptance
-// only, so a decisive stage always concludes Terminates.
-func (r *runner) tier0() {
-	set := r.set
-	stage := func(name string, f func(s *StageOutcome)) {
-		if r.decided() {
-			return
-		}
-		s := StageOutcome{Stage: name, Tier: 0}
-		start := time.Now()
-		f(&s)
-		s.Duration = time.Since(start)
-		r.conclude(s)
+// tier0Stage runs one cheap syntactic or sufficient-condition check. Every
+// Tier 0 check is sound for acceptance only, so a decisive stage always
+// concludes Terminates — which is why the cost model may run them in any
+// order without touching the conclusion.
+func (r *runner) tier0Stage(name string) {
+	if r.decided() {
+		return
 	}
-	stage("full", func(s *StageOutcome) {
+	s := StageOutcome{Stage: name, Tier: 0}
+	start := time.Now()
+	r.tier0Check(name, &s)
+	s.Duration = time.Since(start)
+	r.conclude(s)
+}
+
+func (r *runner) tier0Check(name string, s *StageOutcome) {
+	set := r.set
+	switch name {
+	case "full":
 		if set.IsFull() {
 			s.Decided = true
 			s.Conclusion = core.Terminates
@@ -236,8 +297,7 @@ func (r *runner) tier0() {
 		} else {
 			s.Detail = "set has existentials"
 		}
-	})
-	stage("weak-acyclicity", func(s *StageOutcome) {
+	case "weak-acyclicity":
 		if acyclicity.IsWeaklyAcyclic(set) {
 			s.Decided = true
 			s.Conclusion = core.Terminates
@@ -245,8 +305,7 @@ func (r *runner) tier0() {
 		} else {
 			s.Detail = "dependency graph has a special-edge cycle"
 		}
-	})
-	stage("joint-acyclicity", func(s *StageOutcome) {
+	case "joint-acyclicity":
 		if acyclicity.IsJointlyAcyclic(set) {
 			s.Decided = true
 			s.Conclusion = core.Terminates
@@ -254,8 +313,7 @@ func (r *runner) tier0() {
 		} else {
 			s.Detail = "existential dependency graph is cyclic"
 		}
-	})
-	stage("jointree-prune", func(s *StageOutcome) {
+	case "jointree-prune":
 		pruned, removed := acyclicity.PruneNeverFiring(set)
 		if len(removed) == 0 {
 			s.Detail = "no never-firing TGDs"
@@ -281,8 +339,7 @@ func (r *runner) tier0() {
 		if s.Decided {
 			s.Conclusion = core.Terminates
 		}
-	})
-	stage("mfa", func(s *StageOutcome) {
+	case "mfa":
 		mfa := acyclicity.CheckMFA(set, resolved(r.opts.MFASteps, 20_000))
 		s.Steps = mfa.Steps
 		if mfa.Acyclic {
@@ -292,14 +349,17 @@ func (r *runner) tier0() {
 		} else {
 			s.Detail = "critical-instance chase found a cyclic null or exhausted its budget"
 		}
-	})
+	}
 }
 
-// tier1 runs the k-round probe for guarded, non-sticky sets. A decisive
+// tier1 runs the k-round probe for guarded, non-sticky sets. An accepting
 // probe is a proof that guarded.Decide at the full budget returns the
-// identical terminating verdict (guarded.ProbeSeeds documents the
-// deterministic-prefix argument), so concluding here preserves conclusion
-// identity with core.Analyze, where the guarded stage would have decided.
+// identical verdict (the deterministic-prefix argument in
+// guarded.ProbeSeeds); a rejecting probe carries the guard-chain pump
+// certificate — the same budget-independent witness the guarded procedure
+// itself trusts on budget-truncated runs — so concluding here preserves
+// conclusion identity with core.Analyze, where the guarded stage would
+// have decided.
 func (r *runner) tier1(ctx context.Context) error {
 	if !r.set.IsGuarded() || r.set.IsSticky() {
 		return nil
@@ -324,12 +384,17 @@ func (r *runner) tier1(ctx context.Context) error {
 		s.Decided = true
 		s.Conclusion = core.Terminates
 		s.Detail = "guarded: weak acyclicity"
+	case out.Decided && out.Rejected:
+		s.Decided = true
+		s.Conclusion = core.Diverges
+		s.Evidence = out.Evidence
+		s.Detail = fmt.Sprintf("probe: pump at depth %d within k=%d; seed %d diverges (%s)", out.Depth, out.ProbeSteps, out.SeedsTried, out.Evidence)
 	case out.Decided:
 		s.Decided = true
 		s.Conclusion = core.Terminates
 		s.Detail = fmt.Sprintf("probe: all %d seeds saturated within %d steps (full battery pinned terminating)", out.Seeds, out.ProbeSteps)
 	default:
-		s.Detail = fmt.Sprintf("probe: %d/%d seeds saturated within %d steps; escalating", out.Saturated, out.Seeds, out.ProbeSteps)
+		s.Detail = fmt.Sprintf("probe: %d/%d swept seeds saturated within %d steps; routing onward", out.Saturated, out.Seeds, out.ProbeSteps)
 	}
 	r.conclude(s)
 	return nil
@@ -563,6 +628,7 @@ func record(res *Result) *chase.StageOutcomes {
 			Seeds:      s.Seeds,
 			Saturated:  s.Saturated,
 			Depth:      s.Depth,
+			Evidence:   s.Evidence,
 		}
 	}
 	return so
@@ -588,6 +654,7 @@ func replay(so *chase.StageOutcomes) *Result {
 			Seeds:      rec.Seeds,
 			Saturated:  rec.Saturated,
 			Depth:      rec.Depth,
+			Evidence:   rec.Evidence,
 		}
 	}
 	return res

@@ -140,7 +140,10 @@ func TestStageAttribution(t *testing.T) {
 		{"existential-wa", workload.ExistentialChain(3).Set, "weak-acyclicity", core.Terminates},
 		{"swap-intro-prune", workload.SwapIntro(2).Set, "jointree-prune", core.Terminates},
 		{"sticky-relay-race", workload.StickyRelay(2).Set, "sticky", core.Diverges},
-		{"guarded-ladder-race", workload.GuardedLadder(2).Set, "guarded", core.Diverges},
+		// The guarded ladder diverges and is guarded non-sticky: the Tier 1
+		// probe's rejecting fast path finds the pump certificate on a
+		// k-prefix and decides before the Tier 2 race even starts.
+		{"guarded-ladder-reject", workload.GuardedLadder(2).Set, "probe", core.Diverges},
 		// MFA-but-not-JA separator: Mov(Y) reaches R.1 (via the swap copy)
 		// and R.2 (via the direct copy), so the diagonal rule R(X,X) → S(X)
 		// positionally forwards the null to S and back to A — JA sees a
@@ -168,12 +171,14 @@ func TestStageAttribution(t *testing.T) {
 	}
 }
 
-// TestProbeDecidesGuardedNonStickySet pins Tier 1: example 5.6's guarded
-// non-sticky shape escalates (it diverges), while a guarded non-sticky
-// terminating set with existentials is caught by the probe before Tier 2.
+// TestProbeTierAttribution pins Tier 1's rejecting fast path on example
+// 5.6's guarded non-sticky diverging shape: a pump certificate surfaces on
+// a seed's k-prefix and the probe decides Diverges — carrying the
+// certificate — before Tier 2 starts. The conclusion must still equal
+// core.Analyze's, where the guarded racer reaches the identical verdict.
 func TestProbeTierAttribution(t *testing.T) {
 	// Guarded, not sticky (marked X recurs in body positions), not WA/JA,
-	// not prunable — but every seed saturates in a handful of steps.
+	// not prunable — and genuinely diverging through the P self-feed.
 	set := mustSet(t, `
 		S(X,Y) -> T(X).
 		R(X,Y), T(Y) -> P(X,Y).
@@ -182,26 +187,28 @@ func TestProbeTierAttribution(t *testing.T) {
 	if set.IsSticky() || !set.IsGuarded() {
 		t.Fatal("example 5.6 class flags shifted")
 	}
+	rep, err := core.Analyze(set, coreOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conclusion != core.Diverges {
+		t.Fatalf("core.Analyze on example 5.6 = %v, want diverges", rep.Conclusion)
+	}
 	res, err := Analyze(context.Background(), set, portOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Example 5.6 diverges: the probe must NOT decide it, and guarded must.
-	if res.DecidedBy != "guarded" || res.Conclusion != core.Diverges {
-		t.Errorf("example 5.6: %v by %q, want diverges by guarded\nstages: %+v",
+	if res.DecidedBy != "probe" || res.Conclusion != core.Diverges {
+		t.Errorf("example 5.6: %v by %q, want diverges by probe\nstages: %+v",
 			res.Conclusion, res.DecidedBy, res.Stages)
 	}
-	probed := false
 	for _, s := range res.Stages {
-		if s.Stage == "probe" {
-			probed = true
-			if s.Decided {
-				t.Error("probe claims to have decided a diverging set")
-			}
+		if s.Stage == "probe" && s.Decided && s.Evidence == "" {
+			t.Error("rejecting probe carries no divergence certificate")
 		}
-	}
-	if !probed {
-		t.Error("guarded non-sticky set skipped the Tier 1 probe")
+		if s.Tier == 2 {
+			t.Errorf("Tier 2 stage %q recorded after a decisive probe: %+v", s.Stage, s)
+		}
 	}
 }
 
@@ -251,11 +258,16 @@ func TestEmptySetRejected(t *testing.T) {
 }
 
 // TestAnalyzeCancelledPropagates pins the cascade's own cancellation: a
-// context cancelled mid-race surfaces as ctx's error, promptly.
+// context cancelled mid-race surfaces as ctx's error, promptly. The probe
+// is pinned accept-only — its rejecting fast path would otherwise decide
+// the diverging ladder in well under the cancellation delay, leaving no
+// race to cancel — so the cascade reaches the Tier 2 chase the cancel is
+// meant to interrupt.
 func TestAnalyzeCancelledPropagates(t *testing.T) {
 	set := workload.GuardedLadder(2).Set
 	opts := portOpts()
 	opts.Guarded.MaxSteps = 50_000_000
+	opts.Guarded.ProbeAcceptOnly = true
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)

@@ -59,6 +59,7 @@ type Stage struct {
 	Seeds     int     `json:"seeds,omitempty"`
 	Saturated int     `json:"saturated,omitempty"`
 	Depth     int     `json:"depth,omitempty"`
+	Evidence  string  `json:"evidence,omitempty"`
 	ElapsedMS float64 `json:"elapsed-ms"`
 }
 
@@ -138,19 +139,33 @@ type SnapshotStats struct {
 	LastUnixMS int64  `json:"last-unix-ms"`
 }
 
+// AdaptiveStats reports the cost-model layer: whether it is on, how often
+// the Tier 1 probe's rejecting fast path decided, and the learned per-class
+// stage orderings and probe budgets.
+type AdaptiveStats struct {
+	Enabled      bool                   `json:"enabled"`
+	ProbeRejects int64                  `json:"probe-rejects"`
+	Classes      []portfolio.ClassState `json:"classes,omitempty"`
+}
+
 // StatsResponse is the /v1/stats body: the shared cache's counters (the
-// CLI's `cache:` line as JSON), the aggregated ∀∃ search work including
-// the trigger-index and activity-recheck counters (the `trigger-index:`
-// line), per-stage portfolio decision tallies (the `portfolio-stage:`
-// lines' decisive outcomes), and the serving-layer counters.
+// CLI's `cache:` line as JSON), the chase engine's aggregated activity-
+// check and seed-index work (the `activity:` line), the aggregated ∀∃
+// search work including the trigger-index and activity-recheck counters
+// (the `trigger-index:` line), per-stage portfolio decision tallies (the
+// `portfolio-stage:` lines' decisive outcomes, with the probe's rejecting
+// fast path broken out as "probe-reject"), the adaptive cost-model state,
+// and the serving-layer counters.
 type StatsResponse struct {
-	UptimeMS  int64             `json:"uptime-ms"`
-	Requests  RequestStats      `json:"requests"`
-	Flights   FlightStats       `json:"flights"`
-	Cache     chase.CacheStats  `json:"cache"`
-	Exists    chase.SearchStats `json:"exists"`
-	Portfolio map[string]int64  `json:"portfolio"`
-	Snapshot  SnapshotStats     `json:"snapshot"`
+	UptimeMS  int64                `json:"uptime-ms"`
+	Requests  RequestStats         `json:"requests"`
+	Flights   FlightStats          `json:"flights"`
+	Cache     chase.CacheStats     `json:"cache"`
+	Activity  chase.ActivityTotals `json:"activity"`
+	Exists    chase.SearchStats    `json:"exists"`
+	Portfolio map[string]int64     `json:"portfolio"`
+	Adaptive  AdaptiveStats        `json:"adaptive"`
+	Snapshot  SnapshotStats        `json:"snapshot"`
 }
 
 // errorResponse is every non-200 JSON body.
@@ -242,6 +257,7 @@ func portfolioResponseOf(res *portfolio.Result) DecideResponse {
 			Seeds:     s.Seeds,
 			Saturated: s.Saturated,
 			Depth:     s.Depth,
+			Evidence:  s.Evidence,
 			ElapsedMS: float64(s.Duration.Microseconds()) / 1e3,
 		}
 	}

@@ -81,6 +81,13 @@ type Config struct {
 	// the ∀∃ search shards, the portfolio Tier 2 pool and the guarded
 	// seed pool (0: 1, sequential).
 	Workers int
+	// Adaptive, when true, gives portfolio requests a shared online cost
+	// model (portfolio.CostModel): the cheap stage prefix is reordered per
+	// workload class and the Tier 1 probe budget adapts, with learned state
+	// synchronised through the shared cache (and hence its snapshots).
+	// Verdicts are model-invariant; only latency changes. Requests that set
+	// probe-steps explicitly keep their requested budget.
+	Adaptive bool
 	// Snapshot, when set, is reported by /v1/stats. The server does not
 	// drive it — the owner (the daemon) ticks and closes it.
 	Snapshot *Snapshotter
@@ -97,6 +104,7 @@ type metrics struct {
 	flightsDeduped   atomic.Int64
 	flightsCancelled atomic.Int64
 	requestsShed     atomic.Int64
+	probeRejects     atomic.Int64
 
 	mu             sync.Mutex
 	existsAgg      chase.SearchStats
@@ -108,6 +116,7 @@ type metrics struct {
 type Server struct {
 	cfg     Config
 	cache   *chase.Cache
+	model   *portfolio.CostModel
 	gate    chan struct{}
 	flights flightTable
 	metrics metrics
@@ -138,6 +147,9 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.baseCtx, s.stopAll = context.WithCancel(context.Background())
+	if cfg.Adaptive {
+		s.model = portfolio.NewCostModel()
+	}
 	s.metrics.portfolioTally = make(map[string]int64)
 	s.mux.HandleFunc("/v1/decide", s.handleDecide)
 	s.mux.HandleFunc("/v1/exists", s.handleExists)
@@ -227,6 +239,11 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	guardedBudget := orDefault(req.GuardedBudget, defaultGuardedBudget)
 	stickyStates := orDefault(req.StickyStates, defaultStickyStates)
 	probeSteps := orDefault(req.ProbeSteps, guarded.DefaultProbeSteps)
+	if s.model != nil {
+		// Adaptive: a zero request lets the cost model pick the probe
+		// budget per workload class; an explicit request is respected.
+		probeSteps = req.ProbeSteps
+	}
 	workers := s.workersFor(req.Workers)
 	key := flightKey{
 		set:  prog.TGDs.Fingerprint(),
@@ -242,6 +259,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 				ProbeSteps: probeSteps,
 				Workers:    workers,
 				Cache:      s.cache,
+				Model:      s.model,
 			}
 			if prog.Database.Len() > 0 {
 				opts.Database = prog.Database
@@ -358,7 +376,13 @@ func (s *Server) Stats() StatsResponse {
 			Shed:      s.metrics.requestsShed.Load(),
 			Cancelled: s.metrics.flightsCancelled.Load(),
 		},
-		Cache: s.cache.Stats(),
+		Cache:    s.cache.Stats(),
+		Activity: s.cache.ActivityTotals(),
+	}
+	out.Adaptive.Enabled = s.model != nil
+	out.Adaptive.ProbeRejects = s.metrics.probeRejects.Load()
+	if s.model != nil {
+		out.Adaptive.Classes = s.model.States()
 	}
 	s.metrics.mu.Lock()
 	out.Exists = s.metrics.existsAgg
@@ -390,11 +414,16 @@ func (s *Server) tallyExists(res *chase.ExistsResult) {
 }
 
 // tallyPortfolio counts which stage decided — the serving-level digest of
-// the `portfolio-stage:` lines.
+// the `portfolio-stage:` lines. A probe that decided Diverges is the
+// rejecting fast path; it is tallied separately from an accepting probe so
+// /v1/stats can report reject-path hits.
 func (s *Server) tallyPortfolio(res *portfolio.Result) {
 	name := res.DecidedBy
 	if name == "" {
 		name = "undecided"
+	} else if name == "probe" && res.Conclusion == core.Diverges {
+		name = "probe-reject"
+		s.metrics.probeRejects.Add(1)
 	}
 	s.metrics.mu.Lock()
 	s.metrics.portfolioTally[name]++

@@ -4,9 +4,13 @@ package serve
 // daemon's steady state of monitoring/CI/retry traffic re-asking the same
 // questions — measured end to end over HTTP, cold (fresh cache, every
 // request pays full price) against warm (ONE shared cross-run cache, every
-// repeat replays). The recorded artefact claims warm sustains ≥5× the
-// cold throughput; CI runs the benchmark at -benchtime 1x as a smoke so
-// the harness itself cannot rot.
+// repeat replays). Each column also reports per-request latency percentiles
+// (p50-ms/p99-ms) so the artefact records tails, not just throughput; the
+// bursty columns drive the same pool in back-to-back bursts of identical
+// requests, the arrival shape that stresses singleflight dedup. The
+// recorded artefact claims warm sustains ≥5× the cold throughput; CI runs
+// the benchmark at -benchtime 1x as a smoke so the harness itself cannot
+// rot.
 // Run with `go test -bench BenchmarkServeMixed -benchtime 20x ./internal/serve`.
 
 import (
@@ -14,7 +18,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"airct/internal/workload"
 )
@@ -22,11 +28,12 @@ import (
 const (
 	benchMixSize   = 8 // program size n for the mixed pool
 	benchMixRounds = 4 // rounds per pass: 1 cold + 3 replays under a shared cache
+	benchBurst     = 3 // identical back-to-back requests per program in the bursty shape
 )
 
-// servePass drives one full repeated-mixed pass through the server over
-// HTTP and returns the request count. Any non-200 is a harness bug.
-func servePass(b *testing.B, url string, reqs []workload.ServeRequest) int {
+// servePass drives one full pass through the server over HTTP and appends
+// each request's wall-clock latency to lat. Any non-200 is a harness bug.
+func servePass(b *testing.B, url string, reqs []workload.ServeRequest, lat *[]time.Duration) int {
 	b.Helper()
 	for _, r := range reqs {
 		var (
@@ -47,6 +54,7 @@ func servePass(b *testing.B, url string, reqs []workload.ServeRequest) int {
 		if err != nil {
 			b.Fatal(err)
 		}
+		start := time.Now()
 		resp, err := http.Post(url+path, "application/json", bytes.NewReader(raw))
 		if err != nil {
 			b.Fatal(err)
@@ -54,6 +62,9 @@ func servePass(b *testing.B, url string, reqs []workload.ServeRequest) int {
 		var sink map[string]any
 		err = json.NewDecoder(resp.Body).Decode(&sink)
 		resp.Body.Close()
+		if lat != nil {
+			*lat = append(*lat, time.Since(start))
+		}
 		if err != nil || resp.StatusCode != http.StatusOK {
 			b.Fatalf("%s: status %d err %v (%v)", path, resp.StatusCode, err, sink)
 		}
@@ -61,36 +72,69 @@ func servePass(b *testing.B, url string, reqs []workload.ServeRequest) int {
 	return len(reqs)
 }
 
-// BenchmarkServeMixed/cold: every pass runs against a FRESH daemon — the
-// no-shared-cache world, each round re-analysing from scratch.
-// BenchmarkServeMixed/warm: one daemon across all passes — after the first
-// pass every request replays from the shared cache. ns/op is a full
-// benchMixRounds-round pass either way, so warm/cold ns/op is the
-// sustained throughput ratio BENCH_serve.json records.
-func BenchmarkServeMixed(b *testing.B) {
-	reqs := workload.RepeatedMixedRequests(benchMixSize, benchMixRounds)
+// reportPercentiles attaches p50-ms/p99-ms custom metrics from the
+// accumulated per-request latencies (nearest-rank percentiles).
+func reportPercentiles(b *testing.B, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(p float64) time.Duration {
+		i := int(p*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	b.ReportMetric(float64(pick(0.50).Microseconds())/1e3, "p50-ms")
+	b.ReportMetric(float64(pick(0.99).Microseconds())/1e3, "p99-ms")
+}
+
+// benchColdWarm runs the cold column (every pass against a FRESH daemon —
+// the no-shared-cache world) and the warm column (one daemon across all
+// passes — after the first, every request replays from the shared cache)
+// for one request shape. ns/op is a full pass either way, so warm/cold
+// ns/op is the sustained throughput ratio BENCH_serve.json records; the
+// percentile metrics are per-request within the timed passes.
+func benchColdWarm(b *testing.B, reqs []workload.ServeRequest) {
 	b.Run("cold", func(b *testing.B) {
+		var lat []time.Duration
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			srv := New(Config{})
 			ts := httptest.NewServer(srv.Handler())
 			b.StartTimer()
-			servePass(b, ts.URL, reqs)
+			servePass(b, ts.URL, reqs, &lat)
 			b.StopTimer()
 			ts.Close()
 			srv.Close()
 			b.StartTimer()
 		}
+		reportPercentiles(b, lat)
 	})
 	b.Run("warm", func(b *testing.B) {
 		srv := New(Config{})
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		defer srv.Close()
-		servePass(b, ts.URL, reqs) // pre-warm the shared cache
+		servePass(b, ts.URL, reqs, nil) // pre-warm the shared cache
+		var lat []time.Duration
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			servePass(b, ts.URL, reqs)
+			servePass(b, ts.URL, reqs, &lat)
 		}
+		b.StopTimer()
+		reportPercentiles(b, lat)
+	})
+}
+
+func BenchmarkServeMixed(b *testing.B) {
+	benchColdWarm(b, workload.RepeatedMixedRequests(benchMixSize, benchMixRounds))
+	b.Run("bursty", func(b *testing.B) {
+		benchColdWarm(b, workload.BurstyMixedRequests(benchMixSize, benchMixRounds, benchBurst))
 	})
 }

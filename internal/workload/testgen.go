@@ -219,3 +219,27 @@ func RepeatedMixedRequests(n, k int) []ServeRequest {
 	}
 	return out
 }
+
+// BurstyMixedRequests models bursty daemon traffic: the same mixed pool as
+// RepeatedMixedRequests, but each program arrives in back-to-back bursts of
+// `burst` identical requests (a monitoring fleet firing on the same tick, a
+// CI matrix fanning out one change) instead of an evenly interleaved
+// round-robin. Tail latency separates the two shapes: the first request of
+// a cold burst pays the full analysis while its burst-mates queue behind
+// the same flight, so p99 tracks the cost of the heaviest program — which
+// is exactly what the serving benchmarks' percentile columns measure.
+func BurstyMixedRequests(n, k, burst int) []ServeRequest {
+	if burst < 1 {
+		burst = 1
+	}
+	base := RepeatedMixedRequests(n, 1)
+	out := make([]ServeRequest, 0, len(base)*k*burst)
+	for round := 0; round < k; round++ {
+		for _, r := range base {
+			for i := 0; i < burst; i++ {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
