@@ -3,11 +3,13 @@
 //	benchgen -family NAME [-n N] [-db KIND] [-size N] [-seed N]
 //
 // Families: datalog-chain, existential-chain, linear-cycle, swap-intro,
-// guarded-ladder, sticky-join, sticky-relay, exchange, ontology, stage-grid.
-// Database kinds (appended as facts): none, star, chain, random. The
-// exchange, ontology and stage-grid families generate their own facts
-// (stage-grid is the 3^n-state ∀∃ search workload; feed it to
-// `termcheck -exists -workers=N`).
+// guarded-ladder, sticky-join, sticky-relay, exchange, ontology, stage-grid,
+// key-graph. Database kinds (appended as facts): none, star, chain, random.
+// The exchange, ontology, stage-grid and key-graph families generate their
+// own facts (stage-grid is the 3^n-state ∀∃ search workload; feed it to
+// `termcheck -exists -workers=N`; key-graph is the key-constrained EGD
+// workload behind BENCH_egd.json — -n nodes, a key EGD merging the invented
+// values that flow along the random edges).
 package main
 
 import (
@@ -37,6 +39,10 @@ func main() {
 		return
 	case "stage-grid":
 		fmt.Print(parser.Print(workload.StageGrid(*n)))
+		return
+	case "key-graph":
+		fmt.Printf("# family=key-graph n=%d egds=true terminates=true fails=false\n", *n)
+		fmt.Print(parser.Print(workload.KeyGraph(*n, *seed)))
 		return
 	}
 

@@ -5,7 +5,10 @@
 //	      [-max-steps N] [-max-atoms N] [-quiet] [file]
 //
 // It prints the resulting instance (unless -quiet) and run statistics.
-// Exit status 0 on fixpoint, 1 when a budget stopped the run, 3 on error.
+// Programs may contain EGDs (head atoms "X = Y"); these require the
+// restricted variant. Exit status 0 on fixpoint, 1 when a budget stopped
+// the run, 2 when an EGD failed (two distinct constants forced equal),
+// 3 on error.
 package main
 
 import (
@@ -66,6 +69,10 @@ func main() {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	if prog.TGDs.HasEGDs() && opts.Variant != chase.Restricted {
+		fail(fmt.Errorf("the program has EGDs: equality steps are defined for the restricted variant only (got %s)", *variant))
+	}
+
 	start := time.Now()
 	run := chase.RunChase(prog.Database, prog.TGDs, opts)
 	elapsed := time.Since(start)
@@ -87,8 +94,16 @@ func main() {
 			fmt.Printf("%v.\n", a)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "variant=%s strategy=%s steps=%d atoms=%d nulls=%d reason=%s elapsed=%s\n",
-		opts.Variant, opts.Strategy, run.StepsTaken, run.Final.Len(), run.Final.NullCount(), run.Reason, elapsed.Round(time.Microsecond))
+	eq := ""
+	if prog.TGDs.HasEGDs() {
+		eq = fmt.Sprintf(" eqsteps=%d", run.EqualitySteps)
+	}
+	fmt.Fprintf(os.Stderr, "variant=%s strategy=%s steps=%d%s atoms=%d nulls=%d reason=%s elapsed=%s\n",
+		opts.Variant, opts.Strategy, run.StepsTaken, eq, run.Final.Len(), run.Final.NullCount(), run.Reason, elapsed.Round(time.Microsecond))
+	if run.Failed() {
+		fmt.Fprintf(os.Stderr, "egd failure: %s\n", run.Conflict)
+		os.Exit(2)
+	}
 	if !run.Terminated() {
 		os.Exit(1)
 	}

@@ -142,8 +142,11 @@ func run(guardedBudget, stickyStates int, exists bool, existsStates, existsAtoms
 	if err != nil {
 		return fail(err)
 	}
-	if prog.TGDs.Len() == 0 {
+	if prog.TGDs.Len() == 0 && !prog.TGDs.HasEGDs() {
 		return fail(fmt.Errorf("no TGDs in input"))
+	}
+	if exists && prog.TGDs.HasEGDs() {
+		return fail(fmt.Errorf("-exists is TGD-only: the derivation search does not model equality steps"))
 	}
 	if exists && usePortfolio {
 		return fail(fmt.Errorf("-exists and -portfolio ask different questions; choose one"))
@@ -210,7 +213,7 @@ func runAnalyze(prog *parser.Program, guardedBudget, stickyStates int, cache *ch
 	if err != nil {
 		return fail(err)
 	}
-	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
+	fmt.Print(setLine(prog))
 	fmt.Print(rep.Summary())
 	printCacheStats(cache)
 	switch rep.Conclusion {
@@ -251,7 +254,7 @@ func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsState
 		return fail(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
+	fmt.Print(setLine(prog))
 	fmt.Printf("portfolio: verdict=%s decided-by=%s stages=%d cache-hit=%t elapsed=%s\n",
 		res.Conclusion, orDash(res.DecidedBy), len(res.Stages), res.CacheHit, elapsed.Round(time.Microsecond))
 	for _, s := range res.Stages {
@@ -267,6 +270,16 @@ func runPortfolio(prog *parser.Program, guardedBudget, stickyStates, existsState
 	default:
 		return 2
 	}
+}
+
+// setLine renders the input summary; EGD counts appear only when present,
+// keeping TGD-only output byte-identical to earlier versions.
+func setLine(prog *parser.Program) string {
+	if prog.TGDs.HasEGDs() {
+		return fmt.Sprintf("set: %d TGDs + %d EGDs over %d predicates\n",
+			prog.TGDs.Len(), prog.TGDs.NumEGDs(), prog.TGDs.Schema().Len())
+	}
+	return fmt.Sprintf("set: %d TGDs over %d predicates\n", prog.TGDs.Len(), prog.TGDs.Schema().Len())
 }
 
 func orDash(s string) string {

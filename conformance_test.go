@@ -16,10 +16,12 @@
 // Directive grammar (one line, space-separated key=value):
 //
 //	# expect: decide=terminates|diverges [decide-method=...]
-//	#         engine=fixpoint|step-budget exists=found|exhausted|budget
+//	#         engine=fixpoint|step-budget|egd-failure
+//	#         exists=found|exhausted|budget
 //
 // Keys are optional; a missing key skips that column (e.g. non-guarded
-// sets omit decide=). Budgets are fixed by the harness below so verdicts
+// sets omit decide=, and EGD programs omit exists= — the ∀∃ search is
+// TGD-only). Budgets are fixed by the harness below so verdicts
 // are deterministic: engine MaxSteps 500, exists MaxStates 5000 /
 // MaxAtoms 80, Decide MaxSteps 500.
 package airct_test
@@ -295,7 +297,7 @@ func runExistsColumn(t *testing.T, prog *parser.Program, want string) {
 // every class, including sets neither guarded nor sticky (both sides must
 // then agree on Unknown).
 func runPortfolioColumn(t *testing.T, prog *parser.Program) {
-	if prog.TGDs.Len() == 0 {
+	if prog.TGDs.Len() == 0 && !prog.TGDs.HasEGDs() {
 		return
 	}
 	rep, err := core.Analyze(prog.TGDs, core.Options{

@@ -40,14 +40,18 @@ package chase
 // contain no interner-bound identity (terms and atoms by value only), so a
 // hit never touches another run's interner and no interner grows a lock.
 //
-// Eviction is coarse: each stripe owns a 1/cacheStripes share of the byte
-// limit, and a store that would overflow its stripe's share drops that
-// stripe wholesale BEFORE inserting (segment eviction) — the newest entry
-// always survives. One lock round-trip on the hot path, no LRU
-// bookkeeping; a dropped segment is 1/64 of the cache.
+// Eviction is age-aware: each stripe owns a 1/cacheStripes share of the
+// byte limit, every entry carries the stripe's insertion sequence number,
+// and a store that would overflow its stripe's share evicts the stripe's
+// OLDEST HALF by insertion order BEFORE inserting — so the newest entry
+// always survives its own eviction and recent work outlives the cold
+// long tail. One lock round-trip on the hot path, no access-time
+// bookkeeping (insertion order, not LRU — a deliberate trade: tracking
+// reads would put a write on every lookup).
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -139,6 +143,12 @@ type SeedOutcome struct {
 	// trigger orders on a saturating seed, or the diverging run's step
 	// count — so a warm hit can still serve probe diagnostics.
 	Steps int
+	// PumpDepth is, on a diverging outcome with a guard-chain pump, the
+	// length of the shortest run prefix that already carries the
+	// certificate (guarded.Verdict.PumpDepth). Persisting it keeps a warm
+	// replay's `depth=` diagnostics identical to the cold run's — without
+	// it a warm Tier 1 reject could only report the truncated run length.
+	PumpDepth int
 }
 
 // SeedTrigger is one portable trigger of a SeedIndex: the TGD index and the
@@ -291,10 +301,84 @@ func (o *ExistsOutcome) serves(maxStates int) bool {
 	return o.Budget >= maxStates
 }
 
+// existsLadder is the per-key ∀∃ entry: a two-rung ladder instead of a
+// single slot. The decisive rung keeps the lowest-budget decisive outcome
+// (it serves every query at or above its budget); the inconclusive rung
+// keeps the deepest inconclusive one (it serves every query at or below
+// its budget). Both are kept because neither subsumes the other: a
+// decisive outcome recorded at budget B says nothing to a query below B,
+// where the deep inconclusive rung still replays — a single "prefer
+// decisive" slot would discard it and force those queries to re-search.
+// Ladders are immutable; a rung update swaps in a fresh ladder value.
+type existsLadder struct {
+	decisive     *ExistsOutcome
+	inconclusive *ExistsOutcome
+}
+
+// serve picks the rung for a query at maxStates: the decisive rung when it
+// applies (it is an answer, not a shrug), else the inconclusive one.
+func (l *existsLadder) serve(maxStates int) (*ExistsOutcome, bool) {
+	if l.decisive != nil && l.decisive.serves(maxStates) {
+		return l.decisive, true
+	}
+	if l.inconclusive != nil && l.inconclusive.serves(maxStates) {
+		return l.inconclusive, true
+	}
+	return nil, false
+}
+
+// merged returns the ladder with o folded into its rung, or nil when o is
+// no improvement (rung already present at a better budget).
+func (l *existsLadder) merged(o *ExistsOutcome) *existsLadder {
+	if o.decisive() {
+		if l.decisive != nil && l.decisive.Budget <= o.Budget {
+			return nil
+		}
+		return &existsLadder{decisive: o, inconclusive: l.inconclusive}
+	}
+	if l.inconclusive != nil && l.inconclusive.Budget >= o.Budget {
+		return nil
+	}
+	return &existsLadder{decisive: l.decisive, inconclusive: o}
+}
+
+// rungs lists the ladder's outcomes, decisive first — the snapshot codec's
+// canonical order.
+func (l *existsLadder) rungs() []*ExistsOutcome {
+	var out []*ExistsOutcome
+	if l.decisive != nil {
+		out = append(out, l.decisive)
+	}
+	if l.inconclusive != nil {
+		out = append(out, l.inconclusive)
+	}
+	return out
+}
+
+func existsLadderSize(l *existsLadder) int64 {
+	size := int64(16)
+	for _, o := range l.rungs() {
+		size += existsOutcomeSize(o)
+	}
+	return size
+}
+
+// cacheEntry wraps a stored value with its byte estimate and the stripe's
+// insertion sequence number — the age signal the evictor sorts by. The
+// wrapped value stays immutable; replacement swaps the whole entry.
+type cacheEntry struct {
+	v    any
+	size int64
+	seq  uint64
+}
+
 type cacheStripe struct {
 	mu    sync.Mutex
-	m     map[CacheKey]any
+	m     map[CacheKey]*cacheEntry
 	bytes int64
+	// seq counts insertions into this stripe; each entry records the value
+	// at its insert (or replace), making "oldest half" well defined.
+	seq uint64
 }
 
 // Cache is the cross-run chase-state cache. The zero value is not usable;
@@ -330,7 +414,7 @@ func NewCacheWithLimit(maxBytes int64) *Cache {
 	}
 	c := &Cache{maxBytes: maxBytes}
 	for i := range c.stripes {
-		c.stripes[i].m = make(map[CacheKey]any)
+		c.stripes[i].m = make(map[CacheKey]*cacheEntry)
 	}
 	return c
 }
@@ -358,22 +442,22 @@ func (c *Cache) stripe(k CacheKey) *cacheStripe {
 func (c *Cache) lookup(k CacheKey) (any, bool) {
 	s := c.stripe(k)
 	s.mu.Lock()
-	v, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+		return e.v, true
 	}
-	return v, ok
+	c.misses.Add(1)
+	return nil, false
 }
 
 // store inserts the entry (first writer wins; entries are deterministic, so
-// racing writers store equal values), segment-evicting the stripe BEFORE
-// the insert when it would overflow its 1/cacheStripes share of the byte
-// limit — so the newest (hottest) entry always survives its own eviction
-// and a saturated cache sheds old segments, never fresh work. An entry
-// larger than a whole share still gets stored (alone in its stripe).
+// racing writers store equal values), evicting the stripe's oldest half
+// BEFORE the insert when it would overflow its 1/cacheStripes share of the
+// byte limit — so the newest (hottest) entry always survives its own
+// eviction and a saturated cache sheds its cold tail, never fresh work. An
+// entry larger than a whole share still gets stored (alone in its stripe).
 func (c *Cache) store(k CacheKey, v any, size int64) {
 	size += entryOverhead
 	s := c.stripe(k)
@@ -388,29 +472,52 @@ func (c *Cache) store(k CacheKey, v any, size int64) {
 const entryOverhead = 48
 
 // insertLocked performs the evict-then-insert step of store under the
-// stripe's lock, counting segment evictions.
+// stripe's lock.
 func (c *Cache) insertLocked(s *cacheStripe, k CacheKey, v any, size int64) {
-	if s.bytes+size > c.maxBytes/cacheStripes && len(s.m) > 0 {
-		c.entries.Add(-int64(len(s.m)))
-		c.bytes.Add(-s.bytes)
-		c.evictions.Add(1)
-		c.evictedEntries.Add(int64(len(s.m)))
-		s.m = make(map[CacheKey]any)
-		s.bytes = 0
+	for s.bytes+size > c.maxBytes/cacheStripes && len(s.m) > 0 {
+		c.evictOldestHalfLocked(s)
 	}
-	s.m[k] = v
+	s.seq++
+	s.m[k] = &cacheEntry{v: v, size: size, seq: s.seq}
 	s.bytes += size
 	c.entries.Add(1)
 	c.bytes.Add(size)
 }
 
+// evictOldestHalfLocked drops the stripe's oldest ⌈n/2⌉ entries by
+// insertion sequence — one eviction event. insertLocked loops it for the
+// rare store that still overflows after one round (a near-share-sized
+// entry), which converges because every round halves the entry count.
+func (c *Cache) evictOldestHalfLocked(s *cacheStripe) {
+	type aged struct {
+		k   CacheKey
+		seq uint64
+	}
+	order := make([]aged, 0, len(s.m))
+	for k, e := range s.m {
+		order = append(order, aged{k, e.seq})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	drop := (len(order) + 1) / 2
+	var freed int64
+	for _, a := range order[:drop] {
+		freed += s.m[a.k].size
+		delete(s.m, a.k)
+	}
+	s.bytes -= freed
+	c.entries.Add(-int64(drop))
+	c.bytes.Add(-freed)
+	c.evictions.Add(1)
+	c.evictedEntries.Add(int64(drop))
+}
+
 // storeReplace inserts like store, but when the key already holds an entry
 // it asks better(old) whether the new value is more useful and replaces the
-// old one if so, adjusting the byte accounting by oldSize(old). Entry kinds
-// with a single slot per key and a usefulness order (ExistsOutcome's
-// budget-monotonic preference) store through this; everything else keeps
-// the cheaper first-writer-wins store.
-func (c *Cache) storeReplace(k CacheKey, v any, size int64, better func(old any) bool, oldSize func(old any) int64) {
+// old one if so (the replacement takes a fresh sequence number — it is the
+// stripe's newest knowledge). Entry kinds with a single slot per key and a
+// usefulness order (CostModelEntry's observation count) store through this;
+// everything else keeps the cheaper first-writer-wins store.
+func (c *Cache) storeReplace(k CacheKey, v any, size int64, better func(old any) bool) {
 	size += entryOverhead
 	s := c.stripe(k)
 	s.mu.Lock()
@@ -418,13 +525,19 @@ func (c *Cache) storeReplace(k CacheKey, v any, size int64, better func(old any)
 	switch {
 	case !dup:
 		c.insertLocked(s, k, v, size)
-	case better(old):
-		prev := oldSize(old) + entryOverhead
-		s.m[k] = v
-		s.bytes += size - prev
-		c.bytes.Add(size - prev)
+	case better(old.v):
+		c.replaceLocked(s, k, old, v, size)
 	}
 	s.mu.Unlock()
+}
+
+// replaceLocked swaps the value under an existing key, re-stamping its age
+// and adjusting the byte accounting by the size delta.
+func (c *Cache) replaceLocked(s *cacheStripe, k CacheKey, old *cacheEntry, v any, size int64) {
+	s.seq++
+	s.m[k] = &cacheEntry{v: v, size: size, seq: s.seq}
+	s.bytes += size - old.size
+	c.bytes.Add(size - old.size)
 }
 
 func outcomeKey(set, inst logic.Fingerprint, budget int) CacheKey {
@@ -532,8 +645,7 @@ func (c *Cache) StoreCostModel(e *CostModelEntry) {
 		return n
 	}
 	c.storeReplace(costModelKey(e.Class), e, costModelSize(e),
-		func(old any) bool { return attempts(e) > attempts(old.(*CostModelEntry)) },
-		func(old any) int64 { return costModelSize(old.(*CostModelEntry)) })
+		func(old any) bool { return attempts(e) > attempts(old.(*CostModelEntry)) })
 }
 
 // StoreSeedPool records the candidate-seed pool. The pool must not be
@@ -573,16 +685,16 @@ func existsOutcomeKey(set, inst logic.Fingerprint, strat SearchStrategy, maxAtom
 
 // LookupExistsOutcome returns a cached ∀∃ search outcome able to serve a
 // query at the given state budget under the budget-monotonicity rule (see
-// ExistsOutcome). An entry present but unable to serve counts as a miss.
-// The caller must not mutate the result.
+// ExistsOutcome and existsLadder). A ladder present but with no serving
+// rung counts as a miss. The caller must not mutate the result.
 func (c *Cache) LookupExistsOutcome(set, inst logic.Fingerprint, strat SearchStrategy, maxAtoms, maxStates int) (*ExistsOutcome, bool) {
 	k := existsOutcomeKey(set, inst, strat, maxAtoms)
 	s := c.stripe(k)
 	s.mu.Lock()
-	v, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.Unlock()
 	if ok {
-		if o := v.(*ExistsOutcome); o.serves(maxStates) {
+		if o, served := e.v.(*existsLadder).serve(maxStates); served {
 			c.hits.Add(1)
 			return o, true
 		}
@@ -591,26 +703,29 @@ func (c *Cache) LookupExistsOutcome(set, inst logic.Fingerprint, strat SearchStr
 	return nil, false
 }
 
-// StoreExistsOutcome records a search outcome, keeping the more useful of
-// the new and any existing entry: a decisive outcome beats an inconclusive
-// one; between decisive outcomes the lower budget wins and between
-// inconclusive ones the higher budget wins — in both cases the keeper
-// serves a superset of future budgets. The entry must not be mutated
-// afterwards.
+// StoreExistsOutcome records a search outcome on the key's two-rung ladder:
+// among decisive outcomes the lowest budget wins, among inconclusive ones
+// the deepest budget wins, and both rungs persist — a decisive outcome no
+// longer discards a deeper inconclusive one, so queries below the decisive
+// budget keep replaying instead of re-searching. The entry must not be
+// mutated afterwards.
 func (c *Cache) StoreExistsOutcome(set, inst logic.Fingerprint, strat SearchStrategy, maxAtoms int, o *ExistsOutcome) {
-	c.storeReplace(existsOutcomeKey(set, inst, strat, maxAtoms), o, existsOutcomeSize(o),
-		func(old any) bool {
-			p := old.(*ExistsOutcome)
-			switch {
-			case o.decisive() != p.decisive():
-				return o.decisive()
-			case o.decisive():
-				return o.Budget < p.Budget
-			default:
-				return o.Budget > p.Budget
-			}
-		},
-		func(old any) int64 { return existsOutcomeSize(old.(*ExistsOutcome)) })
+	c.mergeExistsOutcome(existsOutcomeKey(set, inst, strat, maxAtoms), o)
+}
+
+// mergeExistsOutcome folds one outcome into the key's ladder under the
+// stripe lock — shared by StoreExistsOutcome and the snapshot loader.
+func (c *Cache) mergeExistsOutcome(k CacheKey, o *ExistsOutcome) {
+	s := c.stripe(k)
+	s.mu.Lock()
+	old, dup := s.m[k]
+	if !dup {
+		l := (&existsLadder{}).merged(o)
+		c.insertLocked(s, k, l, existsLadderSize(l)+entryOverhead)
+	} else if l := old.v.(*existsLadder).merged(o); l != nil {
+		c.replaceLocked(s, k, old, l, existsLadderSize(l)+entryOverhead)
+	}
+	s.mu.Unlock()
 }
 
 // ActivityTotals aggregates the engine's delta-activity diagnostics across
@@ -665,8 +780,8 @@ func (c *Cache) forEachEntry(f func(k CacheKey, v any)) {
 	for i := range c.stripes {
 		s := &c.stripes[i]
 		s.mu.Lock()
-		for k, v := range s.m {
-			f(k, v)
+		for k, e := range s.m {
+			f(k, e.v)
 		}
 		s.mu.Unlock()
 	}
@@ -693,7 +808,7 @@ func stringsSize(ss []string) int64 {
 }
 
 func seedOutcomeSize(o SeedOutcome) int64 {
-	return int64(len(o.Method)+len(o.Evidence)) + 16
+	return int64(len(o.Method)+len(o.Evidence)) + 24
 }
 
 func seedIndexSize(si *SeedIndex) int64 {

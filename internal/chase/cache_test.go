@@ -103,3 +103,94 @@ func TestCacheConcurrentStripes(t *testing.T) {
 		<-done
 	}
 }
+
+// TestCacheEvictionDropsOldestHalf pins the age-aware policy (ROADMAP 1a):
+// a store that overflows its stripe's share evicts only the stripe's oldest
+// half by insertion sequence, so entries inserted just before the overflow
+// — the hot ones — survive. The pre-PR policy dropped the whole stripe,
+// hot entries included, and fails this test.
+func TestCacheEvictionDropsOldestHalf(t *testing.T) {
+	// Share per stripe: 1024 bytes. Each entry below costs exactly
+	// 40 (evidence) + 24 (scalars) + 48 (overhead) = 112 bytes, so nine
+	// entries (1008B) fit and the tenth store triggers an eviction.
+	c := NewCacheWithLimit(int64(cacheStripes * 1024))
+	// Zero instance fingerprint and a zero budget keep the salt's low bits
+	// constant; Set.Lo multiples of cacheStripes pin every key to stripe 0.
+	key := func(i int) logic.Fingerprint {
+		return logic.Fingerprint{Hi: uint64(i), Lo: uint64(i * cacheStripes)}
+	}
+	evidence := string(make([]byte, 40))
+	for i := 1; i <= 9; i++ {
+		c.StoreSeedOutcome(key(i), logic.Fingerprint{}, 0, SeedOutcome{Evidence: evidence, Steps: i})
+	}
+	// Entry 9 is the hot one: inserted last before the overflow below.
+	c.StoreSeedOutcome(key(10), logic.Fingerprint{}, 0, SeedOutcome{Evidence: evidence, Steps: 10})
+
+	// The overflow evicts ⌈9/2⌉ = 5 oldest entries (1..5); 6..10 survive.
+	for i := 1; i <= 5; i++ {
+		if _, ok := c.LookupSeedOutcome(key(i), logic.Fingerprint{}, 0); ok {
+			t.Errorf("entry %d is in the oldest half and should have been evicted", i)
+		}
+	}
+	for i := 6; i <= 10; i++ {
+		if o, ok := c.LookupSeedOutcome(key(i), logic.Fingerprint{}, 0); !ok || o.Steps != i {
+			t.Errorf("entry %d was inserted just before the overflow and must survive (ok=%v o=%+v)", i, ok, o)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.EvictedEntries != 5 {
+		t.Errorf("stats = %+v, want exactly 1 eviction dropping 5 entries", st)
+	}
+	if st.Entries != 5 {
+		t.Errorf("entries = %d, want 5 survivors", st.Entries)
+	}
+}
+
+// TestCacheExistsLadderKeepsDeepInconclusive pins the two-rung ∀∃ ladder
+// (ROADMAP 5c): a decisive outcome recorded at a budget ABOVE a deep
+// inconclusive one must not discard it — queries below the decisive budget
+// keep replaying the inconclusive run instead of re-searching. The pre-PR
+// single-slot "prefer decisive" policy fails the low-budget lookup.
+func TestCacheExistsLadderKeepsDeepInconclusive(t *testing.T) {
+	c := NewCache()
+	set, inst := fpOf("set"), fpOf("inst")
+	inc := &ExistsOutcome{Budget: 1000, StatesVisited: 1000}
+	c.StoreExistsOutcome(set, inst, SmallestFirst, 50, inc)
+	dec := &ExistsOutcome{Exhausted: true, Budget: 2000, StatesVisited: 1500}
+	c.StoreExistsOutcome(set, inst, SmallestFirst, 50, dec)
+
+	// At or above the decisive budget the decisive rung answers.
+	if o, ok := c.LookupExistsOutcome(set, inst, SmallestFirst, 50, 3000); !ok || !o.Exhausted {
+		t.Errorf("lookup at 3000 = %+v, %v; want the decisive rung", o, ok)
+	}
+	// Below the inconclusive depth the inconclusive rung still replays.
+	if o, ok := c.LookupExistsOutcome(set, inst, SmallestFirst, 50, 500); !ok || o.decisive() || o.Budget != 1000 {
+		t.Errorf("lookup at 500 = %+v, %v; want the deep inconclusive rung", o, ok)
+	}
+	// Between the rungs neither claim applies: an honest miss.
+	if o, ok := c.LookupExistsOutcome(set, inst, SmallestFirst, 50, 1500); ok {
+		t.Errorf("lookup at 1500 = %+v; want a miss (neither rung serves)", o)
+	}
+}
+
+// TestCacheExistsLadderRungPreference pins the per-rung replacement order:
+// among decisive outcomes the lowest budget wins (it serves a superset of
+// queries), among inconclusive ones the deepest wins.
+func TestCacheExistsLadderRungPreference(t *testing.T) {
+	c := NewCache()
+	set, inst := fpOf("set"), fpOf("inst")
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Found: true, Budget: 800})
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Found: true, Budget: 200})
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Found: true, Budget: 400})
+	if o, ok := c.LookupExistsOutcome(set, inst, BreadthFirst, 50, 250); !ok || o.Budget != 200 {
+		t.Errorf("decisive rung = %+v, %v; want the lowest budget (200)", o, ok)
+	}
+	// The inconclusive rung keeps the deepest budget; a query below the
+	// decisive rung's budget (which cannot serve it) replays that rung.
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Budget: 300})
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Budget: 900})
+	c.StoreExistsOutcome(set, inst, BreadthFirst, 50, &ExistsOutcome{Budget: 600})
+	if o, ok := c.LookupExistsOutcome(set, inst, BreadthFirst, 50, 150); !ok || o.decisive() || o.Budget != 900 {
+		t.Errorf("lookup at 150 = %+v, %v; want the deepest inconclusive rung (900)", o, ok)
+	}
+}

@@ -37,6 +37,38 @@ func compileSet(set *tgds.Set, in *logic.Interner) []compiledTGD {
 	return out
 }
 
+// compiledEGD is the engine's slot-compiled form of one EGD: the body
+// pattern plus the two body slots whose bound terms the equality step
+// unifies. EGD triggers share the TGD trigger machinery — their identity
+// tuples carry rule index len(TGDs)+egdIndex in position 0, so one
+// TupleTable dedups both kinds.
+type compiledEGD struct {
+	nBody    int
+	bodyVars []logic.Term // sorted; slot i holds bodyVars[i]
+
+	body *logic.CPattern
+
+	xSlot, ySlot int32 // body slots of the equated variables
+}
+
+// compileEGDs compiles every EGD of the set against the interner.
+func compileEGDs(set *tgds.Set, in *logic.Interner) []compiledEGD {
+	out := make([]compiledEGD, len(set.EGDs))
+	for j, e := range set.EGDs {
+		ce := compiledEGD{bodyVars: e.BodyVars().Sorted()}
+		ce.nBody = len(ce.bodyVars)
+		slots := make(map[logic.Term]int32, ce.nBody)
+		for i, v := range ce.bodyVars {
+			slots[v] = int32(i)
+		}
+		ce.body = logic.CompilePattern(e.Body, ce.nBody, func(t logic.Term) int32 { return slots[t] }, in)
+		ce.xSlot = slots[e.X]
+		ce.ySlot = slots[e.Y]
+		out[j] = ce
+	}
+	return out
+}
+
 func compileTGD(t tgds.TGD, in *logic.Interner) compiledTGD {
 	ct := compiledTGD{
 		bodyVars:  t.BodyVars().Sorted(),

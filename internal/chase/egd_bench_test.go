@@ -1,0 +1,76 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"airct/internal/parser"
+	"airct/internal/workload"
+)
+
+// EGD-heavy workloads for BENCH_egd.json: the key-graph family (a key EGD
+// merging the invented F-values flowing along a random graph's edges, mostly
+// null-with-null) plus the merge star, where every leaf's invented value is
+// copied to a hub holding a ground value, so every equality step absorbs a
+// null into a constant — in any trigger order. Both terminate without
+// failing, so every iteration measures the full equality path — union-find
+// growth, in-place rewrite, fingerprint repair, and the post-rewrite trigger
+// rebuild.
+
+func egdPrograms(b *testing.B) map[string]*parser.Program {
+	b.Helper()
+	mergeStar := func(n int) *parser.Program {
+		src := `
+			f_intro: Node(X) -> F(X,V).
+			f_copy:  Edge(X,Y), F(X,V) -> F(Y,V).
+			key:     F(X,U), F(X,V) -> U = V.
+			F(hub,g).
+		`
+		for i := 0; i < n; i++ {
+			src += fmt.Sprintf("Node(l%d).\nEdge(l%d,hub).\n", i, i)
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return prog
+	}
+	return map[string]*parser.Program{
+		"key-graph-40":   workload.KeyGraph(40, 1),
+		"key-graph-160":  workload.KeyGraph(160, 1),
+		"merge-star-120": mergeStar(120),
+	}
+}
+
+func benchEGDEngines(b *testing.B, run func(*parser.Program) *Run) {
+	for name, prog := range egdPrograms(b) {
+		prog := prog
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := run(prog)
+				if !r.Terminated() {
+					b.Fatalf("reason = %v", r.Reason)
+				}
+				if r.EqualitySteps == 0 {
+					b.Fatal("an EGD bench iteration took no equality steps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEGDChaseInterned measures the interned engine's equality path.
+func BenchmarkEGDChaseInterned(b *testing.B) {
+	benchEGDEngines(b, func(prog *parser.Program) *Run {
+		return RunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, DropSteps: true})
+	})
+}
+
+// BenchmarkEGDChaseReference measures the string-keyed reference (the EGD
+// differential oracle) on the same workloads.
+func BenchmarkEGDChaseReference(b *testing.B) {
+	benchEGDEngines(b, func(prog *parser.Program) *Run {
+		return referenceEGDRunChase(prog.Database, prog.TGDs, Options{Variant: Restricted, DropSteps: true})
+	})
+}

@@ -79,6 +79,12 @@ const (
 	// budget-exhausted run: callers must discard it rather than mine it
 	// for divergence evidence.
 	Cancelled
+	// EGDFailure: an equality step forced two distinct constants equal.
+	// The chase *fails* — a definitive, finite outcome (no model of the
+	// database and the dependencies exists with the chase's equalities),
+	// distinct from both fixpoint and budget exhaustion. Run.Conflict
+	// carries the violated EGD and the clashing constants.
+	EGDFailure
 )
 
 func (r StopReason) String() string {
@@ -91,6 +97,8 @@ func (r StopReason) String() string {
 		return "atom-budget"
 	case Cancelled:
 		return "cancelled"
+	case EGDFailure:
+		return "egd-failure"
 	default:
 		return fmt.Sprintf("StopReason(%d)", uint8(r))
 	}
@@ -143,6 +151,36 @@ type Step struct {
 	Added []logic.Atom
 }
 
+// EqStep records one equality step: an EGD trigger fired and the instance
+// was rewritten, Unified (a null) absorbed by Rep everywhere.
+type EqStep struct {
+	// EGDIndex indexes Set.EGDs; EGD is that dependency.
+	EGDIndex int
+	EGD      tgds.EGD
+	// H is the body homomorphism that activated the EGD.
+	H logic.Substitution
+	// Unified was rewritten away; Rep absorbed it (a constant beats a
+	// null, an older null beats a younger one).
+	Unified, Rep logic.Term
+	// Removed counts atoms that became duplicates under the rewrite.
+	Removed int
+	// AtStep is the 0-based position of this step in the combined
+	// derivation (Run.StepsTaken counts TGD and equality steps together).
+	AtStep int
+}
+
+// EGDConflict describes an EGD failure: the violated EGD, the activating
+// homomorphism, and the two distinct constants it forced equal.
+type EGDConflict struct {
+	EGD  tgds.EGD
+	H    logic.Substitution
+	X, Y logic.Term
+}
+
+func (c *EGDConflict) String() string {
+	return fmt.Sprintf("%s forces %v = %v (distinct constants)", c.EGD.Label, c.X, c.Y)
+}
+
 // Stats counts the engine's bookkeeping work — the currency of the
 // paper's §1 trade-off discussion ("at each step, the restricted chase has
 // to check that there is no way to satisfy the right-hand side … and this
@@ -188,9 +226,15 @@ type Run struct {
 	Final    *instance.Instance
 	Steps    []Step
 	Reason   StopReason
-	// StepsTaken counts trigger applications (equals len(Steps) unless
-	// DropSteps).
+	// StepsTaken counts trigger applications — TGD and equality steps
+	// together (equals len(Steps)+len(EqSteps) unless DropSteps).
 	StepsTaken int
+	// EqualitySteps counts the equality steps among StepsTaken (maintained
+	// even under DropSteps); EqSteps records them unless DropSteps.
+	EqualitySteps int
+	EqSteps       []EqStep
+	// Conflict is set exactly when Reason == EGDFailure.
+	Conflict *EGDConflict
 	// Stats records the engine's bookkeeping work.
 	Stats Stats
 	// Activity records the delta-maintained activity machinery's work.
@@ -200,11 +244,21 @@ type Run struct {
 // Terminated reports whether the run reached a fixpoint.
 func (r *Run) Terminated() bool { return r.Reason == Fixpoint }
 
+// Failed reports whether the run ended in EGD failure — a definitive
+// outcome (neither a fixpoint nor a budget stop): the dependencies admit no
+// model extending the database along this derivation's equalities.
+func (r *Run) Failed() bool { return r.Reason == EGDFailure }
+
 // InstanceAt replays the derivation and returns I_i: the instance after i
-// steps (I_0 is the database). It requires recorded steps.
+// steps (I_0 is the database). It requires recorded steps, and does not
+// support runs with equality steps (a rewrite cannot be replayed by
+// re-adding Added atoms).
 func (r *Run) InstanceAt(i int) *instance.Instance {
 	if r.Options.DropSteps {
 		panic("chase: InstanceAt requires recorded steps")
+	}
+	if r.EqualitySteps > 0 {
+		panic("chase: InstanceAt does not support runs with equality steps")
 	}
 	if i > len(r.Steps) {
 		i = len(r.Steps)
@@ -237,12 +291,38 @@ func (r *Run) InstanceAt(i int) *instance.Instance {
 // by a full re-search of the whole instance. Options.fullActivity restores
 // the pre-delta per-pop full check; the two paths are pinned byte-identical
 // by the differential tests.
+// Equality steps (EGD support) ride on the same machinery: EGD triggers
+// intern into the trigger table under rule index len(TGDs)+egdIndex and are
+// discovered by the same SlotSearch/ForEachPinnedAtom enumeration, so delta
+// maintenance keeps working between equality steps. Applying an EGD trigger
+// unifies the two bound terms in a union-find over TermIDs (uf): the
+// representative is the constant if one side is a constant, else the older
+// null (smaller TermID); two distinct constants are an EGDFailure. The
+// instance is then rewritten in place through uf.Find (fingerprint repair
+// happens inside Instance.RewriteTerms) and the trigger state — tables,
+// queue, birth verdicts, structural-null memo — is rebuilt from the
+// rewritten instance: an equality step can deactivate triggers (a head
+// image appears by merging) and re-activate work in bulk (rewritten body
+// matches are new trigger identities), and the rebuild re-derives both
+// effects from scratch, which is sound because activity and satisfaction
+// are preserved under the rewriting homomorphism ρ (ρ∘h remains a body
+// match; a satisfied head stays satisfied as ρ of its witness). EGDs are
+// Restricted-only: the oblivious variants' fire-once bookkeeping is keyed
+// on trigger identities that a rewrite invalidates.
 type engine struct {
 	set  *tgds.Set
 	opts Options
 	inst *instance.Instance
 	itab *logic.Interner
 	ct   []compiledTGD
+	ce   []compiledEGD
+	uf   *logic.UnionFind // equality classes; nil iff the set has no EGDs
+
+	// dirty is set while equality merges recorded in uf have not yet been
+	// applied to the instance; eqSinceFlush counts the EqSteps recorded
+	// since the last flush (they share one rewrite's Removed total).
+	dirty        bool
+	eqSinceFlush int
 
 	namer       *logic.FreshNamer       // null names, shared sequence across naming modes
 	structNulls map[uint64]logic.TermID // StructuralNaming: (trigger ID, exist index) -> null
@@ -292,6 +372,9 @@ func RunChase(db *instance.Database, set *tgds.Set, opts Options) *Run {
 // Cancelled when it fires. An un-cancellable context (Background) adds
 // one nil check per pop; uncancelled runs are byte-identical to RunChase.
 func RunChaseContext(ctx context.Context, db *instance.Database, set *tgds.Set, opts Options) *Run {
+	if set.HasEGDs() && opts.Variant != Restricted {
+		panic(fmt.Sprintf("chase: EGDs require the restricted variant (got %v): the %v variant's fire-once bookkeeping does not survive equality rewriting", opts.Variant, opts.Variant))
+	}
 	inst := db.Instance()
 	e := &engine{
 		set:         set,
@@ -306,6 +389,10 @@ func RunChaseContext(ctx context.Context, db *instance.Database, set *tgds.Set, 
 		done:        ctx.Done(),
 	}
 	e.ct = compileSet(set, e.itab)
+	if set.HasEGDs() {
+		e.ce = compileEGDs(set, e.itab)
+		e.uf = &logic.UnionFind{}
+	}
 	e.ds = discSorter{itab: e.itab, disc: &e.discBuf, idx: &e.sortBuf}
 	e.deltaAct = opts.Variant == Restricted && !opts.fullActivity
 	if e.deltaAct {
@@ -331,12 +418,7 @@ func RunChaseContext(ctx context.Context, db *instance.Database, set *tgds.Set, 
 		}
 	}
 	if !seeded {
-		for i := range e.ct {
-			ct := &e.ct[i]
-			e.ss.Reset(ct.body)
-			e.collectTriggers(i, ct.body)
-			e.enqueueDiscovered(ct)
-		}
+		e.seedAllTriggers()
 		if cacheSeeds {
 			opts.Cache.StoreSeedIndex(setFP, instFP, e.snapshotSeedIndex())
 		}
@@ -388,17 +470,38 @@ func (e *engine) snapshotSeedIndex() *SeedIndex {
 	return si
 }
 
+// seedAllTriggers enumerates every trigger of every rule — TGDs then EGDs,
+// each in canonical order — on the current instance and enqueues them. It
+// runs at the start of a chase and again after every equality step (the
+// bulk trigger-state repair: a rewrite both deactivates and re-activates
+// triggers, and the re-enumeration re-derives the whole picture from the
+// rewritten instance).
+func (e *engine) seedAllTriggers() {
+	for i := range e.ct {
+		ct := &e.ct[i]
+		e.ss.Reset(ct.body)
+		e.collectTriggers(i, ct.nBody, ct.body)
+		e.enqueueDiscovered(ct.nBody)
+	}
+	for j := range e.ce {
+		ce := &e.ce[j]
+		e.ss.Reset(ce.body)
+		e.collectTriggers(len(e.ct)+j, ce.nBody, ce.body)
+		e.enqueueDiscovered(ce.nBody)
+	}
+}
+
 // collectTriggers enumerates homomorphisms of the pattern (extending any
 // bindings already pinned in e.ss.Bind) and collects one trigger tuple
-// [tgd, body TermIDs...] per homomorphism into discBuf/sortBuf.
-func (e *engine) collectTriggers(tgd int, pat *logic.CPattern) {
-	ct := &e.ct[tgd]
+// [rule, body TermIDs...] per homomorphism into discBuf/sortBuf. rule is a
+// TGD index or len(e.ct)+egdIndex.
+func (e *engine) collectTriggers(rule, nBody int, pat *logic.CPattern) {
 	e.discBuf = e.discBuf[:0]
 	e.sortBuf = e.sortBuf[:0]
 	e.ss.ForEach(pat, e.inst, func(bind []logic.TermID) bool {
 		e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
-		e.discBuf = append(e.discBuf, uint32(tgd))
-		for s := 0; s < ct.nBody; s++ {
+		e.discBuf = append(e.discBuf, uint32(rule))
+		for s := 0; s < nBody; s++ {
 			e.discBuf = append(e.discBuf, uint32(bind[s]))
 		}
 		return true
@@ -410,23 +513,35 @@ func (e *engine) collectTriggers(tgd int, pat *logic.CPattern) {
 // the dedup — no separate seen set. Under delta activity each new trigger
 // pays its one full activity check here, at birth, and records the instance
 // length as the watermark its pop-time delta re-check starts from.
-func (e *engine) enqueueDiscovered(ct *compiledTGD) {
+func (e *engine) enqueueDiscovered(nBody int) {
 	if len(e.sortBuf) > 1 {
-		e.ds.stride = int32(ct.nBody) + 1
+		e.ds.stride = int32(nBody) + 1
 		sort.Sort(&e.ds)
 	}
 	for _, off := range e.sortBuf {
-		tup := e.discBuf[off : off+int32(ct.nBody)+1]
+		tup := e.discBuf[off : off+int32(nBody)+1]
 		if id, isNew := e.trig.Intern(tup); isNew {
 			e.run.Stats.TriggersEnqueued++
 			e.queue = append(e.queue, id)
 			if e.deltaAct {
 				e.born = append(e.born, int32(e.inst.Len()))
 				e.run.Activity.BirthChecks++
-				e.activeAtBirth = append(e.activeAtBirth, e.isActive(int(tup[0]), tup[1:]))
+				e.activeAtBirth = append(e.activeAtBirth, e.ruleActive(int(tup[0]), tup[1:]))
 			}
 		}
 	}
+}
+
+// ruleActive dispatches a birth/pop activity resolution by rule kind: a TGD
+// trigger runs the head search, an EGD trigger compares the two bound
+// terms' equality classes (equality, like activity, is antitone: once the
+// classes coincide they never split, so an inactive verdict is final).
+func (e *engine) ruleActive(rule int, bt []uint32) bool {
+	if rule >= len(e.ct) {
+		ce := &e.ce[rule-len(e.ct)]
+		return !e.uf.Same(logic.TermID(bt[ce.xSlot]), logic.TermID(bt[ce.ySlot]))
+	}
+	return e.isActive(rule, bt)
 }
 
 func (e *engine) pending() int { return len(e.queue) - e.qhead }
@@ -600,11 +715,20 @@ func (e *engine) headDeltaPossible(tgd int, lo int32) bool {
 const engineCtxInterval = 64
 
 func (e *engine) loop() {
-	for e.pending() > 0 {
+	for {
+		if e.dirty && e.pending() == 0 {
+			// The queue drained with equality rewrites pending: flush so the
+			// rebuilt trigger state decides whether this is a fixpoint.
+			e.flushEqualities()
+		}
+		if e.pending() == 0 {
+			break
+		}
 		if e.done != nil {
 			if e.ctxTick++; e.ctxTick%engineCtxInterval == 0 {
 				select {
 				case <-e.done:
+					// Cancelled runs are discarded by contract: no flush.
 					e.run.Reason = Cancelled
 					return
 				default:
@@ -612,23 +736,157 @@ func (e *engine) loop() {
 			}
 		}
 		if e.opts.MaxSteps > 0 && e.run.StepsTaken >= e.opts.MaxSteps {
-			e.run.Reason = StepBudget
+			e.stopWith(StepBudget)
 			return
 		}
 		if e.opts.MaxAtoms > 0 && e.inst.Len() >= e.opts.MaxAtoms {
-			e.run.Reason = AtomBudget
+			e.stopWith(AtomBudget)
 			return
 		}
 		id := e.pop()
 		tup := e.trig.Tuple(id)
-		tgd, bt := int(tup[0]), tup[1:]
-		if !e.applicable(id, tgd, bt) {
+		rule, bt := int(tup[0]), tup[1:]
+		if rule >= len(e.ct) {
+			// EGD trigger. Resolution through the union-find makes pending
+			// (unflushed) merges visible, so a run of equality steps batches
+			// into one rewrite: each step unions one pair, and the rewrite is
+			// deferred until a TGD trigger needs the instance or the queue
+			// drains.
+			e.run.Stats.ActivityChecks++
+			j := rule - len(e.ct)
+			ce := &e.ce[j]
+			x := e.uf.Find(logic.TermID(bt[ce.xSlot]))
+			y := e.uf.Find(logic.TermID(bt[ce.ySlot]))
+			if x == y {
+				e.run.Stats.TriggersSkipped++
+				continue
+			}
+			if !e.applyEGD(j, bt, x, y) {
+				e.stopWith(EGDFailure)
+				return
+			}
+			continue
+		}
+		if e.dirty {
+			// A TGD trigger surfaced while equality rewrites are pending:
+			// flush first. The popped trigger belongs to the discarded
+			// pre-rewrite queue — its rewritten image (or its unchanged self)
+			// is re-enumerated by the rebuild, so dropping it loses nothing.
+			e.flushEqualities()
+			continue
+		}
+		if !e.applicable(id, rule, bt) {
 			e.run.Stats.TriggersSkipped++
 			continue
 		}
-		e.apply(id, tgd, bt)
+		e.apply(id, rule, bt)
 	}
 	e.run.Reason = Fixpoint
+}
+
+// stopWith ends the run with the given reason, flushing pending equality
+// rewrites first so Run.Final reflects every applied equality step.
+func (e *engine) stopWith(r StopReason) {
+	if e.dirty {
+		e.flushEqualities()
+	}
+	e.run.Reason = r
+}
+
+// applyEGD performs one equality step for EGD j under the popped binding:
+// x and y are the union-find representatives of the two equated terms,
+// known distinct. It returns false on EGD failure (two distinct constants).
+// The representative of a merge is the constant when one side is a
+// constant, else the older null (smaller TermID — interned earlier). The
+// instance rewrite is deferred: applyEGD only records the union and marks
+// the engine dirty.
+func (e *engine) applyEGD(j int, bt []uint32, x, y logic.TermID) bool {
+	xt, yt := e.itab.Term(x), e.itab.Term(y)
+	var child, rep logic.TermID
+	switch {
+	case !xt.IsNull() && !yt.IsNull():
+		e.run.Conflict = &EGDConflict{
+			EGD: e.set.EGDs[j],
+			H:   e.materializeEGDTrigger(j, bt),
+			X:   xt,
+			Y:   yt,
+		}
+		return false
+	case xt.IsNull() && !yt.IsNull():
+		child, rep = x, y
+	case !xt.IsNull() && yt.IsNull():
+		child, rep = y, x
+	default:
+		if x < y {
+			child, rep = y, x
+		} else {
+			child, rep = x, y
+		}
+	}
+	e.uf.Link(child, rep)
+	e.dirty = true
+	e.eqSinceFlush++
+	e.run.StepsTaken++
+	e.run.EqualitySteps++
+	if !e.opts.DropSteps {
+		e.run.EqSteps = append(e.run.EqSteps, EqStep{
+			EGDIndex: j,
+			EGD:      e.set.EGDs[j],
+			H:        e.materializeEGDTrigger(j, bt),
+			Unified:  e.itab.Term(child),
+			Rep:      e.itab.Term(rep),
+			AtStep:   e.run.StepsTaken - 1,
+		})
+	}
+	return true
+}
+
+// flushEqualities applies the pending equality merges: the instance is
+// rewritten through the union-find (Instance.RewriteTerms — fingerprint
+// repair happens there) and the whole trigger state is rebuilt from the
+// rewritten instance. The rebuild is the bulk trigIndex repair: triggers
+// deactivated by the rewrite (their head image appeared by merging) are
+// re-discovered and then skipped by their fresh birth checks, and triggers
+// re-activated or newly formed by the rewrite enter the queue under their
+// rewritten identities. Rebuilding rather than patching is sound because
+// the rewriting map ρ is a homomorphism of the old instance onto the new
+// one: every surviving body match is some ρ∘h, and every satisfied head
+// stays satisfied via ρ of its witness.
+func (e *engine) flushEqualities() {
+	removed := e.inst.RewriteTerms(e.uf.Find)
+	if !e.opts.DropSteps {
+		// Every step of one batch reports the batch's rewrite total.
+		for i := len(e.run.EqSteps) - e.eqSinceFlush; i < len(e.run.EqSteps); i++ {
+			e.run.EqSteps[i].Removed = removed
+		}
+	}
+	e.dirty = false
+	e.eqSinceFlush = 0
+	e.trig = logic.NewTupleTable(64)
+	e.front = logic.NewTupleTable(16)
+	e.applied = e.applied[:0]
+	e.queue = e.queue[:0]
+	e.qhead = 0
+	e.born = e.born[:0]
+	e.activeAtBirth = e.activeAtBirth[:0]
+	// Structural-null memo entries are keyed by trigger IDs of the discarded
+	// table; clear them. Fired triggers never re-fire (their heads stay
+	// satisfied under ρ), so no null name is ever re-requested.
+	if len(e.structNulls) > 0 {
+		e.structNulls = make(map[uint64]logic.TermID)
+	}
+	e.seedAllTriggers()
+}
+
+// materializeEGDTrigger rebuilds the public substitution form of an EGD
+// trigger for derivation recording and failure reporting.
+func (e *engine) materializeEGDTrigger(j int, bt []uint32) logic.Substitution {
+	ce := &e.ce[j]
+	h := logic.NewSubstitution()
+	for i, v := range ce.bodyVars {
+		h[v] = e.itab.Term(logic.TermID(bt[i]))
+	}
+	return h
 }
 
 // nullFor returns the interned null for the trigger's k-th existential
@@ -708,23 +966,33 @@ func (e *engine) discover(ai int32) {
 	pred := e.inst.AtomPredID(ai)
 	for i := range e.ct {
 		ct := &e.ct[i]
-		for j := range ct.body.Atoms {
-			if ct.body.Atoms[j].Pred != pred {
-				continue
-			}
-			e.discBuf = e.discBuf[:0]
-			e.sortBuf = e.sortBuf[:0]
-			e.ss.Reset(ct.body)
-			e.ss.ForEachPinnedAtom(ct.body, e.inst, j, ai, func(bind []logic.TermID) bool {
-				e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
-				e.discBuf = append(e.discBuf, uint32(i))
-				for s := 0; s < ct.nBody; s++ {
-					e.discBuf = append(e.discBuf, uint32(bind[s]))
-				}
-				return true
-			})
-			e.enqueueDiscovered(ct)
+		e.discoverForRule(i, ct.nBody, ct.body, pred, ai)
+	}
+	for j := range e.ce {
+		ce := &e.ce[j]
+		e.discoverForRule(len(e.ct)+j, ce.nBody, ce.body, pred, ai)
+	}
+}
+
+// discoverForRule runs discover's per-position pinned enumeration for one
+// rule (TGD index or len(e.ct)+egdIndex) against the new atom at ai.
+func (e *engine) discoverForRule(rule, nBody int, pat *logic.CPattern, pred logic.PredID, ai int32) {
+	for j := range pat.Atoms {
+		if pat.Atoms[j].Pred != pred {
+			continue
 		}
+		e.discBuf = e.discBuf[:0]
+		e.sortBuf = e.sortBuf[:0]
+		e.ss.Reset(pat)
+		e.ss.ForEachPinnedAtom(pat, e.inst, j, ai, func(bind []logic.TermID) bool {
+			e.sortBuf = append(e.sortBuf, int32(len(e.discBuf)))
+			e.discBuf = append(e.discBuf, uint32(rule))
+			for s := 0; s < nBody; s++ {
+				e.discBuf = append(e.discBuf, uint32(bind[s]))
+			}
+			return true
+		})
+		e.enqueueDiscovered(nBody)
 	}
 }
 

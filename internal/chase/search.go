@@ -538,6 +538,9 @@ func SearchTerminatingDerivation(db *instance.Database, set *tgds.Set, opts Sear
 // Exhausted = false; uncancelled runs are byte-identical to the plain entry
 // point.
 func SearchTerminatingDerivationContext(ctx context.Context, db *instance.Database, set *tgds.Set, opts SearchOptions) *ExistsResult {
+	if set.HasEGDs() {
+		panic("chase: the ∀∃ derivation search is TGD-only: its state space memoises instances by fingerprint under trigger application, and equality steps rewrite states in place; gate EGD sets before calling")
+	}
 	if opts.MaxStates <= 0 {
 		opts.MaxStates = 10_000
 	}

@@ -47,7 +47,10 @@ const (
 	snapshotMagic = "airctcsn"
 	// Version 2 (PR 9): StageRecord gained Evidence, StageOutcomes keys
 	// gained the instance fingerprint, and the CostModelEntry kind joined.
-	snapshotVersion = 2
+	// Version 3 (PR 10): SeedOutcome gained PumpDepth, and an ∀∃ frame
+	// carries the key's whole two-rung ladder (a rung count then each
+	// outcome) instead of a single outcome.
+	snapshotVersion = 3
 
 	// maxEntryLen bounds a single entry frame; a larger declared length is
 	// treated as corruption (the whole remaining stream is untrustworthy).
@@ -247,6 +250,7 @@ func appendEntry(b []byte, k CacheKey, v any) []byte {
 		b = appendString(b, e.Method)
 		b = appendString(b, e.Evidence)
 		b = appendInt(b, int64(e.Steps))
+		b = appendInt(b, int64(e.PumpDepth))
 	case *SeedIndex:
 		b = binary.AppendUvarint(b, uint64(len(e.Triggers)))
 		for _, tr := range e.Triggers {
@@ -300,26 +304,35 @@ func appendEntry(b []byte, k CacheKey, v any) []byte {
 		b = appendStrings(b, e.LassoPrefix)
 		b = appendStrings(b, e.LassoCycle)
 		b = appendInt(b, int64(e.LassoGap))
-	case *ExistsOutcome:
-		b = appendBool(b, e.Found)
-		b = appendBool(b, e.Exhausted)
-		b = appendInt(b, int64(e.Budget))
-		b = appendInt(b, int64(e.StatesVisited))
-		b = binary.AppendUvarint(b, uint64(len(e.Derivation)))
-		for _, st := range e.Derivation {
-			b = appendInt(b, int64(st.TGD))
-			b = appendTerms(b, st.Vars)
-			b = appendTerms(b, st.Vals)
+	case *existsLadder:
+		rungs := e.rungs()
+		b = binary.AppendUvarint(b, uint64(len(rungs)))
+		for _, o := range rungs {
+			b = appendExistsOutcome(b, o)
 		}
-		b = appendInt(b, int64(e.Stats.StatesExpanded))
-		b = appendInt(b, int64(e.Stats.MemoHits))
-		b = appendInt(b, int64(e.Stats.PeakFrontier))
-		b = appendInt(b, int64(e.Stats.IndexRepairs))
-		b = appendInt(b, int64(e.Stats.IndexRebuilds))
-		b = appendInt(b, int64(e.Stats.ActivityRechecks))
 	default:
 		return nil
 	}
+	return b
+}
+
+func appendExistsOutcome(b []byte, e *ExistsOutcome) []byte {
+	b = appendBool(b, e.Found)
+	b = appendBool(b, e.Exhausted)
+	b = appendInt(b, int64(e.Budget))
+	b = appendInt(b, int64(e.StatesVisited))
+	b = binary.AppendUvarint(b, uint64(len(e.Derivation)))
+	for _, st := range e.Derivation {
+		b = appendInt(b, int64(st.TGD))
+		b = appendTerms(b, st.Vars)
+		b = appendTerms(b, st.Vals)
+	}
+	b = appendInt(b, int64(e.Stats.StatesExpanded))
+	b = appendInt(b, int64(e.Stats.MemoHits))
+	b = appendInt(b, int64(e.Stats.PeakFrontier))
+	b = appendInt(b, int64(e.Stats.IndexRepairs))
+	b = appendInt(b, int64(e.Stats.IndexRebuilds))
+	b = appendInt(b, int64(e.Stats.ActivityRechecks))
 	return b
 }
 
@@ -342,10 +355,11 @@ func (c *Cache) restoreEntry(payload []byte) bool {
 	switch k.Salt &^ ((1 << 56) - 1) {
 	case kindSeedOutcome:
 		o := SeedOutcome{
-			Diverges: d.bool(),
-			Method:   d.string(),
-			Evidence: d.string(),
-			Steps:    int(d.int()),
+			Diverges:  d.bool(),
+			Method:    d.string(),
+			Evidence:  d.string(),
+			Steps:     int(d.int()),
+			PumpDepth: int(d.int()),
 		}
 		v, size = o, seedOutcomeSize(o)
 	case kindSeedIndex:
@@ -432,29 +446,22 @@ func (c *Cache) restoreEntry(payload []byte) bool {
 		}
 		v, size = o, stickyOutcomeSize(o)
 	case kindExistsOutcome:
-		o := &ExistsOutcome{
-			Found:         d.bool(),
-			Exhausted:     d.bool(),
-			Budget:        int(d.int()),
-			StatesVisited: int(d.int()),
-		}
+		// A frame carries the key's whole ladder; each rung re-enters
+		// through the merge path, which rebuilds the identical ladder (the
+		// rungs were written in canonical decisive-first order and land on
+		// disjoint rungs).
 		n := d.count()
+		var rungs []*ExistsOutcome
 		for i := 0; i < n && d.err == nil; i++ {
-			o.Derivation = append(o.Derivation, ExistsStep{
-				TGD:  int32(d.int()),
-				Vars: d.terms(),
-				Vals: d.terms(),
-			})
+			rungs = append(rungs, decodeExistsOutcome(d))
 		}
-		o.Stats = SearchStats{
-			StatesExpanded:   int(d.int()),
-			MemoHits:         int(d.int()),
-			PeakFrontier:     int(d.int()),
-			IndexRepairs:     int(d.int()),
-			IndexRebuilds:    int(d.int()),
-			ActivityRechecks: int(d.int()),
+		if d.err != nil || len(d.b) != d.off || len(rungs) == 0 || len(rungs) > 2 {
+			return false
 		}
-		v, size = o, existsOutcomeSize(o)
+		for _, o := range rungs {
+			c.mergeExistsOutcome(k, o)
+		}
+		return true
 	default:
 		return false
 	}
@@ -463,6 +470,32 @@ func (c *Cache) restoreEntry(payload []byte) bool {
 	}
 	c.store(k, v, size)
 	return true
+}
+
+func decodeExistsOutcome(d *decoder) *ExistsOutcome {
+	o := &ExistsOutcome{
+		Found:         d.bool(),
+		Exhausted:     d.bool(),
+		Budget:        int(d.int()),
+		StatesVisited: int(d.int()),
+	}
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		o.Derivation = append(o.Derivation, ExistsStep{
+			TGD:  int32(d.int()),
+			Vars: d.terms(),
+			Vals: d.terms(),
+		})
+	}
+	o.Stats = SearchStats{
+		StatesExpanded:   int(d.int()),
+		MemoHits:         int(d.int()),
+		PeakFrontier:     int(d.int()),
+		IndexRepairs:     int(d.int()),
+		IndexRebuilds:    int(d.int()),
+		ActivityRechecks: int(d.int()),
+	}
+	return o
 }
 
 // --- scalar codecs ---

@@ -19,7 +19,7 @@ import (
 // the stored values for later comparison.
 func populateAllKinds(c *Cache) (SeedOutcome, *SeedIndex, *SeedPool, *StageOutcomes, *StickyOutcome, *ExistsOutcome, *CostModelEntry) {
 	set, inst := fpOf("set"), fpOf("inst")
-	so := SeedOutcome{Diverges: true, Method: "pump", Evidence: "step 3: R(a,n1)", Steps: 17}
+	so := SeedOutcome{Diverges: true, Method: "pump", Evidence: "step 3: R(a,n1)", Steps: 17, PumpDepth: 5}
 	c.StoreSeedOutcome(set, inst, 100, so)
 	si := &SeedIndex{Triggers: []SeedTrigger{
 		{TGD: 0, Active: true, Bind: []logic.Term{logic.Const("a"), logic.NewNull("n1")}},
@@ -159,9 +159,9 @@ func TestSnapshotRefusesForeignHeaders(t *testing.T) {
 		"empty":     {},
 		"short":     good[:10],
 		"bad magic": append([]byte("notacsnp"), good[8:]...),
-		"version 3": func() []byte {
+		"foreign version": func() []byte {
 			b := bytes.Clone(good)
-			binary.LittleEndian.PutUint32(b[8:12], 3)
+			binary.LittleEndian.PutUint32(b[8:12], snapshotVersion+1)
 			return b
 		}(),
 	}
@@ -269,5 +269,53 @@ func TestSnapshotFileSaveLoad(t *testing.T) {
 	}
 	if a, b := c.Stats(), c2.Stats(); a.Entries != b.Entries || a.Bytes != b.Bytes {
 		t.Errorf("file round-trip drifted: %d/%dB vs %d/%dB", a.Entries, a.Bytes, b.Entries, b.Bytes)
+	}
+}
+
+// TestSnapshotExistsLadderRoundTrip pins the ∀∃ ladder's frame (ROADMAP
+// 5c): a key holding both a decisive and a deep inconclusive rung writes
+// one frame carrying both, restores to a ladder serving the same queries,
+// restores to the same byte accounting, and re-snapshots to identical
+// bytes.
+func TestSnapshotExistsLadderRoundTrip(t *testing.T) {
+	c := NewCache()
+	set, inst := fpOf("ladder-set"), fpOf("ladder-inst")
+	dec := &ExistsOutcome{Found: true, Budget: 2000, StatesVisited: 37,
+		Derivation: []ExistsStep{{
+			TGD:  0,
+			Vars: []logic.Term{logic.Var("X")},
+			Vals: []logic.Term{logic.NewNull("n1")},
+		}},
+		Stats: SearchStats{StatesExpanded: 36, PeakFrontier: 4}}
+	inc := &ExistsOutcome{Budget: 1000, StatesVisited: 1000,
+		Stats: SearchStats{StatesExpanded: 999, PeakFrontier: 12}}
+	c.StoreExistsOutcome(set, inst, SmallestFirst, 80, inc)
+	c.StoreExistsOutcome(set, inst, SmallestFirst, 80, dec)
+
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	c2, rep, err := LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil || rep.Restored != 1 || rep.Skipped != 0 {
+		t.Fatalf("restore: report %+v, err %v (want 1 frame for the whole ladder)", rep, err)
+	}
+	if got, ok := c2.LookupExistsOutcome(set, inst, SmallestFirst, 80, 2500); !ok || !reflect.DeepEqual(got, dec) {
+		t.Errorf("decisive rung round-trip = %+v, %v; want %+v", got, ok, dec)
+	}
+	if got, ok := c2.LookupExistsOutcome(set, inst, SmallestFirst, 80, 500); !ok || !reflect.DeepEqual(got, inc) {
+		t.Errorf("inconclusive rung round-trip = %+v, %v; want %+v", got, ok, inc)
+	}
+	a, b := c.Stats(), c2.Stats()
+	if a.Entries != b.Entries || a.Bytes != b.Bytes {
+		t.Errorf("accounting drifted: source %d entries/%dB, restored %d entries/%dB",
+			a.Entries, a.Bytes, b.Entries, b.Bytes)
+	}
+	var buf2 bytes.Buffer
+	if err := c2.Snapshot(&buf2); err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("re-snapshot differs: %d vs %d bytes", buf.Len(), buf2.Len())
 	}
 }

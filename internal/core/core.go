@@ -58,6 +58,12 @@ type Report struct {
 	// MFA is true when the model-faithful-acyclicity check accepted the
 	// set within its step budget (false means "not proven", not "cyclic").
 	MFA bool
+	// EGDs is the number of equality-generating dependencies in the set.
+	// When non-zero, the class flags above describe the TGDs alone, and
+	// only the EGD-sound conclusions (existential-free, weak acyclicity)
+	// are drawn — the decision procedures and the remaining baselines are
+	// TGD-only.
+	EGDs int
 	// NeverFiring lists the labels of TGDs pruned as never-firing (head
 	// folds into body over the frontier; see acyclicity.PruneNeverFiring).
 	NeverFiring []string
@@ -108,7 +114,7 @@ func Analyze(set *tgds.Set, opts Options) (*Report, error) {
 // on an uncancelled context — the baselines and the procedure order are
 // unchanged.
 func AnalyzeContext(ctx context.Context, set *tgds.Set, opts Options) (*Report, error) {
-	if set.Len() == 0 {
+	if set.Len() == 0 && !set.HasEGDs() {
 		return nil, fmt.Errorf("core: empty TGD set")
 	}
 	r := &Report{
@@ -118,39 +124,60 @@ func AnalyzeContext(ctx context.Context, set *tgds.Set, opts Options) (*Report, 
 		Sticky:          set.IsSticky(),
 		Full:            set.IsFull(),
 		FrontierGuarded: set.IsFrontierGuarded(),
+		EGDs:            set.NumEGDs(),
 	}
 	if r.Full {
 		// Full (existential-free) sets never invent nulls: every chase is
-		// bounded by the closure of the active domain.
-		r.conclude(Terminates, "full (existential-free) set: the chase cannot invent values")
+		// bounded by the closure of the active domain. Equality steps only
+		// merge existing terms, so the bound survives arbitrary EGDs.
+		if set.HasEGDs() {
+			r.conclude(Terminates, "existential-free TGDs with EGDs: no invented values, and equality steps strictly shrink the term count")
+		} else {
+			r.conclude(Terminates, "full (existential-free) set: the chase cannot invent values")
+		}
 	}
 	if !opts.SkipBaselines {
+		// Weak acyclicity is computed over the TGDs alone; the classic data
+		// exchange result (Fagin et al.) makes it a sufficient termination
+		// condition for weakly acyclic TGDs together with arbitrary EGDs.
+		// The other baselines — joint acyclicity, the never-firing prune,
+		// MFA — have no published EGD-aware counterpart, so they are gated
+		// to TGD-only sets: their termination arguments do not account for
+		// the triggers an equality merge can create.
 		r.WeaklyAcyclic = acyclicity.IsWeaklyAcyclic(set)
-		r.JointlyAcyclic = acyclicity.IsJointlyAcyclic(set)
 		if r.WeaklyAcyclic {
-			r.conclude(Terminates, "weak acyclicity (sufficient condition)")
-		}
-		if r.JointlyAcyclic {
-			r.conclude(Terminates, "joint acyclicity (sufficient condition)")
-		}
-		if pruned, removed := acyclicity.PruneNeverFiring(set); len(removed) > 0 {
-			for _, i := range removed {
-				r.NeverFiring = append(r.NeverFiring, set.TGDs[i].Label)
-			}
-			switch {
-			case pruned == nil:
-				r.conclude(Terminates, fmt.Sprintf("jointree prune: all %d TGDs are never-firing (head folds into body over the frontier)", len(removed)))
-			case pruned.IsFull():
-				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is existential-free", len(removed)))
-			case acyclicity.IsWeaklyAcyclic(pruned):
-				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is weakly acyclic", len(removed)))
-			case acyclicity.IsJointlyAcyclic(pruned):
-				r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is jointly acyclic", len(removed)))
+			if set.HasEGDs() {
+				r.conclude(Terminates, "weak acyclicity of the TGDs (sufficient with arbitrary EGDs, Fagin et al.)")
+			} else {
+				r.conclude(Terminates, "weak acyclicity (sufficient condition)")
 			}
 		}
-		if mfa := acyclicity.CheckMFA(set, opts.mfaSteps()); mfa.Acyclic {
-			r.MFA = true
-			r.conclude(Terminates, fmt.Sprintf("MFA: semi-oblivious critical-instance chase saturated in %d steps (sufficient condition)", mfa.Steps))
+		if set.HasEGDs() {
+			r.reason("EGDs present: joint acyclicity, the never-firing prune and MFA are TGD-only baselines and were skipped")
+		} else {
+			r.JointlyAcyclic = acyclicity.IsJointlyAcyclic(set)
+			if r.JointlyAcyclic {
+				r.conclude(Terminates, "joint acyclicity (sufficient condition)")
+			}
+			if pruned, removed := acyclicity.PruneNeverFiring(set); len(removed) > 0 {
+				for _, i := range removed {
+					r.NeverFiring = append(r.NeverFiring, set.TGDs[i].Label)
+				}
+				switch {
+				case pruned == nil:
+					r.conclude(Terminates, fmt.Sprintf("jointree prune: all %d TGDs are never-firing (head folds into body over the frontier)", len(removed)))
+				case pruned.IsFull():
+					r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is existential-free", len(removed)))
+				case acyclicity.IsWeaklyAcyclic(pruned):
+					r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is weakly acyclic", len(removed)))
+				case acyclicity.IsJointlyAcyclic(pruned):
+					r.conclude(Terminates, fmt.Sprintf("jointree prune: %d never-firing TGDs removed; remainder is jointly acyclic", len(removed)))
+				}
+			}
+			if mfa := acyclicity.CheckMFA(set, opts.mfaSteps()); mfa.Acyclic {
+				r.MFA = true
+				r.conclude(Terminates, fmt.Sprintf("MFA: semi-oblivious critical-instance chase saturated in %d steps (sufficient condition)", mfa.Steps))
+			}
 		}
 	}
 	if r.Sticky {
@@ -187,6 +214,9 @@ func AnalyzeContext(ctx context.Context, set *tgds.Set, opts Options) (*Report, 
 		default:
 			r.reason(fmt.Sprintf("guarded: budget exhausted without certificate (%s)", v.Evidence))
 		}
+	}
+	if set.HasEGDs() && r.Conclusion == Unknown {
+		r.reason("the guarded and sticky decision procedures are TGD-only and do not run on sets with EGDs")
 	}
 	if r.Conclusion == Unknown && len(r.Reasons) == 0 {
 		r.reason("outside the guarded and sticky classes; no sufficient condition fired (CT^res_∀∀ is undecidable in general, Theorem 3.6)")
@@ -229,6 +259,9 @@ func (r *Report) Summary() string {
 	flag("weakly acyclic", r.WeaklyAcyclic)
 	flag("jointly acyclic", r.JointlyAcyclic)
 	flag("MFA (critical instance)", r.MFA)
+	if r.EGDs > 0 {
+		fmt.Fprintf(&b, "egds: %d (class flags describe the TGDs alone)\n", r.EGDs)
+	}
 	fmt.Fprintf(&b, "verdict: %s\n", r.Conclusion)
 	for _, why := range r.Reasons {
 		fmt.Fprintf(&b, "  - %s\n", why)

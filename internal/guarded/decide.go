@@ -35,8 +35,9 @@ type Verdict struct {
 	// shortest run prefix that already carries the certificate — the later
 	// step of the repeated signature pair, 1-based. The certificate is
 	// budget-independent: any chase of this seed under the same order that
-	// runs at least PumpDepth steps surfaces it. Zero when the verdict was
-	// replayed from a cache or carries no pump ("budget-exhausted").
+	// runs at least PumpDepth steps surfaces it. Persisted through the
+	// seed-outcome ledger, so a cache replay reports the cold run's depth;
+	// zero only when the verdict carries no pump ("budget-exhausted").
 	PumpDepth int
 	// SeedsTried counts candidate databases examined.
 	SeedsTried int
@@ -169,7 +170,7 @@ func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budg
 			if !o.Diverges {
 				return nil, o.Steps
 			}
-			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence}, o.Steps
+			return &Verdict{Terminates: false, Method: o.Method, Witness: seed, Evidence: o.Evidence, PumpDepth: o.PumpDepth}, o.Steps
 		}
 	}
 	v, steps := chaseSeedBattery(ctx, set, seed, budget, cache)
@@ -180,7 +181,7 @@ func chaseSeed(ctx context.Context, set *tgds.Set, seed *instance.Database, budg
 	if cache != nil {
 		o := chase.SeedOutcome{Steps: steps}
 		if v != nil {
-			o = chase.SeedOutcome{Diverges: true, Method: v.Method, Evidence: v.Evidence, Steps: steps}
+			o = chase.SeedOutcome{Diverges: true, Method: v.Method, Evidence: v.Evidence, Steps: steps, PumpDepth: v.PumpDepth}
 		}
 		cache.StoreSeedOutcome(setFP, seedFP, budget, o)
 	}

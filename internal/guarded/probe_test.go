@@ -1,6 +1,7 @@
 package guarded
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
@@ -205,5 +206,54 @@ func TestProbeCancelled(t *testing.T) {
 	cancel()
 	if _, err := ProbeSeeds(ctx, set, DecideOptions{}, 64); err != context.Canceled {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProbeWarmReplayKeepsRejectDiagnostics pins ROADMAP 2d: a rejecting
+// probe's pump depth is persisted through the seed-outcome ledger, so a
+// warm replay — same cache, or a snapshot-restored one — reports the
+// byte-identical ProbeOutcome, Depth included. Pre-PR the warm path rebuilt
+// the verdict without PumpDepth, and the warm Depth degraded to the
+// truncated run's length instead of the certificate's shortest prefix.
+func TestProbeWarmReplayKeepsRejectDiagnostics(t *testing.T) {
+	set, err := parser.ParseTGDs(`
+		S(X) -> R(X,Y).
+		R(X,Y) -> S(Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := chase.NewCache()
+	opts := DecideOptions{MaxSteps: 2000, Cache: cache}
+	cold, err := ProbeSeeds(context.Background(), set, opts, 16)
+	if err != nil || !cold.Rejected {
+		t.Fatalf("cold probe did not reject: %+v, %v", cold, err)
+	}
+	if cold.Depth >= cold.ProbeSteps {
+		// The fixture must have a pump shorter than the truncated run, or
+		// the test cannot tell the certificate depth from the run length.
+		t.Fatalf("fixture is not discriminating: pump depth %d = probe budget %d", cold.Depth, cold.ProbeSteps)
+	}
+	warm, err := ProbeSeeds(context.Background(), set, opts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("warm probe drifted from cold:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	var buf bytes.Buffer
+	if err := cache.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, _, err := chase.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	snap, err := ProbeSeeds(context.Background(), set, DecideOptions{MaxSteps: 2000, Cache: restored}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != cold {
+		t.Errorf("snapshot-warmed probe drifted from cold:\ncold %+v\nsnap %+v", cold, snap)
 	}
 }

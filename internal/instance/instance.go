@@ -252,6 +252,65 @@ func (in *Instance) insert(pid logic.PredID, tuple []uint32, a logic.Atom) (int3
 	return idx, true
 }
 
+// RewriteTerms maps every argument of every atom through ρ and rebuilds the
+// instance in place — the chase engine's equality step (EGD application):
+// after unifying terms in a union-find, ρ sends each merged TermID to its
+// class representative. Atoms are re-inserted in their previous insertion
+// order; atoms that become identical under ρ merge silently (the returned
+// count is how many were removed that way). The interner is untouched —
+// merged-away TermIDs remain valid interner entries, they simply no longer
+// occur in the instance.
+//
+// This is where *fingerprint repair* happens: the incremental 128-bit
+// Fingerprint cannot be patched atom-by-atom under rewriting (a rewrite
+// both removes duplicate atoms and changes survivors' hashes, and the
+// commutative Merge has no sound "unmix" for an atom that may have been
+// inserted along several paths), so the fingerprint is rebuilt from the
+// merged atom multiset by re-running every insert. Cross-run cache keys,
+// the fingerprint memo and ∀∃ dedup therefore see exactly the fingerprint
+// a fresh instance holding the rewritten atom set would carry.
+//
+// All previously returned atoms, slices and insertion indices are
+// invalidated, exactly like Reset.
+func (in *Instance) RewriteTerms(ρ func(logic.TermID) logic.TermID) int {
+	n := in.Len()
+	if n == 0 {
+		return 0
+	}
+	// Snapshot the identity tuples first: Reset invalidates the tuple table.
+	flat := make([]uint32, 0, n*3)
+	offs := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		tup := in.atoms.Tuple(int32(i))
+		offs[i] = int32(len(flat))
+		flat = append(flat, tup[0])
+		for _, t := range tup[1:] {
+			flat = append(flat, uint32(ρ(logic.TermID(t))))
+		}
+	}
+	offs[n] = int32(len(flat))
+	in.Reset()
+	// Atoms handed out before the rewrite (e.g. a recorded derivation) alias
+	// the current term-arena chunk, which Reset would otherwise reuse and
+	// clobber; start a fresh chunk instead and leave theirs untouched.
+	in.termArena = nil
+	for i := 0; i < n; i++ {
+		tup := flat[offs[i]:offs[i+1]]
+		pid := logic.PredID(tup[0])
+		var a logic.Atom
+		if !in.lite {
+			terms := in.allocTerms(len(tup) - 1)
+			for k, t := range tup[1:] {
+				terms[k] = in.tab.Term(logic.TermID(t))
+			}
+			a = logic.Atom{Pred: in.tab.Pred(pid), Args: terms}
+		}
+		in.tupbuf = append(in.tupbuf[:0], tup...)
+		in.insert(pid, in.tupbuf, a)
+	}
+	return n - in.Len()
+}
+
 // AddAll inserts every atom and returns the number that were new.
 func (in *Instance) AddAll(atoms []logic.Atom) int {
 	n := 0

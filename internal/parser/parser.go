@@ -13,7 +13,11 @@
 //	# multi-head TGDs (outside the paper's single-head classes)
 //	R(X, Y, Y) -> R(X, Z, Y), R(Z, Y, Y).
 //
-// Comments run from '#' or '%' or "//" to end of line. TGDs are
+//	# EGDs: a head of the form X = Y (both variables must occur in the
+//	# body) is an equality-generating dependency, e.g. a key constraint
+//	key: R(X, Y), R(X, Z) -> Y = Z.
+//
+// Comments run from '#' or '%' or "//" to end of line. TGDs and EGDs are
 // constant-free, matching the paper; a constant inside a rule is a parse
 // error.
 package parser
@@ -54,6 +58,7 @@ const (
 	tokArrow
 	tokPeriod
 	tokColon
+	tokEq
 	tokEOF
 )
 
@@ -103,6 +108,9 @@ func (l *lexer) next() (token, error) {
 		case c == ':':
 			l.pos++
 			return token{tokColon, ":", l.line}, nil
+		case c == '=':
+			l.pos++
+			return token{tokEq, "=", l.line}, nil
 		case c == '-':
 			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
 				l.pos += 2
@@ -276,6 +284,7 @@ func Parse(src string) (*Program, error) {
 	}
 	db := instance.NewDatabase()
 	var rules []tgds.TGD
+	var egds []tgds.EGD
 	arities := make(map[string]int)
 
 	checkArity := func(ra rawAtom) error {
@@ -334,6 +343,17 @@ func Parse(src string) (*Program, error) {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
+			// An EGD head: IDENT '=' IDENT (both variables).
+			if nxt, err := p.peek(); err != nil {
+				return nil, err
+			} else if p.tok.kind == tokIdent && nxt.kind == tokEq {
+				egd, err := p.parseEGDHead(label, atoms)
+				if err != nil {
+					return nil, err
+				}
+				egds = append(egds, egd)
+				continue
+			}
 			headRaw, err := p.parseAtomList()
 			if err != nil {
 				return nil, err
@@ -370,11 +390,58 @@ func Parse(src string) (*Program, error) {
 			return nil, p.errf("expected '.' or '->', got %q", p.tok.text)
 		}
 	}
-	set, err := tgds.NewSet(rules...)
+	set, err := tgds.NewSetWithEGDs(rules, egds)
 	if err != nil {
 		return nil, err
 	}
 	return &Program{Database: db, TGDs: set}, nil
+}
+
+// parseEGDHead parses the head "X = Y" of an EGD whose body atoms were
+// already consumed, with the current token at the left variable. EGD heads
+// are a single equality: an equality cannot be mixed with head atoms.
+func (p *parser) parseEGDHead(label string, body []rawAtom) (tgds.EGD, error) {
+	xTok := p.tok
+	if err := p.advance(); err != nil { // move to '='
+		return tgds.EGD{}, err
+	}
+	if err := p.advance(); err != nil { // move past '='
+		return tgds.EGD{}, err
+	}
+	if p.tok.kind != tokIdent {
+		return tgds.EGD{}, p.errf("expected variable after '=', got %q", p.tok.text)
+	}
+	yTok := p.tok
+	if err := p.advance(); err != nil {
+		return tgds.EGD{}, err
+	}
+	if p.tok.kind == tokComma {
+		return tgds.EGD{}, p.errf("an EGD head is a single equality; cannot mix it with further head atoms")
+	}
+	if p.tok.kind != tokPeriod {
+		return tgds.EGD{}, p.errf("expected '.' after equality head, got %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return tgds.EGD{}, err
+	}
+	for _, tk := range []token{xTok, yTok} {
+		if !isVariableName(tk.text) {
+			return tgds.EGD{}, &ParseError{Line: tk.line,
+				Msg: fmt.Sprintf("constant %q in an equality head: EGDs equate variables", tk.text)}
+		}
+	}
+	bodyAtoms := make([]logic.Atom, len(body))
+	for i, ra := range body {
+		var err error
+		if bodyAtoms[i], err = toRuleAtom(ra); err != nil {
+			return tgds.EGD{}, err
+		}
+	}
+	egd, err := tgds.NewEGD(label, bodyAtoms, logic.Var(xTok.text), logic.Var(yTok.text))
+	if err != nil {
+		return tgds.EGD{}, &ParseError{Line: body[0].line, Msg: err.Error()}
+	}
+	return egd, nil
 }
 
 // MustParse is Parse that panics on error; for tests and examples with
@@ -406,7 +473,7 @@ func Print(prog *Program) string {
 		b.WriteString(fact.String())
 		b.WriteString(".\n")
 	}
-	if prog.Database.Len() > 0 && prog.TGDs.Len() > 0 {
+	if prog.Database.Len() > 0 && (prog.TGDs.Len() > 0 || prog.TGDs.HasEGDs()) {
 		b.WriteByte('\n')
 	}
 	for _, t := range prog.TGDs.TGDs {
@@ -415,6 +482,14 @@ func Print(prog *Program) string {
 			b.WriteString(": ")
 		}
 		b.WriteString(t.String())
+		b.WriteString(".\n")
+	}
+	for _, e := range prog.TGDs.EGDs {
+		if e.Label != "" && !strings.HasPrefix(e.Label, "ε") {
+			b.WriteString(e.Label)
+			b.WriteString(": ")
+		}
+		b.WriteString(e.String())
 		b.WriteString(".\n")
 	}
 	return b.String()

@@ -194,7 +194,7 @@ type runner struct {
 // to core.Analyze with the same budgets; see the package comment for the
 // argument. A cancelled call returns ctx's error.
 func Analyze(ctx context.Context, set *tgds.Set, opts Options) (*Result, error) {
-	if set.Len() == 0 {
+	if set.Len() == 0 && !set.HasEGDs() {
 		return nil, fmt.Errorf("portfolio: empty TGD set")
 	}
 	opts.Guarded.Cache = opts.Cache
@@ -293,7 +293,11 @@ func (r *runner) tier0Check(name string, s *StageOutcome) {
 		if set.IsFull() {
 			s.Decided = true
 			s.Conclusion = core.Terminates
-			s.Detail = "full (existential-free) set: the chase cannot invent values"
+			if set.HasEGDs() {
+				s.Detail = "existential-free TGDs with EGDs: no invented values, and equality steps strictly shrink the term count"
+			} else {
+				s.Detail = "full (existential-free) set: the chase cannot invent values"
+			}
 		} else {
 			s.Detail = "set has existentials"
 		}
@@ -301,11 +305,19 @@ func (r *runner) tier0Check(name string, s *StageOutcome) {
 		if acyclicity.IsWeaklyAcyclic(set) {
 			s.Decided = true
 			s.Conclusion = core.Terminates
-			s.Detail = "weak acyclicity (sufficient condition)"
+			if set.HasEGDs() {
+				s.Detail = "weak acyclicity of the TGDs (sufficient with arbitrary EGDs, Fagin et al.)"
+			} else {
+				s.Detail = "weak acyclicity (sufficient condition)"
+			}
 		} else {
 			s.Detail = "dependency graph has a special-edge cycle"
 		}
 	case "joint-acyclicity":
+		if set.HasEGDs() {
+			s.Detail = "skipped: joint acyclicity is a TGD-only baseline (set has EGDs)"
+			return
+		}
 		if acyclicity.IsJointlyAcyclic(set) {
 			s.Decided = true
 			s.Conclusion = core.Terminates
@@ -314,6 +326,10 @@ func (r *runner) tier0Check(name string, s *StageOutcome) {
 			s.Detail = "existential dependency graph is cyclic"
 		}
 	case "jointree-prune":
+		if set.HasEGDs() {
+			s.Detail = "skipped: the never-firing prune is a TGD-only baseline (set has EGDs)"
+			return
+		}
 		pruned, removed := acyclicity.PruneNeverFiring(set)
 		if len(removed) == 0 {
 			s.Detail = "no never-firing TGDs"
@@ -340,6 +356,10 @@ func (r *runner) tier0Check(name string, s *StageOutcome) {
 			s.Conclusion = core.Terminates
 		}
 	case "mfa":
+		if set.HasEGDs() {
+			s.Detail = "skipped: MFA is a TGD-only baseline (set has EGDs)"
+			return
+		}
 		mfa := acyclicity.CheckMFA(set, resolved(r.opts.MFASteps, 20_000))
 		s.Steps = mfa.Steps
 		if mfa.Acyclic {
@@ -533,7 +553,8 @@ func (r *runner) buildRacers() []racer {
 	if r.set.IsGuarded() {
 		out = append(out, racer{name: "guarded", authoritative: true, run: r.runGuarded})
 	}
-	if r.opts.Database != nil {
+	if r.opts.Database != nil && !r.set.HasEGDs() {
+		// The ∀∃ search is TGD-only (it panics on EGD sets).
 		out = append(out, racer{name: "exists", authoritative: false, run: r.runExists})
 	}
 	return out

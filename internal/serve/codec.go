@@ -209,7 +209,7 @@ func parseProgram(src string) (*parser.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	if prog.TGDs.Len() == 0 {
+	if prog.TGDs.Len() == 0 && !prog.TGDs.HasEGDs() {
 		return nil, fmt.Errorf("no TGDs in program")
 	}
 	return prog, nil

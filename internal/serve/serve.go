@@ -311,6 +311,10 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exists needs facts in the program (the question is per-database)")
 		return
 	}
+	if prog.TGDs.HasEGDs() {
+		writeError(w, http.StatusBadRequest, "exists is TGD-only: the derivation search does not model equality steps")
+		return
+	}
 	strat, err := chase.ParseSearchStrategy(req.Strategy)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)

@@ -135,8 +135,12 @@ func IsSticky(s *Set) (bool, *Marking, error) {
 }
 
 // IsSticky reports whether the set is sticky. Multi-head sets are not
-// sticky by definition (S is a class of single-head TGDs).
+// sticky by definition (S is a class of single-head TGDs), and a set with
+// EGDs is never reported sticky: the Büchi decision procedure is TGD-only.
 func (s *Set) IsSticky() bool {
+	if s.HasEGDs() {
+		return false
+	}
 	ok, _, err := IsSticky(s)
 	return err == nil && ok
 }

@@ -227,10 +227,14 @@ func (t TGD) SatisfiedBy(src logic.AtomSource) bool {
 	return ok
 }
 
-// Set is a finite set of TGDs, ordered. The order is significant only for
-// determinism (trigger enumeration, printing).
+// Set is a finite set of dependencies — TGDs plus (optionally) EGDs —
+// ordered. The order is significant only for determinism (trigger
+// enumeration, printing). Most of the paper's machinery is TGD-only: the
+// class predicates (IsGuarded, IsLinear, IsSticky) report false as soon as
+// an EGD is present, and TGD-only consumers must gate on HasEGDs.
 type Set struct {
 	TGDs []TGD
+	EGDs []EGD
 
 	fpOnce sync.Once
 	fp     logic.Fingerprint
@@ -240,6 +244,13 @@ type Set struct {
 // apart (no two TGDs share a variable, the paper's w.l.o.g. convention for
 // the stickiness marking).
 func NewSet(tgds ...TGD) (*Set, error) {
+	return NewSetWithEGDs(tgds, nil)
+}
+
+// NewSetWithEGDs builds a set of TGDs and EGDs, validating every member and
+// standardising all dependencies apart. Unlabelled TGDs are named σ1, σ2,
+// …; unlabelled EGDs ε1, ε2, ….
+func NewSetWithEGDs(tgds []TGD, egds []EGD) (*Set, error) {
 	namer := logic.NewFreshNamer("V")
 	out := make([]TGD, 0, len(tgds))
 	for i, t := range tgds {
@@ -251,7 +262,20 @@ func NewSet(tgds ...TGD) (*Set, error) {
 		}
 		out = append(out, t.Rename(namer))
 	}
-	return &Set{TGDs: out}, nil
+	eout := make([]EGD, 0, len(egds))
+	for i, e := range egds {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("tgds: set EGD %d: %w", i, err)
+		}
+		if e.Label == "" {
+			e.Label = fmt.Sprintf("ε%d", i+1)
+		}
+		eout = append(eout, e.Rename(namer))
+	}
+	if len(eout) == 0 {
+		eout = nil
+	}
+	return &Set{TGDs: out, EGDs: eout}, nil
 }
 
 // MustSet is NewSet that panics on error.
@@ -263,8 +287,18 @@ func MustSet(tgds ...TGD) *Set {
 	return s
 }
 
-// Len returns the number of TGDs.
+// Len returns the number of TGDs. EGDs are counted by NumEGDs; most
+// consumers predate EGD support and reason about the TGD part only.
 func (s *Set) Len() int { return len(s.TGDs) }
+
+// NumEGDs returns the number of EGDs.
+func (s *Set) NumEGDs() int { return len(s.EGDs) }
+
+// HasEGDs reports whether the set carries any equality-generating
+// dependency. TGD-only machinery (the syntactic classes beyond full and
+// weak acyclicity, the guarded/sticky deciders, the ∀∃ search, the
+// non-restricted chase variants) must gate on this.
+func (s *Set) HasEGDs() bool { return len(s.EGDs) > 0 }
 
 // setSeed starts every set fingerprint.
 var setSeed = logic.Fingerprint{Hi: 0x243f6a8885a308d3, Lo: 0x13198a2e03707344}
@@ -283,6 +317,13 @@ func (s *Set) Fingerprint() logic.Fingerprint {
 		for i, t := range s.TGDs {
 			fp = fp.MixUint64(uint64(i)).Mix(logic.FingerprintRule(t.Label, t.Body, t.Head))
 		}
+		// EGDs enter under a distinct salt and a synthetic "=" head atom, so
+		// a set with EGDs never fingerprints equal to its TGD-only part and
+		// EGD order/labels are covered like TGD ones.
+		for i, e := range s.EGDs {
+			fp = fp.MixUint64(0x9e3779b97f4a7c15 + uint64(i)).
+				Mix(logic.FingerprintRule(e.Label, e.Body, []logic.Atom{e.eqAtom()}))
+		}
 		s.fp = fp
 	})
 	return s.fp
@@ -296,6 +337,11 @@ func (s *Set) Schema() *logic.Schema {
 			sch.Add(a.Pred)
 		}
 		for _, a := range t.Head {
+			sch.Add(a.Pred)
+		}
+	}
+	for _, e := range s.EGDs {
+		for _, a := range e.Body {
 			sch.Add(a.Pred)
 		}
 	}
@@ -316,9 +362,10 @@ func (s *Set) IsSingleHead() bool {
 }
 
 // IsGuarded reports whether every member is guarded (class G requires
-// single-head as well; the paper's G is a class of single-head TGDs).
+// single-head as well; the paper's G is a class of single-head TGDs). A set
+// with EGDs is never in G: the guarded decision procedure is TGD-only.
 func (s *Set) IsGuarded() bool {
-	if !s.IsSingleHead() {
+	if s.HasEGDs() || !s.IsSingleHead() {
 		return false
 	}
 	for _, t := range s.TGDs {
@@ -329,9 +376,10 @@ func (s *Set) IsGuarded() bool {
 	return true
 }
 
-// IsLinear reports whether every member is linear and single-head.
+// IsLinear reports whether every member is linear and single-head. A set
+// with EGDs is never linear (the class is TGD-only).
 func (s *Set) IsLinear() bool {
-	if !s.IsSingleHead() {
+	if s.HasEGDs() || !s.IsSingleHead() {
 		return false
 	}
 	for _, t := range s.TGDs {
@@ -342,10 +390,16 @@ func (s *Set) IsLinear() bool {
 	return true
 }
 
-// SatisfiedBy reports whether the source satisfies every TGD in the set.
+// SatisfiedBy reports whether the source satisfies every dependency in the
+// set — TGDs and EGDs.
 func (s *Set) SatisfiedBy(src logic.AtomSource) bool {
 	for _, t := range s.TGDs {
 		if !t.SatisfiedBy(src) {
+			return false
+		}
+	}
+	for _, e := range s.EGDs {
+		if !e.SatisfiedBy(src) {
 			return false
 		}
 	}
@@ -362,7 +416,7 @@ func (s *Set) ByLabel(label string) (TGD, bool) {
 	return TGD{}, false
 }
 
-// String renders the set one TGD per line.
+// String renders the set one dependency per line, TGDs first.
 func (s *Set) String() string {
 	var b strings.Builder
 	for i, t := range s.TGDs {
@@ -372,6 +426,14 @@ func (s *Set) String() string {
 		b.WriteString(t.Label)
 		b.WriteString(": ")
 		b.WriteString(t.String())
+	}
+	for i, e := range s.EGDs {
+		if i > 0 || len(s.TGDs) > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Label)
+		b.WriteString(": ")
+		b.WriteString(e.String())
 	}
 	return b.String()
 }

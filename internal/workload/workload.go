@@ -280,6 +280,40 @@ func Ontology(n int, seed int64) *parser.Program {
 	return prog
 }
 
+// KeyGraph builds the key-constrained EGD workload (BENCH_egd.json): a
+// random graph of n nodes where every node receives an invented f-value
+// (f_intro), the value propagates along edges (f_copy), and a key EGD makes
+// F functional — so the chase keeps merging each node's accumulated values
+// down to one, with equalities cascading transitively along edge chains. No
+// ground F facts are seeded, so every unification is null-with-null and the
+// chase never fails; the TGD part is weakly acyclic, so the set terminates
+// under the EGD-sound acyclicity argument. Deterministic given (n, seed).
+func KeyGraph(n int, seed int64) *parser.Program {
+	src := `
+		f_intro: Node(X) -> F(X,V).
+		f_copy:  Edge(X,Y), F(X,V) -> F(Y,V).
+		f_key:   F(X,U), F(X,V) -> U = V.
+	`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	node := func(i int) logic.Term { return logic.Const(fmt.Sprintf("v%d", i)) }
+	for i := 0; i < n; i++ {
+		mustAdd(prog.Database, logic.MustAtom("Node", node(i)))
+	}
+	// ~1.5 random edges per node: enough convergence that most nodes see a
+	// second value and the key fires, without densifying the join.
+	for i := 0; i < n; i++ {
+		mustAdd(prog.Database, logic.MustAtom("Edge", node(i), node(rng.Intn(n))))
+		if i%2 == 0 {
+			mustAdd(prog.Database, logic.MustAtom("Edge", node(rng.Intn(n)), node(i)))
+		}
+	}
+	return prog
+}
+
 // StageGrid builds the ∀∃ search's scaling workload: n independent facts
 // P(c_i), each advancing through two datalog stages (P → +Q → +R), so the
 // reachable state space has exactly 3^n distinct instances and a single

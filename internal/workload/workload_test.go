@@ -116,6 +116,55 @@ func TestExchangeScenario(t *testing.T) {
 	}
 }
 
+// TestKeyGraphWorkload pins the EGD bench family's invariants: the set
+// carries a key EGD, the chase terminates without failing on every strategy,
+// equality steps actually fire (the family exists to exercise them), the
+// merged instance holds exactly one F value per node, and the generator is
+// deterministic given its seed.
+func TestKeyGraphWorkload(t *testing.T) {
+	prog := KeyGraph(24, 7)
+	if !prog.TGDs.HasEGDs() {
+		t.Fatal("key-graph must carry its key EGD")
+	}
+	if acyclicity.IsWeaklyAcyclic(prog.TGDs) != true {
+		t.Error("key-graph's TGD part must be weakly acyclic (the EGD-sound termination argument)")
+	}
+	for _, o := range []chase.Options{
+		{Variant: chase.Restricted, Strategy: chase.FIFO, MaxSteps: 20000},
+		{Variant: chase.Restricted, Strategy: chase.LIFO, MaxSteps: 20000},
+		{Variant: chase.Restricted, Strategy: chase.Random, Seed: 3, MaxSteps: 20000},
+	} {
+		run := chase.RunChase(prog.Database, prog.TGDs, o)
+		if !run.Terminated() {
+			t.Fatalf("strategy %v: reason = %v", o.Strategy, run.Reason)
+		}
+		if run.EqualitySteps == 0 {
+			t.Errorf("strategy %v: no equality steps — the family is pointless without them", o.Strategy)
+		}
+		perNode := map[string]int{}
+		for _, a := range run.Final.Atoms() {
+			if a.Pred.Name == "F" {
+				perNode[a.Args[0].String()]++
+			}
+		}
+		if len(perNode) != 24 {
+			t.Errorf("strategy %v: %d nodes carry an F value, want 24", o.Strategy, len(perNode))
+		}
+		for v, c := range perNode {
+			if c != 1 {
+				t.Errorf("strategy %v: node %s has %d F values after the key merged them", o.Strategy, v, c)
+			}
+		}
+	}
+	again := KeyGraph(24, 7)
+	if again.Database.Len() != prog.Database.Len() {
+		t.Error("same seed must reproduce the database")
+	}
+	if KeyGraph(24, 8).Database.String() == prog.Database.String() {
+		t.Error("different seeds should differ")
+	}
+}
+
 func TestOntologyWorkload(t *testing.T) {
 	prog := Ontology(20, 3)
 	if !prog.TGDs.IsGuarded() {
